@@ -1,0 +1,101 @@
+"""Figure 15 / Section 6: the paper's worked example, end to end.
+
+Regenerates the three transformations of the figure on the 8-statement
+block: (b) the original SLP algorithm's grouping with its single
+superword reuse, (c) Global's grouping with three superword reuses, and
+(d) Global+Layout. Asserts the groupings and the reuse counts match the
+paper's narrative.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis import DependenceGraph
+from repro.ir import parse_block, parse_program
+from repro.slp import greedy_slp_schedule, holistic_slp_schedule
+
+DECLS = """
+float A[8192]; float B[8192];
+float a, b, c, d, g, h, q, r;
+"""
+
+I = 4
+CODE = f"""
+a = A[{I}];
+c = a * B[{4 * I}];
+g = q * B[{4 * I - 2}];
+b = A[{I + 1}];
+d = b * B[{4 * I + 4}];
+h = r * B[{4 * I + 2}];
+A[{2 * I}] = d + a * c;
+A[{2 * I + 2}] = g + r * h;
+"""
+
+
+def _decl_of(name):
+    return parse_program(DECLS).arrays[name]
+
+
+def _superword_reuses(schedule):
+    """Count source packs that were produced (as targets or sources) by
+    an earlier superword statement — the reuses the example tallies."""
+    live = set()
+    reuses = 0
+    for sw in schedule.superwords():
+        for pack in sw.source_packs():
+            if frozenset(pack) in live:
+                reuses += 1
+        for pack in sw.ordered_packs():
+            live.add(frozenset(pack))
+    return reuses
+
+
+def test_fig15_worked_example(benchmark, results_dir):
+    block = parse_block(CODE, DECLS)
+    deps = DependenceGraph(block)
+
+    global_schedule = benchmark(
+        holistic_slp_schedule, block, deps, 64, _decl_of
+    )
+    slp_schedule = greedy_slp_schedule(block, deps, _decl_of, 64)
+
+    slp_groups = {frozenset(sw.sids) for sw in slp_schedule.superwords()}
+    global_groups = {
+        frozenset(sw.sids) for sw in global_schedule.superwords()
+    }
+
+    # Figure 15(b): greedy chain grouping.
+    assert frozenset({0, 3}) in slp_groups
+    assert frozenset({1, 4}) in slp_groups
+    # Figure 15(c): the reuse-maximizing grouping.
+    assert global_groups == {
+        frozenset({0, 3}),
+        frozenset({2, 4}),
+        frozenset({1, 5}),
+        frozenset({6, 7}),
+    }
+
+    slp_reuses = _superword_reuses(slp_schedule)
+    global_reuses = _superword_reuses(global_schedule)
+
+    body = (
+        f"input block:\n{block}\n\n"
+        f"SLP grouping (Figure 15b): "
+        f"{sorted(sorted(g) for g in slp_groups)}\n"
+        f"  superword reuses: {slp_reuses} (paper: 1, <a,b>)\n\n"
+        f"Global grouping (Figure 15c): "
+        f"{sorted(sorted(g) for g in global_groups)}\n"
+        f"  superword reuses: {global_reuses} "
+        "(paper: 3 — <d,g>, <c,h>, <a,r>)\n\n"
+        f"Global schedule:\n{global_schedule}"
+    )
+    write_result(
+        results_dir / "fig15_worked_example.txt",
+        "Figure 15: the Section 6 worked example",
+        body,
+    )
+
+    # The paper's headline for this example: one reuse vs three.
+    assert slp_reuses == 1
+    assert global_reuses == 3

@@ -1,0 +1,103 @@
+"""Figure 16: execution-time reductions of Native, SLP and Global over
+the scalar code on the Intel machine, per benchmark, ordered (as in the
+paper) from the benchmark Global improves least to the one it improves
+most.
+
+Shape assertions (what the paper's figure shows):
+* Global >= SLP on every benchmark, with equality on some;
+* SLP >= Native, with equality on some (the paper: 4 applications);
+* Global == SLP on a small number of benchmarks (the paper: 3).
+"""
+
+from __future__ import annotations
+
+from conftest import SUITE_N, suite_results, write_result
+
+from repro import Variant
+from repro.bench import ascii_table, intel_dunnington, percent, run_kernel
+from repro.bench.kernels import KERNELS
+
+EPS = 1e-9
+
+
+def _figure16_rows(results):
+    ordered = sorted(
+        results.values(), key=lambda r: r.time_reduction(Variant.GLOBAL)
+    )
+    rows = []
+    for result in ordered:
+        rows.append(
+            (
+                result.kernel.name,
+                percent(result.time_reduction(Variant.NATIVE)),
+                percent(result.time_reduction(Variant.SLP)),
+                percent(result.time_reduction(Variant.GLOBAL)),
+            )
+        )
+    return rows
+
+
+def test_fig16_execution_time_reductions(benchmark, intel_suite, results_dir):
+    # The benchmarked unit: one representative kernel through the full
+    # compile+simulate pipeline for the three variants of this figure.
+    machine = intel_dunnington()
+    benchmark(
+        run_kernel,
+        KERNELS["namd"],
+        machine,
+        (Variant.SCALAR, Variant.NATIVE, Variant.SLP, Variant.GLOBAL),
+        n=SUITE_N,
+    )
+
+    rows = _figure16_rows(intel_suite)
+    body = ascii_table(("benchmark", "Native", "SLP", "Global"), rows)
+    avg = {
+        v: sum(r.time_reduction(v) for r in intel_suite.values())
+        / len(intel_suite)
+        for v in (Variant.NATIVE, Variant.SLP, Variant.GLOBAL)
+    }
+    body += (
+        f"\n\naverages: Native {percent(avg[Variant.NATIVE])}, "
+        f"SLP {percent(avg[Variant.SLP])}, "
+        f"Global {percent(avg[Variant.GLOBAL])}"
+        "\n(paper, Intel: Global average 12%; ordering Native <= SLP <= "
+        "Global with 3 Global==SLP ties and 4 SLP==Native ties)"
+    )
+    write_result(
+        results_dir / "fig16_exec_time_intel.txt",
+        "Figure 16: execution time reduction over scalar (Intel)",
+        body,
+    )
+
+    for result in intel_suite.values():
+        native = result.time_reduction(Variant.NATIVE)
+        slp = result.time_reduction(Variant.SLP)
+        glob = result.time_reduction(Variant.GLOBAL)
+        assert glob >= slp - EPS, f"{result.kernel.name}: Global < SLP"
+        assert slp >= native - EPS, f"{result.kernel.name}: SLP < Native"
+        assert native >= -EPS, f"{result.kernel.name}: Native hurt"
+
+    ties_global_slp = sum(
+        1
+        for r in intel_suite.values()
+        if abs(r.time_reduction(Variant.GLOBAL) - r.time_reduction(Variant.SLP))
+        < 1e-6
+    )
+    ties_slp_native = sum(
+        1
+        for r in intel_suite.values()
+        if abs(r.time_reduction(Variant.SLP) - r.time_reduction(Variant.NATIVE))
+        < 1e-6
+    )
+    # Both phenomena the paper reports must occur, and Global must win
+    # strictly somewhere.
+    assert 1 <= ties_global_slp < len(intel_suite)
+    assert 1 <= ties_slp_native < len(intel_suite)
+    assert avg[Variant.GLOBAL] > avg[Variant.SLP] > avg[Variant.NATIVE] > 0
+
+
+def test_fig16_semantics_preserved(benchmark, intel_suite):
+    checked = benchmark(
+        lambda: [r.semantics_preserved() for r in intel_suite.values()]
+    )
+    assert all(checked)

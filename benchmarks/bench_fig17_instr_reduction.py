@@ -1,0 +1,79 @@
+"""Figure 17: why Global beats SLP — reductions in (a) dynamic
+instructions excluding packing/unpacking and (b) packing/unpacking
+operations, Global relative to SLP, per benchmark.
+
+Paper averages: 14.5% (dynamic instructions) and 43.5% (pack/unpack).
+
+Shape assertions: wherever Global's grouping diverges from the greedy
+baseline's it removes packing/unpacking work (the divergence benchmarks
+show pack/unpack reductions of ~25%), and Global never *increases*
+either metric versus SLP beyond noise. Magnitude deviation (documented
+in EXPERIMENTS.md): our baseline shares the reuse-tracking code
+generator with Global, so its packing overhead is already far below the
+paper's SLP implementation and the average reduction is smaller than
+43.5%.
+"""
+
+from __future__ import annotations
+
+from conftest import SUITE_N, suite_results, write_result
+
+from repro import Variant
+from repro.bench import ascii_table, intel_dunnington, percent, run_kernel
+from repro.bench.kernels import KERNELS
+
+
+def test_fig17_global_over_slp(benchmark, intel_suite, results_dir):
+    machine = intel_dunnington()
+    benchmark(
+        run_kernel,
+        KERNELS["cactusADM"],
+        machine,
+        (Variant.SLP, Variant.GLOBAL),
+        n=SUITE_N,
+    )
+
+    rows = []
+    dyn_values = []
+    pack_values = []
+    for result in intel_suite.values():
+        slp_pack = result.runs[Variant.SLP].report.pack_unpack_ops
+        dyn = result.dyn_instr_reduction_over(Variant.GLOBAL, Variant.SLP)
+        pack = (
+            result.pack_unpack_reduction_over(Variant.GLOBAL, Variant.SLP)
+            if slp_pack
+            else 0.0
+        )
+        dyn_values.append(dyn)
+        pack_values.append(pack)
+        rows.append(
+            (result.kernel.name, percent(dyn), percent(pack))
+        )
+    avg_dyn = sum(dyn_values) / len(dyn_values)
+    avg_pack = sum(pack_values) / len(pack_values)
+
+    body = ascii_table(
+        ("benchmark", "dyn instr reduction", "pack/unpack reduction"), rows
+    )
+    body += (
+        f"\n\naverages: dynamic instructions {percent(avg_dyn)}, "
+        f"pack/unpack {percent(avg_pack)}"
+        "\n(paper: 14.5% and 43.5% — pack/unpack dominates)"
+    )
+    write_result(
+        results_dir / "fig17_instr_reduction.txt",
+        "Figure 17: Global-over-SLP instruction reductions",
+        body,
+    )
+
+    assert avg_dyn >= 0.0
+    assert avg_pack > 0.0
+    # The paper's core effect: where the global grouping differs from
+    # the greedy one, it removes a substantial share of the
+    # packing/unpacking work (the paper: 43.5% on average across its
+    # benchmarks; our divergence benchmarks show ~25% each).
+    strong_pack = [p for p in pack_values if p >= 0.20]
+    assert len(strong_pack) >= 2, "expected pack/unpack reductions"
+    for name, dyn, pack in zip(intel_suite, dyn_values, pack_values):
+        assert dyn >= -0.02, f"{name}: Global added dynamic instructions"
+        assert pack >= -0.02, f"{name}: Global added pack/unpack ops"

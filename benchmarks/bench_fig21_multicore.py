@@ -1,0 +1,86 @@
+"""Figure 21: execution-time reductions of Global (a) and Global+Layout
+(b) over the scalar code running on the same number of cores, for the
+six NAS benchmarks on the 12-core Intel machine, at 1-12 cores.
+
+Paper shape: "both of our approaches bring consistent improvements
+across different core counts. The results become slightly better when
+we increase the number of cores, mostly due to the less-than-perfect
+scalability of the original applications."
+
+Assertions: the average reduction stays positive and within a stable
+band at every core count, and the high-core-count average is not below
+the single-core average (the slight-improvement trend).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro import Variant
+from repro.bench import (
+    NAS_KERNELS,
+    ascii_table,
+    intel_dunnington,
+    percent,
+    run_multicore,
+)
+
+CORE_COUNTS = (1, 2, 4, 6, 8, 10, 12)
+N = 1536  # total iterations, divided across cores
+
+
+def _sweep(variant):
+    machine = intel_dunnington()
+    table = {}
+    for kernel in NAS_KERNELS:
+        table[kernel.name] = [
+            run_multicore(kernel, machine, variant, cores, n=N)
+            for cores in CORE_COUNTS
+        ]
+    return table
+
+
+def _render(table):
+    rows = []
+    for name, points in table.items():
+        rows.append(
+            tuple([name] + [percent(p.reduction) for p in points])
+        )
+    averages = [
+        sum(points[i].reduction for points in table.values()) / len(table)
+        for i in range(len(CORE_COUNTS))
+    ]
+    rows.append(tuple(["average"] + [percent(a) for a in averages]))
+    header = ("benchmark",) + tuple(f"{c} cores" for c in CORE_COUNTS)
+    return ascii_table(header, rows), averages
+
+
+def test_fig21a_global_multicore(benchmark, results_dir):
+    table = benchmark.pedantic(
+        _sweep, args=(Variant.GLOBAL,), rounds=1, iterations=1
+    )
+    body, averages = _render(table)
+    body += "\n\n(paper: consistent improvements, slightly rising with cores)"
+    write_result(
+        results_dir / "fig21a_multicore_global.txt",
+        "Figure 21(a): Global vs scalar at matched core counts (NAS)",
+        body,
+    )
+    assert all(a > 0 for a in averages)
+    assert averages[-1] >= averages[0] - 0.02
+    assert max(averages) - min(averages) < 0.15, "band should be stable"
+
+
+def test_fig21b_layout_multicore(benchmark, results_dir):
+    table = benchmark.pedantic(
+        _sweep, args=(Variant.GLOBAL_LAYOUT,), rounds=1, iterations=1
+    )
+    body, averages = _render(table)
+    body += "\n\n(paper: consistent improvements, slightly rising with cores)"
+    write_result(
+        results_dir / "fig21b_multicore_layout.txt",
+        "Figure 21(b): Global+Layout vs scalar at matched core counts (NAS)",
+        body,
+    )
+    assert all(a > 0 for a in averages)
+    assert averages[-1] >= averages[0] - 0.02

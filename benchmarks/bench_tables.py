@@ -1,0 +1,84 @@
+"""Tables 1–3: the experimental setup.
+
+Table 1/2 are the two machine configurations (here: the cost/cache
+models of the virtual SIMD machine); Table 3 is the 16-benchmark suite.
+The benchmark measures the cost of instantiating the full setup.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.bench import (
+    ALL_KERNELS,
+    amd_phenom_ii,
+    ascii_table,
+    intel_dunnington,
+)
+
+
+def _machine_rows(machine):
+    l1 = machine.l1
+    return [
+        ("Cores", str(machine.cores)),
+        ("SIMD datapath", f"{machine.datapath_bits} bits"),
+        ("Vector registers", str(machine.vector_registers)),
+        (
+            "L1 data cache",
+            f"{l1.size_bytes // 1024}KB, {l1.ways}-way, "
+            f"{l1.line_bytes}-byte line",
+        ),
+        ("L1 miss penalty", f"{l1.miss_penalty:.0f} cycles"),
+        ("Shuffle cost", f"{machine.shuffle:.1f} cycles"),
+        ("Lane insert/extract", f"{machine.lane_insert:.1f}/"
+                                f"{machine.lane_extract:.1f} cycles"),
+    ]
+
+
+def test_table1_intel_dunnington(benchmark, results_dir):
+    machine = benchmark(intel_dunnington)
+    body = ascii_table(("parameter", "value"), _machine_rows(machine))
+    write_result(
+        results_dir / "table1_intel.txt",
+        "Table 1: Intel Dunnington machine model",
+        body,
+    )
+    assert machine.l1.size_bytes == 32 * 1024
+    assert machine.l1.ways == 8
+    assert machine.cores == 12
+
+
+def test_table2_amd_phenom_ii(benchmark, results_dir):
+    machine = benchmark(amd_phenom_ii)
+    body = ascii_table(("parameter", "value"), _machine_rows(machine))
+    write_result(
+        results_dir / "table2_amd.txt",
+        "Table 2: AMD Phenom II machine model",
+        body,
+    )
+    assert machine.l1.size_bytes == 64 * 1024
+    assert machine.l1.ways == 2
+    assert machine.cores == 4
+    # Section 7.2: the AMD part pays more for packing/unpacking.
+    intel = intel_dunnington()
+    assert machine.lane_insert > intel.lane_insert
+    assert machine.shuffle > intel.shuffle
+
+
+def test_table3_benchmarks(benchmark, results_dir):
+    programs = benchmark(
+        lambda: [k.build(16) for k in ALL_KERNELS]
+    )
+    rows = [
+        (k.suite, k.name, k.description) for k in ALL_KERNELS
+    ]
+    body = ascii_table(("suite", "benchmark", "description"), rows)
+    write_result(
+        results_dir / "table3_benchmarks.txt",
+        "Table 3: benchmark descriptions",
+        body,
+    )
+    assert len(programs) == 16
+    spec = [k for k in ALL_KERNELS if k.suite == "SPEC2006"]
+    nas = [k for k in ALL_KERNELS if k.suite == "NAS"]
+    assert len(spec) == 10 and len(nas) == 6

@@ -1,0 +1,84 @@
+"""Domain example: complex multiplication over interleaved re/im arrays.
+
+This is the milc-style workload from the paper's motivation: the natural
+data layout interleaves real and imaginary parts (``A[2i]``/``A[2i+1]``),
+so a plain vectorizer faces strided gathers. The walkthrough shows the
+full two-stage pipeline:
+
+* statement grouping chases the cross-iteration superword reuses,
+* the data layout stage replicates the read-only operand arrays into
+  de-interleaved copies (Section 5.2), turning every gather into one
+  contiguous aligned vector load.
+
+Run:  python examples/complex_multiply.py
+"""
+
+from repro import (
+    FLOAT64,
+    CompilerOptions,
+    ProgramBuilder,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    reduction,
+    simulate,
+)
+
+
+def build_complex_multiply(n: int = 512):
+    b = ProgramBuilder("complex-multiply")
+    A = b.array("A", (2 * n + 8,), FLOAT64)   # interleaved re/im
+    B = b.array("B", (2 * n + 8,), FLOAT64)
+    C = b.array("C", (2 * n + 8,), FLOAT64)
+    ar, ai, br, bi = b.scalars("ar ai br bi", FLOAT64)
+    with b.loop("i", 0, n) as i:
+        b.assign(ar, A[2 * i])
+        b.assign(ai, A[2 * i + 1])
+        b.assign(br, B[2 * i])
+        b.assign(bi, B[2 * i + 1])
+        b.assign(C[2 * i], ar * br - ai * bi)
+        b.assign(C[2 * i + 1], ar * bi + ai * br)
+    return b.build()
+
+
+def main() -> None:
+    machine = intel_dunnington()
+    program = build_complex_multiply()
+
+    runs = {}
+    for variant in (
+        Variant.SCALAR,
+        Variant.SLP,
+        Variant.GLOBAL,
+        Variant.GLOBAL_LAYOUT,
+    ):
+        result = compile_program(
+            build_complex_multiply(), variant, machine, CompilerOptions()
+        )
+        report, memory = simulate(result)
+        runs[variant] = (result, report, memory)
+
+    base_report, base_memory = runs[Variant.SCALAR][1], runs[Variant.SCALAR][2]
+    print(f"{'variant':>14} {'cycles':>10} {'vs scalar':>10} "
+          f"{'pack/unpack':>12} {'replicas':>9}")
+    for variant, (result, report, memory) in runs.items():
+        saved = reduction(base_report.cycles, report.cycles)
+        assert memory.state_equal(base_memory)
+        print(
+            f"{variant.value:>14} {report.cycles:10.0f} {saved:10.1%} "
+            f"{report.pack_unpack_ops:12d} {result.stats.replications:9d}"
+        )
+
+    layout_result = runs[Variant.GLOBAL_LAYOUT][0]
+    print("\nreplicated (de-interleaved) arrays the layout stage built:")
+    for name, decl in layout_result.plan.program.arrays.items():
+        if name.startswith("__slp_rep"):
+            print(f"    {name}: {decl.size} x {decl.type}")
+    print(
+        "\nEvery strided <A[2i], A[2i+2], ...> gather now reads "
+        "B[q*i + k] — one aligned vector load per superword."
+    )
+
+
+if __name__ == "__main__":
+    main()

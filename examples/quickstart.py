@@ -1,0 +1,62 @@
+"""Quickstart: vectorize a saxpy-like loop and inspect what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FLOAT32,
+    CompilerOptions,
+    ProgramBuilder,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    reduction,
+    simulate,
+)
+from repro.ir import format_program
+
+
+def build_saxpy(n: int = 1024):
+    b = ProgramBuilder("saxpy")
+    X = b.array("X", (n,), FLOAT32)
+    Y = b.array("Y", (n,), FLOAT32)
+    a = b.scalar("a", FLOAT32)
+    with b.loop("i", 0, n) as i:
+        b.assign(Y[i], a * X[i] + Y[i])
+    return b.build()
+
+
+def main() -> None:
+    program = build_saxpy()
+    print("input program:")
+    print(format_program(program))
+
+    machine = intel_dunnington()
+    baseline = None
+    for variant in (Variant.SCALAR, Variant.SLP, Variant.GLOBAL):
+        result = compile_program(program, variant, machine)
+        report, memory = simulate(result)
+        if variant is Variant.SCALAR:
+            baseline = (report, memory)
+            print(f"{variant.value:>8}: {report.cycles:9.0f} cycles")
+            continue
+        saved = reduction(baseline[0].cycles, report.cycles)
+        same = memory.state_equal(baseline[1])
+        print(
+            f"{variant.value:>8}: {report.cycles:9.0f} cycles "
+            f"({saved:6.1%} faster), "
+            f"{result.stats.superword_statements} superword statements, "
+            f"semantics preserved: {same}"
+        )
+
+    result = compile_program(program, Variant.GLOBAL, machine)
+    print("\nGlobal's schedule for the unrolled loop body:")
+    for schedule in result.schedules:
+        print(schedule)
+    report, _ = simulate(result)
+    print("\ninstruction mix:")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline).
+
+`pip install -e .` falls back to `setup.py develop` when this file
+exists; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

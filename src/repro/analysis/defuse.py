@@ -1,0 +1,97 @@
+"""Def-use and use-def chains within a basic block.
+
+The original SLP algorithm of Larsen & Amarasinghe extends its seed packs
+"by following the def-use and use-def chains" — this module provides
+those chains for our re-implementation of that baseline
+(:mod:`repro.slp.baseline`), and for dead-code queries in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import ArrayRef, BasicBlock, Const, Statement, Var
+from .dependence import refs_must_alias
+
+
+@dataclass(frozen=True)
+class UseSite:
+    """One read of an operand: statement sid and leaf position (0-based
+    within the statement's RHS leaves)."""
+
+    sid: int
+    position: int
+
+
+class DefUseChains:
+    """Reaching definitions restricted to one basic block.
+
+    A definition reaches a use when it is the latest earlier statement
+    writing an operand that *must* alias the used operand, and no
+    intervening statement *may* alias-write it. May-but-not-must aliasing
+    writes break the chain (we refuse to guess).
+    """
+
+    def __init__(self, block: BasicBlock):
+        self.block = block
+        # use (sid, position) -> defining sid, or None when the value
+        # flows in from outside the block.
+        self.reaching_def: Dict[Tuple[int, int], Optional[int]] = {}
+        # def sid -> list of use sites fed by it.
+        self.uses_of_def: Dict[int, List[UseSite]] = {
+            s.sid: [] for s in block
+        }
+        self._analyze()
+
+    def _analyze(self) -> None:
+        statements = list(self.block)
+        for i, stmt in enumerate(statements):
+            for position, leaf in enumerate(stmt.expr.leaves()):
+                if isinstance(leaf, Const):
+                    continue
+                def_sid = self._find_reaching_def(statements, i, leaf)
+                self.reaching_def[(stmt.sid, position)] = def_sid
+                if def_sid is not None:
+                    self.uses_of_def[def_sid].append(
+                        UseSite(stmt.sid, position)
+                    )
+
+    @staticmethod
+    def _find_reaching_def(statements, use_index: int, leaf) -> Optional[int]:
+        for j in range(use_index - 1, -1, -1):
+            target = statements[j].target
+            if isinstance(leaf, Var) and isinstance(target, Var):
+                if target.name == leaf.name:
+                    return statements[j].sid
+            elif isinstance(leaf, ArrayRef) and isinstance(target, ArrayRef):
+                if refs_must_alias(target, leaf):
+                    return statements[j].sid
+                # A may-alias write of the same array kills certainty.
+                from .dependence import refs_may_alias
+
+                if refs_may_alias(target, leaf):
+                    return None
+        return None
+
+    # -- queries ---------------------------------------------------------------
+
+    def definition_feeding(
+        self, sid: int, position: int
+    ) -> Optional[Statement]:
+        def_sid = self.reaching_def.get((sid, position))
+        if def_sid is None:
+            return None
+        return self.block[def_sid]
+
+    def users(self, sid: int) -> Tuple[UseSite, ...]:
+        return tuple(self.uses_of_def.get(sid, ()))
+
+    def is_dead(self, sid: int) -> bool:
+        """A scalar def with no users inside the block and a target no
+        later statement reads — only meaningful for whole-program scalars
+        in tests; array writes are always considered live."""
+        stmt = self.block[sid]
+        if isinstance(stmt.target, ArrayRef):
+            return False
+        return not self.uses_of_def.get(sid)

@@ -1,0 +1,45 @@
+"""Canonical operand identity keys.
+
+Variable packs, superword reuse detection, and dependence analysis all
+need a hashable notion of "the same data": two occurrences of ``a`` are
+the same operand; two occurrences of ``A[4*i + 3]`` inside one basic
+block denote the same element (the block executes within a single loop
+iteration, so the affine function pins the address); constants are equal
+by value. ``operand_key`` maps IR leaves to such keys.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir import ArrayRef, Const, Expr, Var
+
+OperandKey = Tuple
+
+#: Key kinds, exposed for readable pattern matching in client code.
+KIND_VAR = "var"
+KIND_REF = "ref"
+KIND_CONST = "const"
+
+
+def operand_key(leaf: Expr) -> OperandKey:
+    """A hashable identity for a leaf operand within one basic block."""
+    if isinstance(leaf, Var):
+        return (KIND_VAR, leaf.name)
+    if isinstance(leaf, ArrayRef):
+        return (KIND_REF, leaf.array, leaf.subscripts)
+    if isinstance(leaf, Const):
+        return (KIND_CONST, leaf.type.name, leaf.value)
+    raise TypeError(f"{leaf!r} is not a leaf operand")
+
+
+def is_memory_key(key: OperandKey) -> bool:
+    return key[0] == KIND_REF
+
+
+def is_scalar_key(key: OperandKey) -> bool:
+    return key[0] == KIND_VAR
+
+
+def is_const_key(key: OperandKey) -> bool:
+    return key[0] == KIND_CONST

@@ -1,0 +1,40 @@
+"""Workloads (Table 3) and the evaluation harness."""
+
+from ..vm.machine import amd_phenom_ii, intel_dunnington
+from .kernels import (
+    ALL_KERNELS,
+    KERNELS,
+    Kernel,
+    NAS_KERNELS,
+    SPEC_KERNELS,
+    build_kernel,
+)
+from .suite import (
+    DEFAULT_VARIANTS,
+    KernelResult,
+    VariantRun,
+    ascii_table,
+    percent,
+    run_kernel,
+    run_multicore,
+    run_suite,
+)
+
+__all__ = [
+    "ALL_KERNELS",
+    "DEFAULT_VARIANTS",
+    "KERNELS",
+    "Kernel",
+    "KernelResult",
+    "NAS_KERNELS",
+    "SPEC_KERNELS",
+    "VariantRun",
+    "amd_phenom_ii",
+    "ascii_table",
+    "build_kernel",
+    "intel_dunnington",
+    "percent",
+    "run_kernel",
+    "run_multicore",
+    "run_suite",
+]

@@ -1,0 +1,184 @@
+"""The evaluation harness: run kernels through every compiler variant on
+a simulated machine and collect the measurements the paper's figures
+plot.
+
+``run_kernel`` produces one benchmark's four-variant comparison;
+``run_suite`` sweeps the whole Table 3 suite; ``run_multicore`` produces
+one Figure 21 data point (P cores = each core runs a 1/P slice with a
+private L1, plus a synchronization overhead shared by both versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..compiler import (
+    CompilerOptions,
+    CompileStats,
+    Variant,
+    compile_program,
+)
+from ..vm import (
+    ExecutionReport,
+    MachineModel,
+    Memory,
+    MulticorePoint,
+    Simulator,
+    parallel_cycles,
+    reduction,
+)
+from .kernels import ALL_KERNELS, KERNELS, Kernel
+
+DEFAULT_VARIANTS: Tuple[Variant, ...] = (
+    Variant.SCALAR,
+    Variant.NATIVE,
+    Variant.SLP,
+    Variant.GLOBAL,
+    Variant.GLOBAL_LAYOUT,
+)
+
+
+@dataclass
+class VariantRun:
+    variant: Variant
+    report: ExecutionReport
+    stats: CompileStats
+    memory: Memory
+
+
+@dataclass
+class KernelResult:
+    """One benchmark across variants, plus derived figure metrics."""
+
+    kernel: Kernel
+    runs: Dict[Variant, VariantRun] = field(default_factory=dict)
+
+    def cycles(self, variant: Variant) -> float:
+        return self.runs[variant].report.cycles
+
+    def time_reduction(self, variant: Variant) -> float:
+        """Execution-time reduction over scalar (Figures 16/19/20)."""
+        return reduction(self.cycles(Variant.SCALAR), self.cycles(variant))
+
+    def dyn_instr_reduction_over(
+        self, better: Variant, worse: Variant
+    ) -> float:
+        """Figure 17 left axis: dynamic instructions (excl. pack/unpack)."""
+        return reduction(
+            self.runs[worse].report.dynamic_instructions,
+            self.runs[better].report.dynamic_instructions,
+        )
+
+    def pack_unpack_reduction_over(
+        self, better: Variant, worse: Variant
+    ) -> float:
+        """Figure 17 right axis: packing/unpacking overhead."""
+        return reduction(
+            self.runs[worse].report.pack_unpack_ops,
+            self.runs[better].report.pack_unpack_ops,
+        )
+
+    def dyn_instr_elimination(self, variant: Variant) -> float:
+        """Figure 18: dynamic instructions eliminated vs. scalar code."""
+        return reduction(
+            self.runs[Variant.SCALAR].report.total_instructions,
+            self.runs[variant].report.total_instructions,
+        )
+
+    def semantics_preserved(self) -> bool:
+        base = self.runs[Variant.SCALAR].memory
+        return all(
+            run.memory.state_equal(base)
+            for variant, run in self.runs.items()
+            if variant is not Variant.SCALAR
+        )
+
+
+def run_kernel(
+    kernel: Kernel,
+    machine: MachineModel,
+    variants: Sequence[Variant] = DEFAULT_VARIANTS,
+    options: Optional[CompilerOptions] = None,
+    n: int = 0,
+    seed: int = 0,
+) -> KernelResult:
+    result = KernelResult(kernel)
+    program_factory = lambda: kernel.build(n)  # noqa: E731
+    for variant in variants:
+        compiled = compile_program(
+            program_factory(), variant, machine, options
+        )
+        report, memory = Simulator(compiled.machine).run(
+            compiled.plan, seed=seed
+        )
+        result.runs[variant] = VariantRun(
+            variant, report, compiled.stats, memory
+        )
+    return result
+
+
+def run_suite(
+    machine: MachineModel,
+    kernels: Optional[Iterable[Kernel]] = None,
+    variants: Sequence[Variant] = DEFAULT_VARIANTS,
+    options: Optional[CompilerOptions] = None,
+    n: int = 0,
+) -> Dict[str, KernelResult]:
+    out: Dict[str, KernelResult] = {}
+    for kernel in kernels or ALL_KERNELS:
+        out[kernel.name] = run_kernel(
+            kernel, machine, variants, options, n=n
+        )
+    return out
+
+
+def run_multicore(
+    kernel: Kernel,
+    machine: MachineModel,
+    variant: Variant,
+    cores: int,
+    n: int = 0,
+    options: Optional[CompilerOptions] = None,
+) -> MulticorePoint:
+    """One Figure 21 point: per-core slice simulation + sync overhead."""
+    total_n = n or kernel.default_n
+    slice_n = max(1, total_n // cores)
+    sliced = run_kernel(
+        kernel,
+        machine,
+        variants=(Variant.SCALAR, variant),
+        options=options,
+        n=slice_n,
+    )
+    scalar = parallel_cycles(
+        sliced.cycles(Variant.SCALAR),
+        cores,
+        machine,
+        sliced.runs[Variant.SCALAR].report.memory_operations,
+    )
+    optimized = parallel_cycles(
+        sliced.cycles(variant),
+        cores,
+        machine,
+        sliced.runs[variant].report.memory_operations,
+    )
+    return MulticorePoint(cores, scalar, optimized)
+
+
+# -- presentation helpers (shared by the benchmark harnesses) -----------------------
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in rows)
+    return "\n".join(lines)
+
+
+def percent(x: float) -> str:
+    return f"{100.0 * x:5.1f}%"

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE`` — run a DSL source file through a chosen variant and
+  print the schedule, the disassembled plan, and/or the execution
+  report.
+* ``compare FILE`` — run all variants on one source file and print the
+  per-variant cycle/instruction comparison.
+* ``explain FILE`` — show the holistic grouping decisions (candidate
+  groups with their SG-edge reuse weights and cost-aware scores) for
+  every optimizable block of a source file.
+* ``bench`` — run the Table 3 suite on a machine model and print the
+  Figure 16/19-style table.
+* ``kernels`` — list the benchmark kernels (Table 3).
+
+Examples::
+
+    python -m repro compile saxpy.slp --variant global --emit-plan
+    python -m repro compare saxpy.slp --machine amd
+    python -m repro bench --n 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import ALL_KERNELS, ascii_table, percent, run_suite
+from .compiler import CompilerOptions, Variant, compile_program
+from .ir import parse_program
+from .vm import MACHINES, Simulator, reduction
+from .vm.pretty import disassemble_plan
+
+VARIANTS = {v.value: v for v in Variant}
+
+
+def _machine(name: str, datapath: Optional[int]):
+    machine = MACHINES[name]()
+    if datapath:
+        machine = machine.with_datapath(datapath)
+    return machine
+
+
+def _read_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = _read_program(args.file)
+    machine = _machine(args.machine, args.datapath)
+    variant = VARIANTS[args.variant]
+    result = compile_program(
+        program, variant, machine, CompilerOptions()
+    )
+    if args.emit_schedule:
+        for schedule in result.schedules:
+            print(schedule)
+            print()
+    if args.emit_plan:
+        print(disassemble_plan(result.plan), end="")
+    if args.run or not (args.emit_schedule or args.emit_plan):
+        report, _memory = Simulator(result.machine).run(result.plan)
+        print(report.summary())
+    stats = result.stats
+    print(
+        f"[{variant.value}] {stats.superword_statements} superword "
+        f"statements, {stats.grouped_fraction:.0%} of statements grouped, "
+        f"{stats.replications} replications, compiled in "
+        f"{stats.compile_seconds * 1e3:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis import DependenceGraph
+    from .ir import BasicBlock
+    from .slp import BasicGrouping, GroupNode, iterative_grouping
+    from .transform import unroll_program
+
+    program = _read_program(args.file)
+    machine = _machine(args.machine, args.datapath)
+    pre = unroll_program(program, machine.datapath_bits)
+    decl_of = lambda name: pre.arrays[name]  # noqa: E731
+
+    blocks = []
+    for item in pre.body:
+        if isinstance(item, BasicBlock):
+            blocks.append(("straight-line block", item))
+        else:
+            loop = item
+            while loop.inner is not None:
+                loop = loop.inner
+            blocks.append((f"loop {loop.index} body", loop.body))
+
+    for label, block in blocks:
+        print(f"=== {label} ===")
+        print(block)
+        deps = DependenceGraph(block)
+        units = [GroupNode.of_statement(s) for s in block]
+        grouping = BasicGrouping(
+            units, deps, machine.datapath_bits, decl_of
+        )
+        print(f"{len(grouping.candidates)} candidate groups:")
+        for index, candidate in enumerate(grouping.candidates):
+            sids = "{" + ", ".join(
+                f"S{s}" for s in sorted(candidate.sid_set)
+            ) + "}"
+            print(
+                f"  {sids:14s} weight {str(grouping.weight(index)):>6s}"
+                f"  score {str(grouping.score(index)):>8s}"
+                f"  adjacency {grouping.adjacency[index]}"
+            )
+        final_units, traces = iterative_grouping(
+            block, deps, machine.datapath_bits, decl_of
+        )
+        print("decisions:")
+        for round_index, trace in enumerate(traces):
+            for candidate, weight in trace.decisions:
+                sids = "{" + ", ".join(
+                    f"S{s}" for s in sorted(candidate.sid_set)
+                ) + "}"
+                print(
+                    f"  round {round_index}: {sids:14s} weight {weight}"
+                )
+        groups = [u for u in final_units if u.size > 1]
+        singles = [u for u in final_units if u.size == 1]
+        print(
+            f"result: {len(groups)} superword statements, "
+            f"{len(singles)} scalar statements\n"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine, args.datapath)
+    rows = []
+    baseline = None
+    base_memory = None
+    for variant in Variant:
+        program = _read_program(args.file)
+        result = compile_program(program, variant, machine)
+        report, memory = Simulator(result.machine).run(result.plan)
+        if variant is Variant.SCALAR:
+            baseline = report
+            base_memory = memory
+        assert baseline is not None and base_memory is not None
+        rows.append(
+            (
+                variant.value,
+                f"{report.cycles:.0f}",
+                percent(reduction(baseline.cycles, report.cycles)),
+                str(report.pack_unpack_ops),
+                "ok" if memory.state_equal(base_memory) else "MISMATCH",
+            )
+        )
+    print(
+        ascii_table(
+            ("variant", "cycles", "vs scalar", "pack/unpack", "semantics"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine, args.datapath)
+    results = run_suite(machine, n=args.n)
+    rows = []
+    for result in sorted(
+        results.values(),
+        key=lambda r: r.time_reduction(Variant.GLOBAL),
+    ):
+        rows.append(
+            (
+                result.kernel.name,
+                percent(result.time_reduction(Variant.NATIVE)),
+                percent(result.time_reduction(Variant.SLP)),
+                percent(result.time_reduction(Variant.GLOBAL)),
+                percent(result.time_reduction(Variant.GLOBAL_LAYOUT)),
+            )
+        )
+    print(
+        ascii_table(
+            ("benchmark", "Native", "SLP", "Global", "Global+Layout"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_kernels(_args: argparse.Namespace) -> int:
+    rows = [(k.suite, k.name, k.description) for k in ALL_KERNELS]
+    print(ascii_table(("suite", "benchmark", "description"), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Holistic SLP: the PLDI 2012 framework, end to end.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--machine", choices=sorted(MACHINES), default="intel"
+        )
+        p.add_argument(
+            "--datapath", type=int, default=None,
+            help="SIMD width in bits (default: the machine's)",
+        )
+
+    p_compile = sub.add_parser("compile", help="compile one DSL file")
+    p_compile.add_argument("file")
+    p_compile.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="global"
+    )
+    p_compile.add_argument("--emit-schedule", action="store_true")
+    p_compile.add_argument("--emit-plan", action="store_true")
+    p_compile.add_argument(
+        "--run", action="store_true", help="simulate and print the report"
+    )
+    common(p_compile)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_compare = sub.add_parser(
+        "compare", help="all variants on one DSL file"
+    )
+    p_compare.add_argument("file")
+    common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_explain = sub.add_parser(
+        "explain", help="show the grouping decisions for one DSL file"
+    )
+    p_explain.add_argument("file")
+    common(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_bench = sub.add_parser("bench", help="run the Table 3 suite")
+    p_bench.add_argument("--n", type=int, default=64)
+    common(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_kernels = sub.add_parser("kernels", help="list the benchmarks")
+    p_kernels.set_defaults(func=cmd_kernels)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,409 @@
+"""The compiler framework driver — Figure 3 end to end.
+
+``compile_program`` takes a source :class:`Program` and a variant name
+and produces an :class:`ExecutablePlan` for the virtual SIMD machine:
+
+* ``Variant.SCALAR`` — no SLP; the baseline every figure normalizes to.
+* ``Variant.NATIVE`` — the conservative built-in-vectorizer model.
+* ``Variant.SLP`` — Larsen & Amarasinghe's greedy algorithm.
+* ``Variant.GLOBAL`` — the paper's holistic superword statement
+  generation (global grouping + reuse-driven scheduling).
+* ``Variant.GLOBAL_LAYOUT`` — Global plus the data layout stage
+  (Section 5).
+
+Pre-processing (loop unrolling + alignment analysis) is shared by every
+non-scalar variant, exactly as in the paper's experimental setup ("both
+the implementations use exactly the same pre-processing steps"). A cost
+model gates each basic block: when the estimated vector cost is not
+better than scalar, the block is left scalar (end of Section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .analysis import DependenceGraph
+from .ir import BasicBlock, Loop, Program
+from .layout import (
+    ArrayLayoutPlan,
+    LoopContext,
+    apply_array_layout,
+    default_scalar_layout,
+    optimized_scalar_layout,
+    plan_array_layout,
+)
+from .layout.scalar import ScalarArena
+from .slp import (
+    PenaltyContext,
+    Schedule,
+    ScheduledSingle,
+    greedy_slp_schedule,
+    holistic_slp_schedule,
+    native_schedule,
+)
+from .transform import unroll_program
+from .vm import (
+    CompiledCopy,
+    CompiledLoop,
+    CompiledStraight,
+    ExecutablePlan,
+    LoopSpec,
+    MachineModel,
+    VectorCodegen,
+    compile_scalar_block,
+)
+
+
+class Variant(enum.Enum):
+    SCALAR = "scalar"
+    NATIVE = "native"
+    SLP = "slp"
+    GLOBAL = "global"
+    GLOBAL_LAYOUT = "global+layout"
+
+    @property
+    def uses_layout(self) -> bool:
+        return self is Variant.GLOBAL_LAYOUT
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs; defaults reproduce the paper's configuration."""
+
+    datapath_bits: Optional[int] = None   # None: the machine's width
+    unroll: bool = True
+    unroll_factor: Optional[int] = None   # None: fill the datapath
+    cost_gate: bool = True
+    layout_budget_elements: int = 1 << 20
+    layout_amortization: float = 16.0
+    #: Extension (off in the paper's configuration): peel leading loop
+    #: iterations so the dominant memory streams start superword-aligned.
+    peel_for_alignment: bool = False
+    #: Ablation knobs. ``indirect_reuse`` overrides the variant default
+    #: (holistic variants shuffle, greedy baselines re-gather);
+    #: ``decision_mode`` selects "cost-aware" (default) or the
+    #: paper-literal "weight-only" grouping ranking.
+    indirect_reuse: Optional[bool] = None
+    decision_mode: str = "cost-aware"
+
+
+@dataclass
+class CompileStats:
+    """What the compiler did — inputs to several figures."""
+
+    blocks_total: int = 0
+    blocks_vectorized: int = 0
+    superword_statements: int = 0
+    grouped_statements: int = 0
+    total_statements: int = 0
+    replications: int = 0
+    compile_seconds: float = 0.0
+
+    @property
+    def grouped_fraction(self) -> float:
+        if not self.total_statements:
+            return 0.0
+        return self.grouped_statements / self.total_statements
+
+
+@dataclass
+class CompileResult:
+    plan: ExecutablePlan
+    variant: Variant
+    machine: MachineModel
+    stats: CompileStats
+    schedules: List[Schedule] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+
+
+def scalar_schedule(block: BasicBlock) -> Schedule:
+    """An all-singles schedule — what the cost gate falls back to and a
+    convenient baseline for tests and tools."""
+    schedule = Schedule(block)
+    schedule.items = [ScheduledSingle(s) for s in block]
+    return schedule
+
+
+def _schedule_block(
+    block: BasicBlock,
+    variant: Variant,
+    program: Program,
+    datapath_bits: int,
+    decision_mode: str = "cost-aware",
+) -> Schedule:
+    deps = DependenceGraph(block)
+    decl_of = lambda name: program.arrays[name]  # noqa: E731
+    if variant is Variant.NATIVE:
+        return native_schedule(block, deps, decl_of, datapath_bits)
+    if variant is Variant.SLP:
+        return greedy_slp_schedule(block, deps, decl_of, datapath_bits)
+    if variant.uses_layout:
+        # Phase coupling: the layout stage can turn read-only strided
+        # gathers and scattered scalar superwords into contiguous
+        # accesses, so grouping should not shy away from them.
+        from .layout import written_arrays
+
+        replicable = frozenset(program.arrays) - written_arrays(program)
+        penalty_context = PenaltyContext(replicable)
+    else:
+        # Plain Global will emit code against the default scalar arena:
+        # tell the grouping cost model which scalar packs come out
+        # contiguous under it.
+        penalty_context = PenaltyContext(
+            scalar_slots=PenaltyContext.from_arenas(
+                default_scalar_layout(program)
+            )
+        )
+    return holistic_slp_schedule(
+        block, deps, datapath_bits, decl_of, penalty_context, decision_mode
+    )
+
+
+def _loop_chain(loop: Loop) -> List[Loop]:
+    chain = [loop]
+    while chain[-1].inner is not None:
+        chain.append(chain[-1].inner)
+    return chain
+
+
+def _spec(loop: Loop) -> LoopSpec:
+    return LoopSpec(loop.index, loop.start, loop.stop, loop.step)
+
+
+def compile_program(
+    program: Program,
+    variant: Variant,
+    machine: MachineModel,
+    options: Optional[CompilerOptions] = None,
+) -> CompileResult:
+    """Run the full framework on a program for one variant."""
+    options = options or CompilerOptions()
+    datapath = options.datapath_bits or machine.datapath_bits
+    machine = machine.with_datapath(datapath)
+    started = time.perf_counter()
+    stats = CompileStats()
+
+    if variant is Variant.SCALAR:
+        plan = _compile_all_scalar(program)
+        stats.blocks_total = sum(1 for _ in program.blocks())
+        stats.total_statements = sum(len(b) for b in program.blocks())
+        stats.compile_seconds = time.perf_counter() - started
+        return CompileResult(plan, variant, machine, stats)
+
+    pre = program
+    if options.peel_for_alignment:
+        from .transform import choose_unroll_factor, peel_program
+
+        pre, _peeled = peel_program(
+            pre, lambda loop: choose_unroll_factor(loop, datapath)
+        )
+    if options.unroll:
+        pre = unroll_program(pre, datapath, options.unroll_factor)
+
+    # Phase 1: superword statement generation per optimizable block.
+    scheduled: List[Tuple[object, Optional[Schedule], Optional[LoopContext]]] = []
+    for item in pre.body:
+        if isinstance(item, BasicBlock):
+            schedule = _schedule_block(
+                item, variant, pre, datapath, options.decision_mode
+            )
+            scheduled.append((item, schedule, None))
+        else:
+            chain = _loop_chain(item)
+            innermost = chain[-1]
+            schedule = _schedule_block(
+                innermost.body, variant, pre, datapath, options.decision_mode
+            )
+            ctx = LoopContext(
+                innermost.index,
+                innermost.start,
+                innermost.stop,
+                innermost.step,
+            )
+            scheduled.append((item, schedule, ctx))
+
+    # Phase 2 (Global+Layout only): data layout optimization.
+    arenas = default_scalar_layout(pre)
+    layout_plans: Dict[int, ArrayLayoutPlan] = {}
+    if variant.uses_layout:
+        schedules_only = [s for _, s, _ in scheduled if s is not None]
+        candidate_arenas = optimized_scalar_layout(pre, schedules_only)
+        arenas = candidate_arenas
+        budget = options.layout_budget_elements
+        for index, (item, schedule, ctx) in enumerate(scheduled):
+            if schedule is None or ctx is None:
+                continue
+            plan = plan_array_layout(pre, schedule, ctx, budget)
+            if not plan.replications:
+                continue
+            budget -= plan.total_elements
+            for replication in plan.replications:
+                pre.declare_array(
+                    replication.new_name,
+                    (replication.elements,),
+                    pre.arrays[replication.source].type,
+                )
+            layout_plans[index] = plan
+
+    # Phase 3: code generation with the per-block cost gate.
+    result_plan = ExecutablePlan(pre, arenas)
+    used_schedules: List[Schedule] = []
+    for index, (item, schedule, ctx) in enumerate(scheduled):
+        layout_plan = layout_plans.get(index)
+        unit, copies, used_schedule = _emit_item(
+            item, schedule, ctx, layout_plan, pre, machine, arenas,
+            options, stats, variant,
+        )
+        for copy in copies:
+            # Replicated arrays are declared in `pre`, so the plan's
+            # memory image allocates them like any other array; the copy
+            # unit fills them before the kernel runs.
+            result_plan.units.append(copy)
+        result_plan.units.append(unit)
+        if used_schedule is not None:
+            used_schedules.append(used_schedule)
+            stats.superword_statements += sum(
+                1 for _ in used_schedule.superwords()
+            )
+            stats.grouped_statements += sum(
+                sw.size for sw in used_schedule.superwords()
+            )
+    stats.blocks_total = len(scheduled)
+    stats.total_statements = sum(
+        len(s.block) for _, s, _ in scheduled if s is not None
+    )
+    stats.compile_seconds = time.perf_counter() - started
+
+    result = CompileResult(result_plan, variant, machine, stats)
+    result.schedules = used_schedules
+    return result
+
+
+def _compile_all_scalar(program: Program) -> ExecutablePlan:
+    plan = ExecutablePlan(program, default_scalar_layout(program))
+    for item in program.body:
+        if isinstance(item, BasicBlock):
+            plan.units.append(
+                CompiledStraight(compile_scalar_block(item, program))
+            )
+        else:
+            plan.units.append(_scalar_loop(item, program))
+    return plan
+
+
+def _scalar_loop(loop: Loop, program: Program) -> CompiledLoop:
+    compiled = CompiledLoop(
+        _spec(loop), body=compile_scalar_block(loop.body, program)
+    )
+    if loop.inner is not None:
+        compiled.inner = _scalar_loop(loop.inner, program)
+    return compiled
+
+
+def _emit_item(
+    item,
+    schedule: Optional[Schedule],
+    ctx: Optional[LoopContext],
+    layout_plan: Optional[ArrayLayoutPlan],
+    program: Program,
+    machine: MachineModel,
+    arenas: Dict[str, ScalarArena],
+    options: CompilerOptions,
+    stats: CompileStats,
+    variant: Variant,
+):
+    """Compile one top-level item; returns (unit, copies, schedule_used)."""
+    copies: List[CompiledCopy] = []
+    # Section 4.3: only the holistic framework exploits indirect
+    # (register-permutation) superword reuse; the greedy baselines
+    # re-materialize reordered packs. CompilerOptions.indirect_reuse
+    # overrides for ablations.
+    shuffle_reuse = variant in (Variant.GLOBAL, Variant.GLOBAL_LAYOUT)
+    if options.indirect_reuse is not None:
+        shuffle_reuse = options.indirect_reuse
+
+    if isinstance(item, BasicBlock):
+        assert schedule is not None
+        scalar_instrs = compile_scalar_block(item, program)
+        codegen = VectorCodegen(
+            program, machine, arenas, None,
+            allow_shuffle_reuse=shuffle_reuse,
+        )
+        _pre, body = codegen.compile(schedule)
+        vector_unit = CompiledStraight(_pre + body)
+        scalar_unit = CompiledStraight(scalar_instrs)
+        if options.cost_gate and _unit_cycles(
+            vector_unit, machine
+        ) >= _unit_cycles(scalar_unit, machine):
+            return scalar_unit, copies, None
+        stats.blocks_vectorized += 1
+        return vector_unit, copies, schedule
+
+    # A loop nest: SLP applies to the innermost block; outer-level blocks
+    # are compiled scalar (the workloads keep their work innermost).
+    assert isinstance(item, Loop) and schedule is not None and ctx is not None
+    chain = _loop_chain(item)
+    innermost = chain[-1]
+
+    block = innermost.body
+    used_schedule = schedule
+    if layout_plan is not None and layout_plan.rewrites:
+        block, used_schedule = apply_array_layout(
+            block, schedule, layout_plan
+        )
+        for replication in layout_plan.replications:
+            copies.append(
+                CompiledCopy(replication, options.layout_amortization)
+            )
+
+    codegen = VectorCodegen(
+        program, machine, arenas, innermost.index,
+        allow_shuffle_reuse=shuffle_reuse,
+        loop=_spec(innermost),
+    )
+    preheader, body = codegen.compile(used_schedule)
+    vector_inner = CompiledLoop(_spec(innermost), preheader, body)
+    scalar_inner = CompiledLoop(
+        _spec(innermost), body=compile_scalar_block(innermost.body, program)
+    )
+
+    if options.cost_gate:
+        vector_cost = _unit_cycles(vector_inner, machine) + sum(
+            _copy_cycles(c, machine) for c in copies
+        )
+        if vector_cost >= _unit_cycles(scalar_inner, machine):
+            copies = []
+            vector_inner = scalar_inner
+            used_schedule = None
+        else:
+            stats.blocks_vectorized += 1
+            stats.replications += len(copies)
+    else:
+        stats.blocks_vectorized += 1
+        stats.replications += len(copies)
+
+    unit: CompiledLoop = vector_inner
+    for loop in reversed(chain[:-1]):
+        unit = CompiledLoop(
+            _spec(loop),
+            body=compile_scalar_block(loop.body, program),
+            inner=unit,
+        )
+    return unit, copies, used_schedule
+
+
+def _unit_cycles(unit, machine: MachineModel) -> float:
+    from .vm.codegen import _static_unit_cycles
+
+    return _static_unit_cycles(unit, machine)
+
+
+def _copy_cycles(copy: CompiledCopy, machine: MachineModel) -> float:
+    from .vm.codegen import _static_unit_cycles
+
+    return _static_unit_cycles(copy, machine)

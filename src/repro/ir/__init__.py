@@ -1,0 +1,78 @@
+"""Compiler IR: types, expressions, statements, blocks, loops, programs.
+
+This is the substrate the SLP framework operates on — the moral
+equivalent of the SUIF 2.0 statement lists the paper's implementation
+consumed.
+"""
+
+from .block import ArrayDecl, BasicBlock, Loop, Program, ScalarDecl
+from .builder import (
+    ArrayHandle,
+    BlockBuilder,
+    ExprHandle,
+    LoopIndex,
+    ProgramBuilder,
+    ScalarHandle,
+)
+from .expr import (
+    Affine,
+    ArrayRef,
+    BINARY_OPS,
+    BinOp,
+    Const,
+    Expr,
+    UnOp,
+    UNARY_OPS,
+    Var,
+)
+from .parser import ParseError, parse_block, parse_program
+from .printer import format_block, format_loop, format_program
+from .stmt import Statement
+from .types import (
+    FLOAT32,
+    FLOAT64,
+    INT16,
+    INT32,
+    INT64,
+    INT8,
+    NAMED_TYPES,
+    ScalarType,
+)
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "ArrayHandle",
+    "ArrayRef",
+    "BINARY_OPS",
+    "BasicBlock",
+    "BinOp",
+    "BlockBuilder",
+    "Const",
+    "Expr",
+    "ExprHandle",
+    "FLOAT32",
+    "FLOAT64",
+    "INT16",
+    "INT32",
+    "INT64",
+    "INT8",
+    "Loop",
+    "LoopIndex",
+    "NAMED_TYPES",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "ScalarDecl",
+    "ScalarHandle",
+    "ScalarType",
+    "Statement",
+    "UnOp",
+    "UNARY_OPS",
+    "Var",
+    "format_block",
+    "format_loop",
+    "format_program",
+    "parse_block",
+    "parse_program",
+]

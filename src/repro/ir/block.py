@@ -1,0 +1,192 @@
+"""Basic blocks, loops, and whole programs.
+
+The compiler framework's input is "a set of basic blocks of a program"
+(Section 3); loop-intensive code reaches that form via unrolling
+(``repro.transform.unroll``). A :class:`Program` additionally carries the
+array/scalar declarations the virtual machine needs to execute the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .stmt import Statement
+from .types import ScalarType
+
+
+class BasicBlock:
+    """An ordered sequence of statements with unique sids."""
+
+    def __init__(self, statements: Sequence[Statement] = ()):
+        self.statements: List[Statement] = []
+        for stmt in statements:
+            self.append(stmt)
+
+    def append(self, stmt: Statement) -> None:
+        if any(s.sid == stmt.sid for s in self.statements):
+            raise ValueError(f"duplicate sid {stmt.sid} in basic block")
+        self.statements.append(stmt)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __getitem__(self, sid: int) -> Statement:
+        for stmt in self.statements:
+            if stmt.sid == sid:
+                return stmt
+        raise KeyError(f"no statement with sid {sid}")
+
+    def position(self, sid: int) -> int:
+        """Program order position of a statement (dependence direction)."""
+        for pos, stmt in enumerate(self.statements):
+            if stmt.sid == sid:
+                return pos
+        raise KeyError(f"no statement with sid {sid}")
+
+    def replace_statement(self, stmt: Statement) -> "BasicBlock":
+        """A new block with the same-order statement of that sid swapped."""
+        return BasicBlock(
+            [stmt if s.sid == stmt.sid else s for s in self.statements]
+        )
+
+    def renumbered(self, start: int = 0) -> "BasicBlock":
+        return BasicBlock(
+            [s.with_sid(start + i) for i, s in enumerate(self.statements)]
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)
+
+
+@dataclass
+class Loop:
+    """A counted loop ``for (index = start; index < stop; index += step)``.
+
+    The body is a single basic block plus optional nested loops; the
+    workloads in this reproduction (like the paper's, after SUIF's
+    preprocessing) are perfect or near-perfect affine nests.
+    """
+
+    index: str
+    start: int
+    stop: int
+    step: int
+    body: BasicBlock
+    inner: Optional["Loop"] = None
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("only positive loop steps are supported")
+
+    @property
+    def trip_count(self) -> int:
+        if self.stop <= self.start:
+            return 0
+        return (self.stop - self.start + self.step - 1) // self.step
+
+    def iter_values(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop, self.step))
+
+    def indices(self) -> Tuple[str, ...]:
+        """Loop indices from this (outermost) level inwards."""
+        inner = self.inner.indices() if self.inner else ()
+        return (self.index,) + inner
+
+    def innermost(self) -> "Loop":
+        return self.inner.innermost() if self.inner else self
+
+    def with_body(self, body: BasicBlock) -> "Loop":
+        return replace(self, body=body)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A declared array: name, dimension sizes, element type."""
+
+    name: str
+    shape: Tuple[int, ...]
+    type: ScalarType
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def flatten_index(self, subscript_values: Sequence[int]) -> int:
+        """Row-major flattening; the default layout assumed in Section 5."""
+        if len(subscript_values) != len(self.shape):
+            raise ValueError(
+                f"{self.name} has {len(self.shape)} dims, "
+                f"got {len(subscript_values)} subscripts"
+            )
+        flat = 0
+        for value, dim in zip(subscript_values, self.shape):
+            flat = flat * dim + value
+        return flat
+
+
+@dataclass(frozen=True)
+class ScalarDecl:
+    name: str
+    type: ScalarType
+
+
+class Program:
+    """Declarations plus a body of loops and straight-line blocks."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.arrays: Dict[str, ArrayDecl] = {}
+        self.scalars: Dict[str, ScalarDecl] = {}
+        self.body: List[Union[Loop, BasicBlock]] = []
+
+    def declare_array(
+        self, name: str, shape: Sequence[int], type: ScalarType
+    ) -> ArrayDecl:
+        if name in self.arrays or name in self.scalars:
+            raise ValueError(f"{name!r} is already declared")
+        decl = ArrayDecl(name, tuple(shape), type)
+        self.arrays[name] = decl
+        return decl
+
+    def declare_scalar(self, name: str, type: ScalarType) -> ScalarDecl:
+        if name in self.arrays or name in self.scalars:
+            raise ValueError(f"{name!r} is already declared")
+        decl = ScalarDecl(name, type)
+        self.scalars[name] = decl
+        return decl
+
+    def add(self, item: Union[Loop, BasicBlock]) -> None:
+        self.body.append(item)
+
+    def loops(self) -> Iterator[Loop]:
+        for item in self.body:
+            if isinstance(item, Loop):
+                yield item
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """Every basic block, including loop bodies (innermost first)."""
+        for item in self.body:
+            if isinstance(item, BasicBlock):
+                yield item
+            else:
+                loop: Optional[Loop] = item
+                stack = []
+                while loop is not None:
+                    stack.append(loop)
+                    loop = loop.inner
+                for nested in reversed(stack):
+                    yield nested.body
+
+    def clone_shell(self) -> "Program":
+        """A new program with the same declarations and an empty body."""
+        twin = Program(self.name)
+        twin.arrays = dict(self.arrays)
+        twin.scalars = dict(self.scalars)
+        return twin

@@ -1,0 +1,336 @@
+"""Expression trees and affine index functions for the SLP IR.
+
+Expressions are immutable. Leaves are :class:`Const`, :class:`Var` and
+:class:`ArrayRef`; interior nodes are :class:`BinOp` / :class:`UnOp`.
+Array subscripts are :class:`Affine` functions of enclosing loop indices,
+which is what both the dependence tests (Section 4.1) and the polyhedral
+data layout optimization (Section 5.2, Equation 1: r = Q·i + O) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+from .types import ScalarType
+
+
+# ---------------------------------------------------------------------------
+# Affine index functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Affine:
+    """An affine function ``sum(coeff[v] * v) + const`` of loop indices.
+
+    Ordering is lexicographic on the normalized representation — it has
+    no numeric meaning but makes operand keys (and hence packs) sortable
+    for canonicalization.
+
+    This is one row of the paper's memory access vector
+    ``r = Q·i + O`` (Equation 1): ``coeffs`` holds the row of Q keyed by
+    loop-index name and ``const`` is the corresponding entry of O.
+    """
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(const: int = 0, **coeffs: int) -> "Affine":
+        """Convenience constructor: ``Affine.of(3, i=4)`` is ``4*i + 3``."""
+        return Affine(_norm(coeffs), const)
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "Affine":
+        return Affine.of(0, **{name: coeff})
+
+    @property
+    def coeff_map(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    def coeff(self, index: str) -> int:
+        return self.coeff_map.get(index, 0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Union["Affine", int]) -> "Affine":
+        other = _as_affine(other)
+        merged = self.coeff_map
+        for name, c in other.coeffs:
+            merged[name] = merged.get(name, 0) + c
+        return Affine(_norm(merged), self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(
+            tuple((name, -c) for name, c in self.coeffs), -self.const
+        )
+
+    def __sub__(self, other: Union["Affine", int]) -> "Affine":
+        return self + (-_as_affine(other))
+
+    def __rsub__(self, other: int) -> "Affine":
+        return _as_affine(other) - self
+
+    def __mul__(self, k: int) -> "Affine":
+        if not isinstance(k, int):
+            raise TypeError("Affine functions only scale by integers")
+        if k == 0:
+            return Affine((), 0)
+        return Affine(
+            tuple((name, c * k) for name, c in self.coeffs), self.const * k
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation and substitution ----------------------------------------
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a binding of every referenced loop index."""
+        total = self.const
+        for name, c in self.coeffs:
+            total += c * env[name]
+        return total
+
+    def substitute(self, bindings: Mapping[str, "Affine"]) -> "Affine":
+        """Replace loop indices by affine functions (used by unrolling,
+        where iteration ``k`` of an unrolled loop maps ``i -> u*i + k``)."""
+        result = Affine((), self.const)
+        for name, c in self.coeffs:
+            if name in bindings:
+                result = result + bindings[name] * c
+            else:
+                result = result + Affine.var(name, c)
+        return result
+
+    def __str__(self) -> str:
+        parts = []
+        for name, c in self.coeffs:
+            if c == 1:
+                parts.append(name)
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{c}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+        return out
+
+
+def _norm(coeffs: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted((n, c) for n, c in coeffs.items() if c != 0))
+
+
+def _as_affine(value: Union["Affine", int]) -> Affine:
+    if isinstance(value, Affine):
+        return value
+    if isinstance(value, int):
+        return Affine((), value)
+    raise TypeError(f"cannot coerce {value!r} to Affine")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes (immutable)."""
+
+    type: ScalarType
+
+    # Every subclass defines `children` and a positional reconstruction so
+    # generic traversals (isomorphism, leaf extraction, substitution) stay
+    # in one place.
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def with_children(self, children: Tuple["Expr", ...]) -> "Expr":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def leaves(self) -> Iterator["Expr"]:
+        """Leaf operands in left-to-right (positional) order.
+
+        The position of each leaf is what defines "corresponding
+        positions" for isomorphic statements, and hence which operands
+        land in the same variable pack.
+        """
+        kids = self.children()
+        if not kids:
+            yield self
+            return
+        for kid in kids:
+            yield from kid.leaves()
+
+    def opcode_signature(self) -> Tuple:
+        """Structural signature: operator tree with leaf types.
+
+        Two expressions are isomorphic (paper Section 2: "same operations
+        in corresponding positions ... operands in the corresponding
+        positions should have the same data type") iff their signatures
+        are equal.
+        """
+        kids = self.children()
+        if not kids:
+            return ("leaf", self.type.name)
+        label = getattr(self, "op", type(self).__name__)
+        return (label, self.type.name) + tuple(
+            k.opcode_signature() for k in kids
+        )
+
+    def substitute_indices(self, bindings: Mapping[str, Affine]) -> "Expr":
+        """Rewrite affine loop indices inside every array subscript."""
+        kids = self.children()
+        if kids:
+            return self.with_children(
+                tuple(k.substitute_indices(bindings) for k in kids)
+            )
+        return self
+
+    def count_ops(self) -> int:
+        """Number of interior (arithmetic) nodes."""
+        kids = self.children()
+        return (1 if kids else 0) + sum(k.count_ops() for k in kids)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant occupying one lane."""
+
+    value: float
+    type: ScalarType
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable."""
+
+    name: str
+    type: ScalarType
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """A (possibly multi-dimensional) array element with affine subscripts."""
+
+    array: str
+    subscripts: Tuple[Affine, ...]
+    type: ScalarType
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def substitute_indices(self, bindings: Mapping[str, Affine]) -> "ArrayRef":
+        return ArrayRef(
+            self.array,
+            tuple(s.substitute(bindings) for s in self.subscripts),
+            self.type,
+        )
+
+    def __str__(self) -> str:
+        subs = "][".join(str(s) for s in self.subscripts)
+        return f"{self.array}[{subs}]"
+
+
+#: Default relative cost of each operator, shared by the machine models
+#: and the grouping profitability estimate (one unit = a simple ALU op).
+OP_WEIGHTS = {
+    "+": 1.0,
+    "-": 1.0,
+    "*": 2.0,
+    "/": 10.0,
+    "min": 1.0,
+    "max": 1.0,
+    "neg": 1.0,
+    "abs": 1.0,
+    "sqrt": 12.0,
+}
+
+#: Binary operators the IR supports, with commutativity for reuse analysis.
+BINARY_OPS = {
+    "+": True,
+    "-": False,
+    "*": True,
+    "/": False,
+    "min": True,
+    "max": True,
+}
+
+UNARY_OPS = ("neg", "abs", "sqrt")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+        if self.left.type != self.right.type:
+            raise TypeError(
+                f"operand type mismatch in {self.op!r}: "
+                f"{self.left.type} vs {self.right.type}"
+            )
+
+    @property
+    def type(self) -> ScalarType:  # type: ignore[override]
+        return self.left.type
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple[Expr, ...]) -> "BinOp":
+        left, right = children
+        return BinOp(self.op, left, right)
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    @property
+    def type(self) -> ScalarType:  # type: ignore[override]
+        return self.operand.type
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Tuple[Expr, ...]) -> "UnOp":
+        (operand,) = children
+        return UnOp(self.op, operand)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"

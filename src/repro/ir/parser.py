@@ -1,0 +1,358 @@
+"""A tiny C-like front end for writing kernels as text.
+
+The dialect covers exactly what the paper's examples need: global array
+and scalar declarations, counted ``for`` loops, and assignment statements
+over ``+ - * /``, ``min``/``max``/``sqrt``/``abs``, scalars, constants,
+and affine array references::
+
+    float A[1024]; float B[1024];
+    float a, b;
+    for (i = 0; i < 256; i += 1) {
+        a = A[4*i];
+        b = A[4*i + 3];
+        B[2*i] = a * b;
+    }
+
+``parse_program`` returns a :class:`repro.ir.block.Program`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from .block import BasicBlock, Loop, Program
+from .expr import Affine, ArrayRef, BinOp, Const, Expr, UnOp, Var
+from .stmt import Statement
+from .types import NAMED_TYPES, ScalarType
+
+
+class ParseError(ValueError):
+    """Raised on malformed DSL input, with token position context."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_]\w*)"
+    r"|(?P<op>\+=|<=|>=|==|[-+*/=;,<>(){}\[\]])"
+    r"|(?P<comment>//[^\n]*|/\*.*?\*/)"
+    r")",
+    re.DOTALL,
+)
+
+
+def _tokenize(src: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(src):
+        match = _TOKEN_RE.match(src, pos)
+        if match is None:
+            if src[pos:].strip():
+                raise ParseError(f"unexpected character {src[pos]!r} at {pos}")
+            break
+        pos = match.end()
+        if match.lastgroup == "comment":
+            continue
+        kind = match.lastgroup
+        if kind is not None:
+            tokens.append((kind, match.group(kind)))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# A parsed operand is either a fully-typed Expr or a raw Python number
+# whose type is decided by the first typed operand it meets.
+Pending = Union[Expr, float, int]
+
+
+class _Parser:
+    def __init__(self, src: str):
+        self.tokens = _tokenize(src)
+        self.pos = 0
+        self.program = Program()
+        self.loop_indices: List[str] = []
+        self._sid = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        kind, value = self.next()
+        if value != text:
+            raise ParseError(f"expected {text!r}, found {value!r}")
+
+    def accept(self, text: str) -> bool:
+        if self.peek()[1] == text:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Program:
+        while self.peek()[0] != "eof":
+            kind, value = self.peek()
+            if value in NAMED_TYPES:
+                self._declaration()
+            elif value == "for":
+                loop = self._loop()
+                self.program.add(loop)
+            else:
+                self._flush_stmt_into_top()
+        return self.program
+
+    def _flush_stmt_into_top(self) -> None:
+        block = BasicBlock()
+        while self.peek()[0] != "eof" and self.peek()[1] not in NAMED_TYPES \
+                and self.peek()[1] != "for":
+            block.append(self._statement(len(block)))
+        if len(block):
+            self.program.add(block)
+
+    def _declaration(self) -> None:
+        _, type_name = self.next()
+        elem = NAMED_TYPES[type_name]
+        while True:
+            kind, name = self.next()
+            if kind != "ident":
+                raise ParseError(f"expected identifier, found {name!r}")
+            if self.peek()[1] == "[":
+                shape: List[int] = []
+                while self.accept("["):
+                    kind, dim = self.next()
+                    if kind != "num":
+                        raise ParseError("array dimensions must be literals")
+                    shape.append(int(dim))
+                    self.expect("]")
+                self.program.declare_array(name, tuple(shape), elem)
+            else:
+                self.program.declare_scalar(name, elem)
+            if self.accept(","):
+                continue
+            self.expect(";")
+            break
+
+    def _loop(self) -> Loop:
+        self.expect("for")
+        self.expect("(")
+        _, index = self.next()
+        self.expect("=")
+        start = self._int_literal()
+        self.expect(";")
+        _, index2 = self.next()
+        if index2 != index:
+            raise ParseError(f"loop condition tests {index2!r}, not {index!r}")
+        self.expect("<")
+        stop = self._int_literal()
+        self.expect(";")
+        _, index3 = self.next()
+        if index3 != index:
+            raise ParseError(f"loop increment steps {index3!r}, not {index!r}")
+        self.expect("+=")
+        step = self._int_literal()
+        self.expect(")")
+        self.expect("{")
+        self.loop_indices.append(index)
+        body = BasicBlock()
+        inner: Optional[Loop] = None
+        while not self.accept("}"):
+            if self.peek()[1] == "for":
+                if inner is not None:
+                    raise ParseError(
+                        "a loop body may contain at most one nested loop"
+                    )
+                inner = self._loop()
+            else:
+                body.append(self._statement(len(body)))
+        self.loop_indices.pop()
+        return Loop(index, start, stop, step, body, inner=inner)
+
+    def _int_literal(self) -> int:
+        negative = self.accept("-")
+        kind, value = self.next()
+        if kind != "num" or "." in value:
+            raise ParseError(f"expected integer literal, found {value!r}")
+        return -int(value) if negative else int(value)
+
+    def _statement(self, sid: int) -> Statement:
+        kind, name = self.next()
+        if kind != "ident":
+            raise ParseError(f"expected assignment target, found {name!r}")
+        target: Union[Var, ArrayRef]
+        if name in self.program.arrays:
+            target = self._array_ref(name)
+        elif name in self.program.scalars:
+            target = Var(name, self.program.scalars[name].type)
+        else:
+            raise ParseError(f"assignment to undeclared variable {name!r}")
+        self.expect("=")
+        value = self._expr()
+        self.expect(";")
+        expr = _coerce(value, target.type)
+        return Statement(sid, target, expr)
+
+    def _array_ref(self, name: str) -> ArrayRef:
+        decl = self.program.arrays[name]
+        subscripts: List[Affine] = []
+        while self.accept("["):
+            subscripts.append(self._affine())
+            self.expect("]")
+        if len(subscripts) != len(decl.shape):
+            raise ParseError(
+                f"{name} expects {len(decl.shape)} subscripts, "
+                f"got {len(subscripts)}"
+            )
+        return ArrayRef(name, tuple(subscripts), decl.type)
+
+    # Affine subscript grammar: sums/differences of INT, index, INT*index.
+    def _affine(self) -> Affine:
+        total = self._affine_term()
+        while self.peek()[1] in ("+", "-"):
+            _, op = self.next()
+            term = self._affine_term()
+            total = total + term if op == "+" else total - term
+        return total
+
+    def _affine_term(self) -> Affine:
+        negative = self.accept("-")
+        kind, value = self.next()
+        if kind == "num":
+            if "." in value:
+                raise ParseError("array subscripts must be integral")
+            scale = int(value)
+            if self.accept("*"):
+                kind, index = self.next()
+                if kind != "ident":
+                    raise ParseError("expected loop index after '*'")
+                term = Affine.var(self._check_index(index), scale)
+            else:
+                term = Affine((), scale)
+        elif kind == "ident":
+            if self.accept("*"):
+                scale = self._int_literal()
+                term = Affine.var(self._check_index(value), scale)
+            else:
+                term = Affine.var(self._check_index(value))
+        elif value == "(":
+            term = self._affine()
+            self.expect(")")
+        else:
+            raise ParseError(f"unexpected {value!r} in array subscript")
+        return -term if negative else term
+
+    def _check_index(self, name: str) -> str:
+        if name not in self.loop_indices:
+            raise ParseError(
+                f"{name!r} used as a subscript index but is not an "
+                "enclosing loop index"
+            )
+        return name
+
+    # Expression grammar with ordinary precedence.
+    def _expr(self) -> Pending:
+        value = self._term()
+        while self.peek()[1] in ("+", "-"):
+            _, op = self.next()
+            value = _combine(op, value, self._term())
+        return value
+
+    def _term(self) -> Pending:
+        value = self._factor()
+        while self.peek()[1] in ("*", "/"):
+            _, op = self.next()
+            value = _combine(op, value, self._factor())
+        return value
+
+    def _factor(self) -> Pending:
+        kind, value = self.peek()
+        if value == "(":
+            self.next()
+            inner = self._expr()
+            self.expect(")")
+            return inner
+        if value == "-":
+            self.next()
+            operand = self._factor()
+            if isinstance(operand, Expr):
+                return UnOp("neg", operand)
+            return -operand
+        if kind == "num":
+            self.next()
+            return float(value) if "." in value else int(value)
+        if kind == "ident":
+            self.next()
+            if value in ("min", "max", "sqrt", "abs"):
+                return self._call(value)
+            if value in self.program.arrays:
+                return self._array_ref(value)
+            if value in self.program.scalars:
+                return Var(value, self.program.scalars[value].type)
+            raise ParseError(f"undeclared identifier {value!r}")
+        raise ParseError(f"unexpected {value!r} in expression")
+
+    def _call(self, fn: str) -> Pending:
+        self.expect("(")
+        first = self._expr()
+        if fn in ("min", "max"):
+            self.expect(",")
+            second = self._expr()
+            self.expect(")")
+            return _combine(fn, first, second)
+        self.expect(")")
+        if not isinstance(first, Expr):
+            raise ParseError(f"{fn}() of a bare literal is not supported")
+        return UnOp(fn, first)
+
+
+def _coerce(value: Pending, elem: ScalarType) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(value, elem)
+
+
+def _combine(op: str, left: Pending, right: Pending) -> Pending:
+    if not isinstance(left, Expr) and not isinstance(right, Expr):
+        # Constant fold untyped literals.
+        folds = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+            "min": min,
+            "max": max,
+        }
+        return folds[op](left, right)
+    if isinstance(left, Expr) and not isinstance(right, Expr):
+        right = Const(right, left.type)
+    elif isinstance(right, Expr) and not isinstance(left, Expr):
+        left = Const(left, right.type)
+    assert isinstance(left, Expr) and isinstance(right, Expr)
+    return BinOp(op, left, right)
+
+
+def parse_program(src: str) -> Program:
+    """Parse DSL text into a :class:`Program`."""
+    return _Parser(src).parse()
+
+
+def parse_block(src: str, declarations: str = "") -> BasicBlock:
+    """Parse a straight-line statement sequence into one basic block.
+
+    ``declarations`` supplies the array/scalar declarations the statements
+    reference. Convenient for tests working at the basic-block level.
+    """
+    program = parse_program(declarations + "\n" + src)
+    blocks = [item for item in program.body if isinstance(item, BasicBlock)]
+    if len(blocks) != 1:
+        raise ParseError(
+            f"expected exactly one straight-line block, found {len(blocks)}"
+        )
+    return blocks[0]

@@ -1,0 +1,43 @@
+"""Pretty-printing of IR to C-like source (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock, Loop, Program
+
+
+def format_block(block: BasicBlock, indent: int = 0) -> str:
+    pad = "    " * indent
+    return "\n".join(f"{pad}{stmt.target} = {stmt.expr};" for stmt in block)
+
+
+def format_loop(loop: Loop, indent: int = 0) -> str:
+    pad = "    " * indent
+    lines: List[str] = [
+        f"{pad}for ({loop.index} = {loop.start}; "
+        f"{loop.index} < {loop.stop}; {loop.index} += {loop.step}) {{"
+    ]
+    if len(loop.body):
+        lines.append(format_block(loop.body, indent + 1))
+    if loop.inner is not None:
+        lines.append(format_loop(loop.inner, indent + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    lines: List[str] = []
+    for decl in program.arrays.values():
+        dims = "".join(f"[{d}]" for d in decl.shape)
+        lines.append(f"{decl.type} {decl.name}{dims};")
+    for decl in program.scalars.values():
+        lines.append(f"{decl.type} {decl.name};")
+    if lines:
+        lines.append("")
+    for item in program.body:
+        if isinstance(item, Loop):
+            lines.append(format_loop(item))
+        else:
+            lines.append(format_block(item))
+    return "\n".join(lines) + "\n"

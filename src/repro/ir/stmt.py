@@ -1,0 +1,97 @@
+"""Assignment statements — the unit the SLP optimizer groups and schedules.
+
+A basic block is a sequence ``S = <S1, ..., Sn>`` of statements
+(Section 4.1); each statement assigns an expression to a scalar variable
+or array element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Tuple, Union
+
+from .expr import Affine, ArrayRef, Const, Expr, Var
+
+Target = Union[Var, ArrayRef]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One scalar assignment ``target = expr``.
+
+    ``sid`` is the statement's identity within its basic block; grouping
+    and scheduling decisions refer to statements by sid so that rewrites
+    (e.g. data layout substitution) can replace the expression while the
+    decisions remain valid.
+    """
+
+    sid: int
+    target: Target
+    expr: Expr
+
+    # -- operand views -------------------------------------------------------
+
+    def uses(self) -> Tuple[Expr, ...]:
+        """Leaf operands read by this statement, in positional order.
+
+        The subscript of an array *target* also reads its loop indices,
+        but indices are not packable operands, so they are not included.
+        """
+        return tuple(
+            leaf for leaf in self.expr.leaves() if not isinstance(leaf, Const)
+        )
+
+    def defs(self) -> Target:
+        return self.target
+
+    def operand_positions(self) -> Tuple[Expr, ...]:
+        """All pack positions: the target followed by every RHS leaf.
+
+        Position 0 is the destination superword; positions 1..k are the
+        source superwords. Corresponding positions across the statements
+        of a candidate group form the group's variable packs (Section
+        4.2.1).
+        """
+        return (self.target,) + tuple(self.expr.leaves())
+
+    def isomorphism_signature(self) -> Tuple:
+        """Signature equal across statements that may share a superword
+        statement (validity constraint 3)."""
+        target_kind = (
+            ("var", self.target.type.name)
+            if isinstance(self.target, Var)
+            else ("ref", self.target.type.name)
+        )
+        return (target_kind, self.expr.opcode_signature())
+
+    def is_isomorphic_to(self, other: "Statement") -> bool:
+        return self.isomorphism_signature() == other.isomorphism_signature()
+
+    # -- rewriting ------------------------------------------------------------
+
+    def substitute_indices(
+        self, bindings: Mapping[str, Affine]
+    ) -> "Statement":
+        target = self.target
+        if isinstance(target, ArrayRef):
+            target = target.substitute_indices(bindings)
+        return Statement(
+            self.sid, target, self.expr.substitute_indices(bindings)
+        )
+
+    def with_sid(self, sid: int) -> "Statement":
+        return Statement(sid, self.target, self.expr)
+
+    def array_refs(self) -> Iterator[ArrayRef]:
+        """Every array reference, including the target if it is one."""
+        if isinstance(self.target, ArrayRef):
+            yield self.target
+        for leaf in self.expr.leaves():
+            if isinstance(leaf, ArrayRef):
+                yield leaf
+
+    def count_ops(self) -> int:
+        return self.expr.count_ops()
+
+    def __str__(self) -> str:
+        return f"S{self.sid}: {self.target} = {self.expr};"

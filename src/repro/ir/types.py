@@ -1,0 +1,62 @@
+"""Scalar element types for the SLP IR.
+
+The paper's framework packs operands of the *same data type* into
+superwords (validity constraint 3 in Section 4.1), and the number of lanes
+a superword holds is ``datapath_bits // element_bits`` (constraint 4).
+These small value types carry exactly the information those checks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """An element type that can occupy one lane of a superword.
+
+    Attributes:
+        name: canonical C-like spelling, e.g. ``"float"``.
+        bits: storage width in bits.
+        is_float: whether arithmetic on it is floating point.
+    """
+
+    name: str
+    bits: int
+    is_float: bool
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    def lanes(self, datapath_bits: int) -> int:
+        """Number of elements of this type a datapath-wide superword holds."""
+        if datapath_bits % self.bits:
+            raise ValueError(
+                f"datapath of {datapath_bits} bits is not a multiple of "
+                f"{self.name} ({self.bits} bits)"
+            )
+        return datapath_bits // self.bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT8 = ScalarType("int8", 8, is_float=False)
+INT16 = ScalarType("int16", 16, is_float=False)
+INT32 = ScalarType("int32", 32, is_float=False)
+INT64 = ScalarType("int64", 64, is_float=False)
+FLOAT32 = ScalarType("float", 32, is_float=True)
+FLOAT64 = ScalarType("double", 64, is_float=True)
+
+#: Types the tiny DSL front end understands, keyed by source spelling.
+NAMED_TYPES = {
+    "int8": INT8,
+    "int16": INT16,
+    "int": INT32,
+    "int32": INT32,
+    "int64": INT64,
+    "long": INT64,
+    "float": FLOAT32,
+    "double": FLOAT64,
+}

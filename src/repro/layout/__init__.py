@@ -1,0 +1,47 @@
+"""Data layout optimization — the second stage of the framework
+(Section 5): scalar superword offset assignment and array-reference
+superword transformation/replication."""
+
+from .array import (
+    ArrayLayoutPlan,
+    ArrayReplication,
+    LoopContext,
+    apply_array_layout,
+    plan_array_layout,
+    written_arrays,
+)
+from .polyhedral import (
+    StridedMapping,
+    map_index_1d,
+    map_index_2d,
+    map_index_general,
+    transform_access,
+    transformation_matrix,
+)
+from .scalar import (
+    ScalarArena,
+    default_scalar_layout,
+    optimized_scalar_layout,
+    pack_is_contiguous,
+    scalar_packs_of,
+)
+
+__all__ = [
+    "ArrayLayoutPlan",
+    "ArrayReplication",
+    "LoopContext",
+    "ScalarArena",
+    "StridedMapping",
+    "apply_array_layout",
+    "default_scalar_layout",
+    "map_index_1d",
+    "map_index_2d",
+    "map_index_general",
+    "optimized_scalar_layout",
+    "pack_is_contiguous",
+    "plan_array_layout",
+    "scalar_packs_of",
+    "transform_access",
+    "transformation_matrix",
+    "written_arrays",
+]

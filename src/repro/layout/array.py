@@ -1,0 +1,264 @@
+"""Data layout optimization for array-reference superwords (Section 5.2,
+Figure 12 lines 23–39).
+
+For a source superword ``<A[g_0(i)], ..., A[g_{L-1}(i)]>`` of read-only
+references inside an affine loop, the pass materializes a fresh array
+``B`` with ``B[L·j + k] = A[g_k(i_j)]`` (iteration ``j``, lane ``k``) and
+rewrites the references to ``B[q·i + c_k]`` — a contiguous, aligned,
+stride-``L`` access that packs with a single wide load. This is the
+flattened realization of Equations 4–8 (the polyhedral forms live in
+:mod:`repro.layout.polyhedral` and the tests check they agree).
+
+Constraints (as in the paper): intra-array packs, read-only references,
+affine subscripts of the innermost loop index, and enough memory for the
+replicated data — packs violating any of them are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.alignment import flat_affine
+from ..ir import (
+    Affine,
+    ArrayRef,
+    BasicBlock,
+    Expr,
+    Program,
+    Statement,
+)
+from ..slp.model import (
+    Schedule,
+    ScheduledSingle,
+    SuperwordStatement,
+)
+
+
+@dataclass(frozen=True)
+class LoopContext:
+    """The innermost loop enclosing the block being optimized."""
+
+    index: str
+    start: int
+    stop: int
+    step: int
+
+    @property
+    def trip_count(self) -> int:
+        if self.stop <= self.start:
+            return 0
+        return (self.stop - self.start + self.step - 1) // self.step
+
+
+@dataclass(frozen=True)
+class ArrayReplication:
+    """One planned replication: the copy loop the runtime must execute
+    before the kernel loop, and the shape of the new array."""
+
+    new_name: str
+    source: str
+    lane_flats: Tuple[Affine, ...]  # flat source index per lane, in i
+    loop: LoopContext
+    q: int                          # new-subscript coefficient L // step
+
+    @property
+    def lanes(self) -> int:
+        return len(self.lane_flats)
+
+    @property
+    def elements(self) -> int:
+        return self.lanes * self.loop.trip_count
+
+    def new_subscript(self, lane: int) -> Affine:
+        """``B``'s subscript for lane ``k``: ``q·i + (k - q·start)``."""
+        return Affine.var(self.loop.index, self.q) + (
+            lane - self.q * self.loop.start
+        )
+
+    def copy_pairs(self) -> Iterable[Tuple[int, int]]:
+        """(destination flat index, source flat index) for every element —
+        the semantics of the copy loop, used by the VM and the tests."""
+        for j, i in enumerate(
+            range(self.loop.start, self.loop.stop, self.loop.step)
+        ):
+            for k, flat in enumerate(self.lane_flats):
+                yield (self.lanes * j + k, flat.evaluate({self.loop.index: i}))
+
+
+@dataclass
+class ArrayLayoutPlan:
+    """All replications for one block plus the leaf rewrites to apply."""
+
+    replications: List[ArrayReplication]
+    # (sid, rhs leaf index) -> replacement reference
+    rewrites: Dict[Tuple[int, int], ArrayRef]
+
+    @property
+    def total_elements(self) -> int:
+        return sum(r.elements for r in self.replications)
+
+
+def written_arrays(program: Program) -> Set[str]:
+    """Arrays that appear as a store target anywhere in the program —
+    ineligible for replication (the copy would go stale)."""
+    names: Set[str] = set()
+    for block in program.blocks():
+        for stmt in block:
+            if isinstance(stmt.target, ArrayRef):
+                names.add(stmt.target.array)
+    return names
+
+
+def plan_array_layout(
+    program: Program,
+    schedule: Schedule,
+    loop: LoopContext,
+    budget_elements: int,
+    name_prefix: str = "__slp_rep",
+) -> ArrayLayoutPlan:
+    """Plan replications for every eligible source pack of a schedule."""
+    unsafe = written_arrays(program)
+    taken = set(program.arrays) | set(program.scalars)
+    plan = ArrayLayoutPlan([], {})
+    by_pack: Dict[Tuple, ArrayReplication] = {}
+    spent = 0
+
+    for sw in schedule.superwords():
+        for position in range(1, sw.position_count()):
+            lanes = sw.lane_exprs(position)
+            replication = _eligible(
+                lanes, program, loop, unsafe
+            )
+            if replication is None:
+                continue
+            key = tuple(
+                (leaf.array, flat_affine(leaf, program.arrays[leaf.array]))
+                for leaf in lanes  # type: ignore[union-attr]
+            )
+            existing = by_pack.get(key)
+            if existing is None:
+                if spent + replication.elements > budget_elements:
+                    continue  # over budget: keep the original layout
+                new_name = f"{name_prefix}{len(by_pack)}"
+                while new_name in taken:
+                    new_name += "_"
+                taken.add(new_name)
+                replication = ArrayReplication(
+                    new_name,
+                    replication.source,
+                    replication.lane_flats,
+                    replication.loop,
+                    replication.q,
+                )
+                by_pack[key] = replication
+                plan.replications.append(replication)
+                spent += replication.elements
+                existing = replication
+            elem = program.arrays[existing.source].type
+            for lane, member in enumerate(sw.members):
+                leaf_index = position - 1  # RHS leaves start at position 1
+                plan.rewrites[(member.sid, leaf_index)] = ArrayRef(
+                    existing.new_name,
+                    (existing.new_subscript(lane),),
+                    elem,
+                )
+    return plan
+
+
+def _eligible(
+    lanes: Sequence[Expr],
+    program: Program,
+    loop: LoopContext,
+    unsafe: Set[str],
+) -> Optional[ArrayReplication]:
+    if not all(isinstance(leaf, ArrayRef) for leaf in lanes):
+        return None
+    refs = [leaf for leaf in lanes]  # type: ignore[list-item]
+    array = refs[0].array  # type: ignore[union-attr]
+    if any(r.array != array for r in refs):  # type: ignore[union-attr]
+        return None
+    if array in unsafe:
+        return None
+    L = len(refs)
+    if L % loop.step:
+        return None  # q = L/step must be integral for an affine rewrite
+    decl = program.arrays[array]
+    flats: List[Affine] = []
+    for ref in refs:
+        flat = flat_affine(ref, decl)  # type: ignore[arg-type]
+        extra = set(flat.variables()) - {loop.index}
+        if extra:
+            return None  # depends on an outer index: skip (documented)
+        flats.append(flat)
+    if all(flat.is_constant for flat in flats):
+        return None  # loop-invariant pack: hoisting already handles it
+    base = flats[0]
+    if all(
+        (flat - base).is_constant and (flat - base).const == lane
+        for lane, flat in enumerate(flats)
+    ):
+        return None  # already contiguous: replication has nothing to offer
+    return ArrayReplication(
+        new_name="",  # assigned by the caller
+        source=array,
+        lane_flats=tuple(flats),
+        loop=loop,
+        q=L // loop.step,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Applying the plan
+# ---------------------------------------------------------------------------
+
+
+def _replace_rhs_leaves(
+    expr: Expr, replacements: Dict[int, ArrayRef], counter: List[int]
+) -> Expr:
+    kids = expr.children()
+    if not kids:
+        index = counter[0]
+        counter[0] += 1
+        return replacements.get(index, expr)
+    return expr.with_children(
+        tuple(_replace_rhs_leaves(k, replacements, counter) for k in kids)
+    )
+
+
+def apply_array_layout(
+    block: BasicBlock, schedule: Schedule, plan: ArrayLayoutPlan
+) -> Tuple[BasicBlock, Schedule]:
+    """Rewrite the block's statements per the plan and rebuild the
+    schedule over the rewritten statements (same sids, same structure)."""
+    if not plan.rewrites:
+        return block, schedule
+
+    per_sid: Dict[int, Dict[int, ArrayRef]] = {}
+    for (sid, leaf_index), ref in plan.rewrites.items():
+        per_sid.setdefault(sid, {})[leaf_index] = ref
+
+    new_statements = []
+    for stmt in block:
+        replacements = per_sid.get(stmt.sid)
+        if not replacements:
+            new_statements.append(stmt)
+            continue
+        expr = _replace_rhs_leaves(stmt.expr, replacements, [0])
+        new_statements.append(Statement(stmt.sid, stmt.target, expr))
+    new_block = BasicBlock(new_statements)
+
+    new_schedule = Schedule(new_block)
+    for item in schedule.items:
+        if isinstance(item, SuperwordStatement):
+            new_schedule.items.append(
+                SuperwordStatement(
+                    tuple(new_block[m.sid] for m in item.members)
+                )
+            )
+        else:
+            assert isinstance(item, ScheduledSingle)
+            new_schedule.items.append(
+                ScheduledSingle(new_block[item.statement.sid])
+            )
+    return new_block, new_schedule

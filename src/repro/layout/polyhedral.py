@@ -1,0 +1,152 @@
+"""Polyhedral machinery for the array-reference layout optimization
+(Section 5.2, Equations 1–8).
+
+The paper expresses a reference's access pattern as ``r = Q·i + O``
+(Equation 1), derives a layout transformation matrix ``M`` from
+``L_default · M = L_opt`` (Equation 2), and then maps the data touched by
+the transformed reference into a fresh array ``B`` so the reference
+becomes a stride-``L`` access at offset ``p`` (its lane position inside
+the superword). Equations 4, 5 and 8 give the mapping function for 1-D,
+2-D and N-D arrays.
+
+This module implements those functions verbatim; the production path in
+:mod:`repro.layout.array` uses the (equivalent) flattened 1-D form, and
+the tests cross-check both against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def transformation_matrix(
+    l_default: np.ndarray, l_opt: np.ndarray
+) -> np.ndarray:
+    """Solve ``L_default · M = L_opt`` (Equation 2) over the rationals.
+
+    Both layouts are given as integer matrices; raises when ``L_default``
+    is singular or the solution is not integral.
+    """
+    default = np.asarray(l_default, dtype=np.int64)
+    opt = np.asarray(l_opt, dtype=np.int64)
+    det = round(np.linalg.det(default))
+    if det == 0:
+        raise ValueError("default layout matrix is singular")
+    solution = np.linalg.solve(default.astype(float), opt.astype(float))
+    rounded = np.rint(solution).astype(np.int64)
+    if not np.allclose(solution, rounded):
+        raise ValueError("layout transformation is not integral")
+    return rounded
+
+
+def transform_access(
+    Q: np.ndarray, O: np.ndarray, M: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Equation 3: the transformed reference ``r1 = (M·Q)·i + M·O``."""
+    M = np.asarray(M, dtype=np.int64)
+    return M @ np.asarray(Q, dtype=np.int64), M @ np.asarray(
+        O, dtype=np.int64
+    )
+
+
+def map_index_1d(d: int, a: int, b: int, L: int, p: int) -> int:
+    """Equation 4: ``f(d) = ((d - b) / a) · L + p`` for ``R1 = A[a·i + b]``.
+
+    ``d`` must actually be accessed by the reference (``a | d - b``).
+    """
+    if a == 0:
+        raise ValueError("reference does not move: a = 0")
+    quotient, remainder = divmod(d - b, a)
+    if remainder:
+        raise ValueError(f"index {d} is not accessed by A[{a}*i + {b}]")
+    return quotient * L + p
+
+
+def map_index_2d(
+    d: Sequence[int],
+    Q1: np.ndarray,
+    O1: np.ndarray,
+    L: int,
+    p: int,
+) -> Tuple[int, int]:
+    """Equation 5 for a 2-D array with lower-triangular
+    ``Q1 = [[q11, 0], [q21, q22]]``::
+
+        f(d) = ( (d1 - o1)/q11 ,
+                 ((d2 - o2 - q21·(d1 - o1)/q11) / q22) · L + p )
+    """
+    Q1 = np.asarray(Q1, dtype=np.int64)
+    O1 = np.asarray(O1, dtype=np.int64)
+    d1, d2 = int(d[0]), int(d[1])
+    q11, q21, q22 = int(Q1[0, 0]), int(Q1[1, 0]), int(Q1[1, 1])
+    if Q1[0, 1] != 0:
+        raise ValueError("Equation 5 expects q12 = 0")
+    o1, o2 = int(O1[0]), int(O1[1])
+    row, rem = divmod(d1 - o1, q11)
+    if rem:
+        raise ValueError("d1 not accessed by the reference")
+    col_num = d2 - o2 - q21 * row
+    col, rem = divmod(col_num, q22)
+    if rem:
+        raise ValueError("d2 not accessed by the reference")
+    return (row, col * L + p)
+
+
+def map_index_general(
+    d: Sequence[int],
+    Q1: np.ndarray,
+    O1: np.ndarray,
+    L: int,
+    p: int,
+) -> Tuple[int, ...]:
+    """Equations 7–8 for an N-D array.
+
+    Split the access into the leading N-1 dimensions (Equation 7 —
+    invertible ``Q1'``) and the last dimension, which becomes the
+    strided coordinate ``f_n(d)·L + p`` (Equation 8).
+    """
+    Q1 = np.asarray(Q1, dtype=np.int64)
+    O1 = np.asarray(O1, dtype=np.int64)
+    n = len(d)
+    if n == 1:
+        # Degenerates to Equation 4.
+        return (map_index_1d(int(d[0]), int(Q1[0, 0]), int(O1[0]), L, p),)
+
+    lead_Q = Q1[: n - 1, : n - 1]
+    lead_O = O1[: n - 1]
+    det = round(np.linalg.det(lead_Q.astype(float)))
+    if det == 0:
+        raise ValueError("Q1' must be nonsingular (Equation 6)")
+    lead_d = np.asarray(d[: n - 1], dtype=np.int64) - lead_O
+    solved = np.linalg.solve(lead_Q.astype(float), lead_d.astype(float))
+    lead = np.rint(solved).astype(np.int64)
+    if not np.allclose(solved, lead):
+        raise ValueError("leading dimensions not accessed by the reference")
+
+    # Equation 8: the last coordinate, after subtracting the contribution
+    # of the already-recovered leading iteration values.
+    q_last_row = Q1[n - 1, : n - 1]
+    q_nn = int(Q1[n - 1, n - 1])
+    if q_nn == 0:
+        raise ValueError("innermost coefficient q_nn must be nonzero")
+    numerator = int(d[n - 1]) - int(O1[n - 1]) - int(q_last_row @ lead)
+    inner, rem = divmod(numerator, q_nn)
+    if rem:
+        raise ValueError("last dimension not accessed by the reference")
+    return tuple(int(x) for x in lead) + (inner * L + p,)
+
+
+@dataclass(frozen=True)
+class StridedMapping:
+    """The realized mapping for one lane of an array-reference superword:
+    iteration ``j`` (0-based) of the target loop reads new-array element
+    ``L·j + p`` — the defining property of Section 5.2's optimization."""
+
+    L: int
+    p: int
+
+    def destination(self, j: int) -> int:
+        return self.L * j + self.p

@@ -1,0 +1,116 @@
+"""Data layout optimization for scalar superwords (Section 5.1,
+Figure 12 lines 10–22).
+
+Scalars are memory-resident in the paper's source-to-source model, so a
+superword of scalars costs one wide memory operation when its variables
+sit in consecutive, aligned slots — and one operation *per lane*
+otherwise. This pass assigns stack-arena slots: scalar superwords are
+sorted by occurrence count, the most frequent one gets consecutive
+aligned slots in superword order, superwords sharing a variable with an
+already-placed one are skipped (conflicting layout requirements), and
+leftover scalars are appended in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..analysis.operands import KIND_VAR
+from ..ir import Program, ScalarType
+from ..slp.model import OrderedPack, Schedule
+
+
+@dataclass
+class ScalarArena:
+    """One contiguous stack area per element type."""
+
+    type: ScalarType
+    slots: Dict[str, int] = field(default_factory=dict)
+    size: int = 0
+
+    def place(self, names: Sequence[str], align: int) -> None:
+        if self.size % align:
+            self.size += align - self.size % align
+        for name in names:
+            self.slots[name] = self.size
+            self.size += 1
+
+    def slot(self, name: str) -> int:
+        return self.slots[name]
+
+
+def scalar_packs_of(schedule: Schedule) -> List[OrderedPack]:
+    """Every ordered all-scalar pack (targets and sources) the schedule's
+    superword statements touch, with repetition."""
+    packs: List[OrderedPack] = []
+    for sw in schedule.superwords():
+        for pack in sw.ordered_packs():
+            if all(key[0] == KIND_VAR for key in pack):
+                packs.append(pack)
+    return packs
+
+
+def default_scalar_layout(program: Program) -> Dict[str, ScalarArena]:
+    """Declaration-order slots — the baseline layout every variant that
+    does not run the optimization uses."""
+    arenas: Dict[str, ScalarArena] = {}
+    for decl in program.scalars.values():
+        arena = arenas.setdefault(decl.type.name, ScalarArena(decl.type))
+        arena.place([decl.name], align=1)
+    return arenas
+
+
+def optimized_scalar_layout(
+    program: Program, schedules: Iterable[Schedule]
+) -> Dict[str, ScalarArena]:
+    """Occurrence-ranked placement of scalar superwords."""
+    counts: Dict[OrderedPack, int] = {}
+    for schedule in schedules:
+        for pack in scalar_packs_of(schedule):
+            counts[pack] = counts.get(pack, 0) + 1
+
+    arenas: Dict[str, ScalarArena] = {}
+    placed: set = set()
+    ranked = sorted(
+        counts.items(), key=lambda item: (-item[1], item[0])
+    )
+    for pack, _count in ranked:
+        names = [key[1] for key in pack]
+        if len(set(names)) != len(names):
+            continue  # a splat pack cannot be laid out contiguously
+        if any(name in placed for name in names):
+            continue  # conflicting layout requirement: skip (Figure 12 l.15-19)
+        elem = program.scalars[names[0]].type
+        if any(program.scalars[n].type != elem for n in names):
+            continue
+        arena = arenas.setdefault(elem.name, ScalarArena(elem))
+        arena.place(names, align=len(names))
+        placed.update(names)
+
+    # Everything not covered by a placed superword keeps declaration order.
+    for decl in program.scalars.values():
+        if decl.name in placed:
+            continue
+        arena = arenas.setdefault(decl.type.name, ScalarArena(decl.type))
+        arena.place([decl.name], align=1)
+        placed.add(decl.name)
+    return arenas
+
+
+def pack_is_contiguous(
+    pack: OrderedPack, arenas: Dict[str, ScalarArena], elem: ScalarType
+) -> bool:
+    """Whether an ordered scalar pack occupies consecutive aligned slots
+    (one memory operation suffices to pack/unpack it)."""
+    arena = arenas.get(elem.name)
+    if arena is None:
+        return False
+    try:
+        offsets = [arena.slot(key[1]) for key in pack]
+    except KeyError:
+        return False
+    base = offsets[0]
+    if base % len(pack):
+        return False
+    return offsets == list(range(base, base + len(pack)))

@@ -1,0 +1,39 @@
+"""Candidate group identification — step 1 of the basic grouping
+algorithm (Section 4.2.1, Figure 10 line 1).
+
+A candidate group is an unordered pair of units (statements, or groups
+from an earlier iterative round) that are isomorphic, mutually
+dependence free, and fit the SIMD datapath.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis import DependenceGraph
+from .model import CandidateGroup, GroupNode
+
+
+def find_candidates(
+    units: Sequence[GroupNode],
+    deps: DependenceGraph,
+    datapath_bits: int,
+) -> List[CandidateGroup]:
+    """All valid candidate pairs among ``units``, deterministically
+    ordered by their canonical key.
+
+    Units are bucketed by isomorphism signature first, so the pass is
+    quadratic only within each isomorphism class.
+    """
+    by_signature: Dict[Tuple, List[GroupNode]] = {}
+    for unit in units:
+        by_signature.setdefault(unit.signature, []).append(unit)
+
+    candidates: List[CandidateGroup] = []
+    for bucket in by_signature.values():
+        for a, b in itertools.combinations(bucket, 2):
+            if a.can_merge_with(b, deps, datapath_bits):
+                candidates.append(CandidateGroup(a, b))
+    candidates.sort(key=lambda c: c.key())
+    return candidates

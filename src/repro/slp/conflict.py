@@ -1,0 +1,147 @@
+"""The variable pack conflicting graph (VP) — step 2 of the basic
+grouping algorithm (Section 4.2.1, Figure 10 lines 2–11).
+
+Each node is one variable pack *tagged with the candidate group it comes
+from* ("{Vi,Vj}_{Sp,Sq}"); an edge joins packs of conflicting candidate
+groups. Multiple nodes may carry the same pack data — when such nodes
+are *not* connected, the corresponding superwords can coexist in the
+transformed code, and their count is exactly the reuse opportunity of
+that superword.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from ..analysis import DependenceGraph
+from .model import CandidateGroup, PackData
+
+
+class PackNode:
+    """One VP node: a pack datum tagged with its originating candidate.
+
+    Nodes compare and hash by *identity*: each (candidate, position)
+    slot is one node, and the graph can hold many distinct nodes with
+    equal pack data — that multiplicity IS the reuse information.
+    Identity semantics also keep the (large) adjacency sets cheap: pack
+    data tuples contain Affine objects and deep-hashing them per edge
+    dominated compile time on wide-datapath blocks.
+    """
+
+    __slots__ = ("data", "candidate_index", "position")
+
+    def __init__(self, data: PackData, candidate_index: int, position: int):
+        self.data = data
+        self.candidate_index = candidate_index
+        self.position = position
+
+    def sort_key(self):
+        return (self.data, self.candidate_index, self.position)
+
+    def __repr__(self) -> str:
+        return f"pack{self.data}@cand{self.candidate_index}/{self.position}"
+
+    __str__ = __repr__
+
+
+class VariablePackGraph:
+    """VP = (V, T): pack nodes with conflict edges."""
+
+    def __init__(
+        self,
+        candidates: Sequence[CandidateGroup],
+        deps: DependenceGraph,
+    ):
+        self.candidates = list(candidates)
+        self.deps = deps
+        self.nodes: Set[PackNode] = set()
+        self.edge_count = 0
+        self._adjacency: Dict[PackNode, Set[PackNode]] = {}
+        self._nodes_of_candidate: Dict[int, List[PackNode]] = {}
+        self._nodes_by_data: Dict[PackData, List[PackNode]] = {}
+        self.conflict_pairs: Set[FrozenSet[int]] = set()
+        self._build()
+
+    def _build(self) -> None:
+        # Conflict relation between candidates, computed once. Two
+        # candidates conflict when they share a statement or form a
+        # group-level dependence cycle; both tests reduce to set
+        # intersections over precomputed member/successor sets.
+        members = [c.sid_set for c in self.candidates]
+        successors = [
+            frozenset().union(
+                *(self.deps.successors(sid) for sid in sids)
+            )
+            if sids
+            else frozenset()
+            for sids in members
+        ]
+        for i in range(len(self.candidates)):
+            for j in range(i + 1, len(self.candidates)):
+                if members[i] & members[j]:
+                    self.conflict_pairs.add(frozenset((i, j)))
+                elif (successors[i] & members[j]) and (
+                    successors[j] & members[i]
+                ):
+                    self.conflict_pairs.add(frozenset((i, j)))
+
+        for index, candidate in enumerate(self.candidates):
+            new_nodes = [
+                PackNode(data, index, position)
+                for position, data in enumerate(candidate.packs)
+            ]
+            self._nodes_of_candidate[index] = new_nodes
+            for node in new_nodes:
+                self.nodes.add(node)
+                self._adjacency[node] = set()
+                self._nodes_by_data.setdefault(node.data, []).append(node)
+            # Edges to packs of already-inserted conflicting candidates.
+            for earlier in range(index):
+                if frozenset((earlier, index)) not in self.conflict_pairs:
+                    continue
+                for mine in new_nodes:
+                    for theirs in self._nodes_of_candidate[earlier]:
+                        self._connect(mine, theirs)
+
+    def _connect(self, a: PackNode, b: PackNode) -> None:
+        self.edge_count += 1
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    # -- queries -----------------------------------------------------------------
+
+    def candidates_conflict(self, i: int, j: int) -> bool:
+        return frozenset((i, j)) in self.conflict_pairs
+
+    def nodes_of_candidate(self, index: int) -> List[PackNode]:
+        return list(self._nodes_of_candidate.get(index, ()))
+
+    def neighbors(self, node: PackNode) -> Set[PackNode]:
+        return set(self._adjacency.get(node, ()))
+
+    def nodes_with_data(self, data: PackData) -> List[PackNode]:
+        return list(self._nodes_by_data.get(data, ()))
+
+    def remove_candidate(self, index: int) -> None:
+        """Drop all pack nodes of one candidate (Figure 10 line 41)."""
+        for node in self._nodes_of_candidate.pop(index, ()):  # type: ignore[arg-type]
+            for neighbor in self._adjacency.pop(node, set()):
+                self._adjacency[neighbor].discard(node)
+                self.edge_count -= 1
+            self.nodes.discard(node)
+            bucket = self._nodes_by_data.get(node.data)
+            if bucket and node in bucket:
+                bucket.remove(node)
+
+    def coexistence_count(self, data: PackData) -> int:
+        """How many mutually-nonconflicting occurrences of a pack exist —
+        an upper bound on its reuse (informational; the weight machinery
+        uses the auxiliary graph instead)."""
+        matching = self.nodes_with_data(data)
+        count = 0
+        kept: List[PackNode] = []
+        for node in matching:
+            if all(node not in self._adjacency.get(k, set()) for k in kept):
+                kept.append(node)
+                count += 1
+        return count

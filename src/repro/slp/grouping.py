@@ -1,0 +1,531 @@
+"""The statement grouping graph and the grouping decision loop —
+steps 3 and 4 of the basic grouping algorithm (Section 4.2.1, Figure 10).
+
+Each edge of the statement grouping graph (SG) is a candidate group; its
+weight estimates the *global* superword-reuse benefit of committing to
+that group, computed on an auxiliary graph extracted from the variable
+pack conflicting graph:
+
+1. collect every VP node whose pack data matches one of the candidate's
+   packs and whose originating candidate does not conflict with it;
+2. resolve residual conflicts greedily (repeatedly drop the
+   highest-degree node) until the auxiliary graph has no edges;
+3. combine the surviving packs with the candidate's own packs and the
+   packs of already-decided groups, and score
+   ``W = sum_over_pack_types(N_type - 1) / Nt`` where ``Nt`` is the
+   number of distinct pack types among the decided groups and the
+   candidate (the paper's "average reuse", e.g. 2/3 in Figure 6).
+
+The decision loop then repeatedly commits the heaviest edge, removes the
+candidates it conflicts with from both graphs, and recomputes weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis import DependenceGraph
+from ..analysis.operands import KIND_CONST, KIND_REF, KIND_VAR
+from ..ir import Affine
+from ..ir.expr import OP_WEIGHTS
+from .candidates import find_candidates
+from .conflict import PackNode, VariablePackGraph
+from .model import CandidateGroup, GroupNode, PackData
+
+DeclLookup = Callable[[str], object]
+
+#: Packing-cost constants for the decision score, in vector-op units,
+#: calibrated to the machine models' deltas for two lanes:
+#: * a strided/mixed memory gather costs lanes x (load + insert) against
+#:   one wide load: ~3 extra;
+#: * building a non-contiguous scalar pack costs lanes x (move + insert)
+#:   against a contiguous arena load: ~2 extra;
+#: * scattering a result to non-contiguous scalar slots costs
+#:   lanes x (extract + move) against one arena store: ~1-2 extra.
+GATHER_PENALTY = 3.0
+SCALAR_GATHER_PENALTY = 2.0
+SCALAR_SCATTER_PENALTY = 1.0
+#: Residual penalty when the data layout stage is known to follow and
+#: can rewrite this pack into a contiguous access (read-only array
+#: replication, Section 5.2, or scalar offset assignment, Section 5.1):
+#: only the amortized copy/arena cost remains.
+LAYOUT_FIXABLE_PENALTY = 0.25
+
+
+@dataclass(frozen=True)
+class PenaltyContext:
+    """What the code generator and downstream stages will see, for
+    cost-aware grouping.
+
+    ``replicable_arrays`` — read-only arrays eligible for replication
+    when the layout stage runs (None: layout will not run).
+    ``scalar_slots`` — the scalar arena slots codegen will use
+    (``name -> (type name, offset)``); when the layout stage runs its
+    offset assignment, leave this None (slots are then optimizable).
+    """
+
+    replicable_arrays: Optional[frozenset] = None
+    scalar_slots: Optional[Tuple[Tuple[str, Tuple[str, int]], ...]] = None
+
+    @property
+    def assume_layout(self) -> bool:
+        return self.replicable_arrays is not None
+
+    def slot_of(self, name: str) -> Optional[Tuple[str, int]]:
+        if self.scalar_slots is None:
+            return None
+        for entry, slot in self.scalar_slots:
+            if entry == name:
+                return slot
+        return None
+
+    @staticmethod
+    def from_arenas(arenas) -> Tuple[Tuple[str, Tuple[str, int]], ...]:
+        """Flatten ``{type: ScalarArena}`` into the slots tuple."""
+        slots = []
+        for type_name, arena in arenas.items():
+            for name, offset in arena.slots.items():
+                slots.append((name, (type_name, offset)))
+        return tuple(sorted(slots))
+
+
+def _scalar_pack_contiguous(
+    pack: PackData, context: Optional[PenaltyContext]
+) -> bool:
+    """Whether the scalar pack occupies consecutive arena slots (in some
+    lane order) under the known scalar layout."""
+    if context is None or context.scalar_slots is None:
+        return False
+    slots = []
+    for key in pack:
+        slot = context.slot_of(key[1])
+        if slot is None:
+            return False
+        slots.append(slot)
+    types = {t for t, _ in slots}
+    if len(types) != 1:
+        return False
+    offsets = sorted(offset for _, offset in slots)
+    return offsets == list(range(offsets[0], offsets[0] + len(offsets)))
+
+
+def pack_is_contiguous_memory(
+    pack: PackData, decl_of: Optional[DeclLookup]
+) -> bool:
+    """Whether the pack's lanes are consecutive elements of one array
+    (in some lane order)."""
+    if not all(key[0] == KIND_REF for key in pack):
+        return False
+    arrays = {key[1] for key in pack}
+    if len(arrays) != 1:
+        return False
+    flats = []
+    for key in pack:
+        subscripts = key[2]
+        decl = decl_of(key[1]) if decl_of is not None else None
+        if decl is not None:
+            shape = decl.shape
+        elif len(subscripts) == 1:
+            shape = (0,)
+        else:
+            return False
+        flat = Affine((), 0)
+        for subscript, dim in zip(subscripts, shape):
+            flat = flat * dim + subscript
+        flats.append(flat)
+    flats.sort()
+    base = flats[0]
+    for lane, flat in enumerate(flats):
+        delta = flat - base
+        if not (delta.is_constant and delta.const == lane):
+            return False
+    return True
+
+
+def pack_adjacency_score(pack: PackData, decl_of: Optional[DeclLookup]) -> int:
+    """Static desirability of a pack absent any reuse: contiguous memory
+    (one wide load/store) scores 2, a splat (all lanes equal) scores 1,
+    anything else 0. Used as a tie-break between equal-weight
+    candidates (the paper chooses randomly there)."""
+    if len(set(pack)) == 1:
+        return 1
+    if pack_is_contiguous_memory(pack, decl_of):
+        return 2
+    return 0
+
+
+def pack_materialization_penalty(
+    pack: PackData,
+    decl_of: Optional[DeclLookup],
+    context: Optional[PenaltyContext] = None,
+    is_store: bool = False,
+) -> float:
+    """Overhead of building (or scattering, for ``is_store``) this pack
+    when nothing in the block reuses it, relative to a contiguous wide
+    access. When a :class:`PenaltyContext` says the layout stage will
+    run, source packs it can make contiguous (read-only array
+    replication, scalar offset assignment) are almost free — the phase
+    coupling that lets Global+Layout choose the reuse-maximizing
+    grouping the layout stage then repairs."""
+    if len(set(pack)) == 1:
+        return 0.0  # splat: one broadcast
+    kinds = {key[0] for key in pack}
+    if kinds == {KIND_CONST}:
+        return 0.0  # vector immediate, hoisted out of the loop
+    if kinds == {KIND_REF}:
+        if pack_is_contiguous_memory(pack, decl_of):
+            return 0.0
+        if (
+            not is_store
+            and context is not None
+            and context.replicable_arrays is not None
+            and all(key[1] in context.replicable_arrays for key in pack)
+        ):
+            return LAYOUT_FIXABLE_PENALTY
+        return GATHER_PENALTY
+    if kinds == {KIND_VAR}:
+        if _scalar_pack_contiguous(pack, context):
+            return 0.0
+        if context is not None and context.assume_layout:
+            return LAYOUT_FIXABLE_PENALTY
+        return SCALAR_SCATTER_PENALTY if is_store else SCALAR_GATHER_PENALTY
+    return GATHER_PENALTY  # mixed lane sources: per-lane inserts
+
+
+def pack_reuse_saving(
+    pack: PackData,
+    decl_of: Optional[DeclLookup],
+    context: Optional[PenaltyContext] = None,
+) -> float:
+    """What one *reuse* of this pack saves, in vector-op units: the cost
+    of the materialization it avoids. A constant vector is hoisted out
+    of the loop and costs nothing per iteration, so reusing it saves
+    nothing; a strided gather it saves almost entirely (unless the
+    layout stage will make that gather cheap anyway)."""
+    kinds = {key[0] for key in pack}
+    if kinds == {KIND_CONST}:
+        return 0.0
+    if len(set(pack)) == 1:
+        return 0.5  # a broadcast
+    if kinds == {KIND_REF}:
+        if pack_is_contiguous_memory(pack, decl_of):
+            return 1.0  # one wide load
+        if (
+            context is not None
+            and context.replicable_arrays is not None
+            and all(key[1] in context.replicable_arrays for key in pack)
+        ):
+            return 1.0  # replication will make it one wide load
+        return GATHER_PENALTY
+    if kinds == {KIND_VAR}:
+        if _scalar_pack_contiguous(pack, context):
+            return 1.0
+        # Half the avoided scalar-gather cost: consumers of the same
+        # pack share one materialization (the code generator keeps it
+        # live), so per-occurrence credit at full cost would double
+        # count.
+        return 1.5
+    return GATHER_PENALTY
+
+
+def candidate_adjacency_score(
+    candidate: CandidateGroup, decl_of: Optional[DeclLookup]
+) -> int:
+    return sum(
+        pack_adjacency_score(pack, decl_of) for pack in candidate.packs
+    )
+
+
+def _signature_op_cost(signature) -> float:
+    """Total operator weight of one lane's expression shape, extracted
+    from an isomorphism signature."""
+    if not isinstance(signature, tuple) or not signature:
+        return 0.0
+    label = signature[0]
+    if label == "leaf":
+        return 0.0
+    cost = float(OP_WEIGHTS.get(label, 0.0))
+    for child in signature[2:]:
+        cost += _signature_op_cost(child)
+    return cost
+
+
+def candidate_op_saving(candidate: CandidateGroup) -> float:
+    """ALU work a merge saves per loop iteration: the two units' op
+    streams become one SIMD stream, eliminating one full copy of the
+    shared expression shape's operator cost."""
+    _target_kind, expr_signature = candidate.left.signature
+    return _signature_op_cost(expr_signature)
+
+
+@dataclass
+class GroupingTrace:
+    """Optional record of each decision, for tests and debugging."""
+
+    decisions: List[Tuple[CandidateGroup, Fraction]]
+
+    def chosen_sids(self) -> List[Tuple[int, ...]]:
+        return [tuple(sorted(c.sid_set)) for c, _ in self.decisions]
+
+
+def eliminate_conflicts(
+    nodes: Sequence[PackNode],
+    adjacency: Dict[PackNode, Set[PackNode]],
+) -> List[PackNode]:
+    """Greedy conflict elimination: repeatedly remove the highest-degree
+    node until no edges remain (Figure 7). Deterministic tie-breaking on
+    the node's canonical key keeps the whole optimizer reproducible."""
+    alive: Set[PackNode] = set(nodes)
+    degree = {n: len(adjacency.get(n, set()) & alive) for n in alive}
+    while True:
+        conflicted = [n for n in alive if degree[n] > 0]
+        if not conflicted:
+            break
+        victim = max(
+            conflicted,
+            key=lambda n: (degree[n], n.data, n.candidate_index, n.position),
+        )
+        alive.discard(victim)
+        for neighbor in adjacency.get(victim, set()):
+            if neighbor in alive:
+                degree[neighbor] -= 1
+    return sorted(alive, key=lambda n: (n.data, n.candidate_index, n.position))
+
+
+class BasicGrouping:
+    """One round of the basic grouping algorithm over a set of units."""
+
+    def __init__(
+        self,
+        units: Sequence[GroupNode],
+        deps: DependenceGraph,
+        datapath_bits: int,
+        decl_of: Optional[DeclLookup] = None,
+        penalty_context: Optional[PenaltyContext] = None,
+        decision_mode: str = "cost-aware",
+    ):
+        if decision_mode not in ("cost-aware", "weight-only"):
+            raise ValueError(f"unknown decision mode {decision_mode!r}")
+        self.units = list(units)
+        self.deps = deps
+        self.datapath_bits = datapath_bits
+        self.candidates = find_candidates(self.units, deps, datapath_bits)
+        self.vp = VariablePackGraph(self.candidates, deps)
+        self.active: Set[int] = set(range(len(self.candidates)))
+        self.decided: List[int] = []
+        self.decided_packs: List[PackData] = []
+        self._decl_of = decl_of
+        self._penalty_context = penalty_context
+        self.decision_mode = decision_mode
+        self.adjacency = [
+            candidate_adjacency_score(c, decl_of) for c in self.candidates
+        ]
+
+    # -- weight computation (Figure 10 lines 22–38) ---------------------------
+
+    def _pack_counts(
+        self, index: int
+    ) -> Tuple[Dict[PackData, int], Dict[PackData, int]]:
+        """Occurrence counts of the candidate's pack types across the
+        surviving auxiliary-graph nodes, the decided groups' packs, and
+        the candidate itself; plus the candidate-internal counts."""
+        candidate = self.candidates[index]
+        cand_packs = list(candidate.packs)
+        cand_pack_set = set(cand_packs)
+
+        aux_nodes: List[PackNode] = []
+        for data in sorted(cand_pack_set):
+            for node in self.vp.nodes_with_data(data):
+                if node.candidate_index == index:
+                    continue
+                if self.vp.candidates_conflict(node.candidate_index, index):
+                    continue
+                aux_nodes.append(node)
+        aux_nodes.sort(key=lambda n: (n.candidate_index, n.position))
+
+        aux_set = set(aux_nodes)
+        adjacency = {
+            node: self.vp.neighbors(node) & aux_set for node in aux_nodes
+        }
+        survivors = eliminate_conflicts(aux_nodes, adjacency)
+
+        counts: Dict[PackData, int] = {data: 0 for data in cand_pack_set}
+        own_counts: Dict[PackData, int] = {data: 0 for data in cand_pack_set}
+        for node in survivors:
+            counts[node.data] += 1
+        for data in self.decided_packs:
+            if data in counts:
+                counts[data] += 1
+        for data in cand_packs:
+            counts[data] += 1
+            own_counts[data] += 1
+        return counts, own_counts
+
+    def weight(self, index: int) -> Fraction:
+        """The paper's average superword reuse (Figure 10 lines 32–38).
+
+        Collect every VP pack node whose data matches one of the
+        candidate's packs and whose originating candidate does not
+        conflict with it; greedily eliminate residual conflicts; then
+        for each of the candidate's pack types count its occurrences
+        across the surviving nodes, the already-decided groups' packs,
+        and the candidate itself — each extra occurrence is one saved
+        packing operation. ``W = sum(N_t - 1) / Nt`` with ``Nt`` the
+        candidate's pack-type count reproduces the paper's 2/3 for
+        {S4,S5} in Figure 6 and "considers the already-decided group
+        together" after each decision (Section 4.2.1).
+        """
+        counts, _own = self._pack_counts(index)
+        reuse = sum(count - 1 for count in counts.values())
+        return Fraction(reuse, len(counts))
+
+    def score(self, index: int) -> Fraction:
+        """The decision score: reuse weight minus expected packing cost.
+
+        Documented deviation from the paper (see DESIGN.md): the paper
+        ranks candidates by reuse weight alone, breaks ties randomly,
+        and leaves packing cost entirely to the final go/no-go cost
+        model. A deterministic reproduction that must match Figure 16's
+        "Global never loses to SLP" needs the grouping itself to avoid
+        reuse-free gather groups when a contiguous alternative exists,
+        so each pack type nothing else produces is charged its expected
+        materialization cost (strided gather ≈ two superword operations,
+        scalar gather ≈ half; near-zero when the layout stage will run
+        and can rewrite the pack — see :class:`PenaltyContext`).
+        """
+        candidate = self.candidates[index]
+        target_pack = candidate.packs[0]
+        counts, own_counts = self._pack_counts(index)
+
+        score = Fraction(0)
+        for data, count in counts.items():
+            # Each extra occurrence saves one materialization of this
+            # pack — valued at what that materialization would cost.
+            saving = Fraction(
+                pack_reuse_saving(data, self._decl_of, self._penalty_context)
+            ).limit_denominator(8)
+            score += (count - 1) * saving
+            external = count > own_counts[data]
+            build = Fraction(
+                pack_materialization_penalty(
+                    data, self._decl_of, self._penalty_context
+                )
+            ).limit_denominator(8)
+            if data == target_pack:
+                # The result superword is always written back; a
+                # non-contiguous target means a scatter either way.
+                score -= Fraction(
+                    pack_materialization_penalty(
+                        data,
+                        self._decl_of,
+                        self._penalty_context,
+                        is_store=True,
+                    )
+                ).limit_denominator(8)
+                # Read-modify-write: the same pack is also a source and
+                # nobody else produces it — it must be gathered first.
+                if own_counts[data] > 1 and not external:
+                    score -= build
+            elif not external:
+                # A source pack no other (non-conflicting) group defines
+                # or uses: it must be materialized from scratch.
+                score -= build
+        # The merge's inherent benefits: one lane's worth of ALU work
+        # disappears, and each all-memory position collapses per-lane
+        # scalar accesses into one wide access (the gather/scatter
+        # penalties above are charged relative to that baseline).
+        score += Fraction(
+            candidate_op_saving(candidate)
+        ).limit_denominator(8)
+        for data in candidate.packs:
+            if all(key[0] == KIND_REF for key in data):
+                score += 1
+        return score / len(counts)
+
+    # -- decision loop (Figure 10 lines 20–43) ----------------------------------
+
+    def run(self) -> Tuple[List[GroupNode], List[GroupNode], GroupingTrace]:
+        """Returns (decided groups, leftover units, trace)."""
+        trace = GroupingTrace([])
+        rank = (
+            self.score if self.decision_mode == "cost-aware" else self.weight
+        )
+        scores: Dict[int, Fraction] = {i: rank(i) for i in self.active}
+        while self.active:
+            best = max(
+                self.active,
+                key=lambda i: (
+                    scores[i],
+                    self.adjacency[i],
+                    _neg_key(self.candidates[i]),
+                ),
+            )
+            if self.decision_mode == "cost-aware" and scores[best] < 0:
+                # Packing looks like a net loss everywhere. Candidates
+                # with genuine superword reuse (the paper's criterion)
+                # are still committed — the paper "exploits all the
+                # opportunities" — but reuse-free, cost-negative ones
+                # are left scalar rather than sinking the whole block at
+                # the cost gate.
+                with_reuse = [
+                    i for i in self.active if self.weight(i) > 0
+                ]
+                if not with_reuse:
+                    break
+                best = max(
+                    with_reuse,
+                    key=lambda i: (
+                        self.weight(i),
+                        scores[i],
+                        self.adjacency[i],
+                        _neg_key(self.candidates[i]),
+                    ),
+                )
+            candidate = self.candidates[best]
+            trace.decisions.append((candidate, self.weight(best)))
+            self.decided.append(best)
+            self.decided_packs.extend(candidate.packs)
+            # Remove the decided candidate and everything conflicting
+            # with it from both graphs.
+            touched_data = set(candidate.packs)
+            for index in sorted(self.active):
+                if index == best or self.vp.candidates_conflict(index, best):
+                    self.active.discard(index)
+                    scores.pop(index, None)
+                    touched_data.update(self.candidates[index].packs)
+                    self.vp.remove_candidate(index)
+            # A candidate's score depends only on nodes/decided packs
+            # sharing its pack types: recompute just those.
+            for index in self.active:
+                if touched_data & set(self.candidates[index].packs):
+                    scores[index] = rank(index)
+
+        decided_groups = [self.candidates[i].merged() for i in self.decided]
+        taken = set()
+        for group in decided_groups:
+            taken |= group.sid_set
+        leftovers = [u for u in self.units if not (u.sid_set & taken)]
+        return decided_groups, leftovers, trace
+
+
+class _NegatedKey:
+    """Inverts comparison so ``max`` picks the *smallest* candidate key
+    among equal weights — the deterministic stand-in for the paper's
+    "randomly choose one" tie-break."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_NegatedKey") -> bool:
+        return self.key > other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NegatedKey) and self.key == other.key
+
+
+def _neg_key(candidate: CandidateGroup) -> _NegatedKey:
+    return _NegatedKey(candidate.key())

@@ -1,0 +1,50 @@
+"""Iterative grouping — Section 4.2.2.
+
+The basic grouping algorithm produces SIMD groups of size two. To fill
+wider datapaths, each decided group is treated as a new atomic statement
+(its variable packs become its "variables") and the basic algorithm runs
+again over the updated unit set, until no further merge happens or every
+group fills the datapath. Group sizes therefore grow 2, 4, 8, ... up to
+``datapath_bits / element_bits`` lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..analysis import DependenceGraph
+from ..ir import BasicBlock
+from .grouping import BasicGrouping, GroupingTrace
+from .model import GroupNode
+
+
+def iterative_grouping(
+    block: BasicBlock,
+    deps: DependenceGraph,
+    datapath_bits: int,
+    decl_of=None,
+    penalty_context=None,
+    decision_mode: str = "cost-aware",
+) -> Tuple[List[GroupNode], List[GroupingTrace]]:
+    """Run grouping rounds to fixpoint.
+
+    Returns the final unit list (groups of size >= 2 become superword
+    statements; size-1 units stay scalar) and the per-round traces.
+    ``decl_of`` (array name -> declaration) enables exact memory
+    adjacency tie-breaking for multi-dimensional arrays.
+    """
+    units: List[GroupNode] = [GroupNode.of_statement(s) for s in block]
+    traces: List[GroupingTrace] = []
+    while True:
+        round_pass = BasicGrouping(
+            units, deps, datapath_bits, decl_of, penalty_context,
+            decision_mode,
+        )
+        decided, leftovers, trace = round_pass.run()
+        traces.append(trace)
+        if not decided:
+            return units, traces
+        units = decided + leftovers
+        # Every unit is as wide as the datapath allows: nothing more to do.
+        if all(u.width_bits * 2 > datapath_bits for u in units):
+            return units, traces

@@ -1,0 +1,368 @@
+"""Statement scheduling — the second phase of superword statement
+generation (Section 4.3, Figure 11).
+
+Given the SIMD groups chosen by grouping, this phase (1) picks a valid
+execution sequence that brings superword reuses close together, driven
+by a *live superword set* of packs currently expected to sit in vector
+registers, and (2) fixes the statement order inside each superword
+statement so reuses need as few register permutations as possible —
+testing only orderings that yield at least one *direct* reuse, exactly
+as the paper prescribes, with memory-order and program-order fallbacks
+when no direct reuse is achievable.
+
+The live set is maintained soundly: packs containing an operand that a
+scheduled statement (re)writes are invalidated, so a "reuse" here is
+never a stale value. The code generator repeats the same bookkeeping at
+emission time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..analysis import DependenceGraph, OperandKey
+from ..analysis.operands import KIND_REF, KIND_VAR
+from ..ir import BasicBlock, Statement
+from .model import (
+    GroupNode,
+    OrderedPack,
+    PackData,
+    Schedule,
+    ScheduledSingle,
+    SuperwordStatement,
+    pack_data,
+)
+
+_MAX_TESTED_ORDERINGS = 24
+
+
+def keys_may_alias(a: OperandKey, b: OperandKey) -> bool:
+    """May-alias on operand keys (mirrors dependence.refs_may_alias)."""
+    if a[0] == KIND_VAR and b[0] == KIND_VAR:
+        return a[1] == b[1]
+    if a[0] == KIND_REF and b[0] == KIND_REF:
+        if a[1] != b[1]:
+            return False
+        subs_a, subs_b = a[2], b[2]
+        if len(subs_a) != len(subs_b):
+            return True
+        for sa, sb in zip(subs_a, subs_b):
+            delta = sa - sb
+            if delta.is_constant and delta.const != 0:
+                return False
+        return True
+    return False
+
+
+class LiveSuperwordSet:
+    """Packs "most likely in vector registers currently", one ordered
+    pack per pack-data multiset (a newly ordered superword replaces any
+    existing superword over the same data)."""
+
+    def __init__(self) -> None:
+        self._live: Dict[PackData, OrderedPack] = {}
+
+    def lookup(self, data: PackData) -> Optional[OrderedPack]:
+        return self._live.get(data)
+
+    def contains_data(self, data: PackData) -> bool:
+        return data in self._live
+
+    def insert(self, ordered: OrderedPack) -> None:
+        self._live[pack_data(ordered)] = ordered
+
+    def invalidate_written(self, written: Sequence[OperandKey]) -> None:
+        """Drop packs holding a value that aliases a just-written operand."""
+        stale = [
+            data
+            for data, ordered in self._live.items()
+            if any(
+                keys_may_alias(lane, w) for lane in ordered for w in written
+            )
+        ]
+        for data in stale:
+            del self._live[data]
+
+    def packs(self) -> Tuple[OrderedPack, ...]:
+        return tuple(self._live.values())
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+
+# ---------------------------------------------------------------------------
+# Group dependence graph
+# ---------------------------------------------------------------------------
+
+
+class GroupDependenceGraph:
+    """Dependences lifted from statements to scheduling units."""
+
+    def __init__(self, units: Sequence[GroupNode], deps: DependenceGraph):
+        self.units = list(units)
+        self.deps = deps
+        self.succ: Dict[int, Set[int]] = {i: set() for i in range(len(units))}
+        self.pred: Dict[int, Set[int]] = {i: set() for i in range(len(units))}
+        for i, a in enumerate(self.units):
+            for j, b in enumerate(self.units):
+                if i == j:
+                    continue
+                if deps.group_depends(a.sid_set, b.sid_set):
+                    self.succ[i].add(j)
+                    self.pred[j].add(i)
+
+    def find_cycle(self) -> Optional[List[int]]:
+        """A unit cycle, if any (grouping usually prevents these but the
+        pairwise conflict test cannot rule out 3-cycles)."""
+        color: Dict[int, int] = {}
+        stack: List[int] = []
+
+        def visit(node: int) -> Optional[List[int]]:
+            color[node] = 1
+            stack.append(node)
+            for nxt in sorted(self.succ[node]):
+                if color.get(nxt) == 1:
+                    return stack[stack.index(nxt):]
+                if color.get(nxt, 0) == 0:
+                    found = visit(nxt)
+                    if found:
+                        return found
+            stack.pop()
+            color[node] = 2
+            return None
+
+        for start in range(len(self.units)):
+            if color.get(start, 0) == 0:
+                found = visit(start)
+                if found:
+                    return found
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Scheduling proper
+# ---------------------------------------------------------------------------
+
+
+class Scheduler:
+    """Figure 11, with sound live-set invalidation."""
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        deps: DependenceGraph,
+        units: Sequence[GroupNode],
+    ):
+        self.block = block
+        self.deps = deps
+        self.units = self._acyclic_units(list(units))
+        self.graph = GroupDependenceGraph(self.units, deps)
+        self.live = LiveSuperwordSet()
+
+    def _acyclic_units(self, units: List[GroupNode]) -> List[GroupNode]:
+        current = units
+        while True:
+            graph = GroupDependenceGraph(current, self.deps)
+            cycle = graph.find_cycle()
+            if cycle is None:
+                return current
+            grouped = [i for i in cycle if current[i].size > 1]
+            if not grouped:  # pragma: no cover
+                raise RuntimeError("dependence cycle among single statements")
+            victim_index = min(grouped, key=lambda i: (current[i].size, i))
+            victim = current[victim_index]
+            singles = [
+                GroupNode.of_statement(self.block[sid])
+                for sid in victim.sids
+            ]
+            current = (
+                current[:victim_index]
+                + current[victim_index + 1:]
+                + singles
+            )
+
+    # -- public -------------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        schedule = Schedule(self.block)
+        remaining: Set[int] = set(range(len(self.units)))
+        scheduled: Set[int] = set()
+
+        while remaining:
+            ready = sorted(
+                i
+                for i in remaining
+                if self.graph.pred[i] <= scheduled
+            )
+            assert ready, "dependence graph must be acyclic here"
+            group_ready = [i for i in ready if self.units[i].size > 1]
+            if group_ready:
+                index = self._best_group(group_ready)
+                item = self._order_group(self.units[index])
+                self._retire_superword(item)
+                schedule.items.append(item)
+            else:
+                index = min(
+                    (i for i in ready),
+                    key=lambda i: self.block.position(self.units[i].sids[0]),
+                )
+                stmt = self.block[self.units[index].sids[0]]
+                self._retire_single(stmt)
+                schedule.items.append(ScheduledSingle(stmt))
+            remaining.discard(index)
+            scheduled.add(index)
+        return schedule
+
+    # -- group selection (Figure 11 lines 15-18) --------------------------------
+
+    def _reuse_count(self, unit: GroupNode) -> int:
+        return sum(
+            1 for data in unit.positions if self.live.contains_data(data)
+        )
+
+    def _best_group(self, indices: Sequence[int]) -> int:
+        return max(
+            indices,
+            key=lambda i: (
+                self._reuse_count(self.units[i]),
+                -min(self.block.position(s) for s in self.units[i].sids),
+            ),
+        )
+
+    # -- intra-group ordering (Figure 11 lines 19-27) ---------------------------
+
+    def _order_group(self, unit: GroupNode) -> SuperwordStatement:
+        members = [self.block[sid] for sid in unit.sids]
+        base = SuperwordStatement(tuple(members))
+        orderings = self._candidate_orderings(base)
+        # Tie-break on list position: direct-reuse orderings come first,
+        # then memory order, then program order.
+        best = min(
+            range(len(orderings)),
+            key=lambda i: (
+                self._permutation_count(base, orderings[i]),
+                i,
+            ),
+        )
+        return base.reordered(orderings[best])
+
+    def _candidate_orderings(
+        self, base: SuperwordStatement
+    ) -> List[Tuple[int, ...]]:
+        size = base.size
+        found: List[Tuple[int, ...]] = []
+        seen: Set[Tuple[int, ...]] = set()
+
+        # Orderings achieving at least one direct reuse.
+        for position in range(base.position_count()):
+            keys = [
+                _key_of(member, position) for member in base.members
+            ]
+            data = pack_data(keys)
+            live = self.live.lookup(data)
+            if live is None:
+                continue
+            for order in _match_orderings(keys, live, _MAX_TESTED_ORDERINGS):
+                if order not in seen:
+                    seen.add(order)
+                    found.append(order)
+                if len(found) >= _MAX_TESTED_ORDERINGS:
+                    return found
+        if found:
+            return found
+
+        # Fallback 1: memory order — sort lanes so array-reference
+        # positions come out in ascending address order (cheap packing).
+        for position in range(base.position_count()):
+            keys = [_key_of(m, position) for m in base.members]
+            if all(k[0] == KIND_REF for k in keys) and len(
+                {k[1] for k in keys}
+            ) == 1:
+                order = tuple(
+                    sorted(range(size), key=lambda lane: keys[lane][2])
+                )
+                if order not in seen:
+                    seen.add(order)
+                    found.append(order)
+        # Fallback 2: program order.
+        program = tuple(
+            sorted(
+                range(size),
+                key=lambda lane: self.block.position(base.members[lane].sid),
+            )
+        )
+        if program not in seen:
+            found.append(program)
+        return found
+
+    def _permutation_count(
+        self, base: SuperwordStatement, order: Tuple[int, ...]
+    ) -> int:
+        """Np: permutations needed for the reuses of this superword
+        statement under a given lane order."""
+        permutations = 0
+        for position in range(base.position_count()):
+            keys = tuple(
+                _key_of(base.members[lane], position) for lane in order
+            )
+            live = self.live.lookup(pack_data(keys))
+            if live is not None and live != keys:
+                permutations += 1
+        return permutations
+
+    # -- live-set maintenance (Figure 11 lines 28-35) ----------------------------
+
+    def _retire_superword(self, item: SuperwordStatement) -> None:
+        for source in item.source_packs():
+            self.live.insert(source)
+        written = list(item.target_pack())
+        self.live.invalidate_written(written)
+        self.live.insert(item.target_pack())
+
+    def _retire_single(self, stmt: Statement) -> None:
+        from ..analysis import operand_key
+
+        self.live.invalidate_written([operand_key(stmt.target)])
+
+
+def _key_of(member: Statement, position: int):
+    from ..analysis import operand_key
+
+    return operand_key(member.operand_positions()[position])
+
+
+def _match_orderings(
+    keys: Sequence[OperandKey],
+    live: OrderedPack,
+    limit: int,
+) -> Iterator[Tuple[int, ...]]:
+    """Permutations ``order`` of lane indices with
+    ``keys[order[l]] == live[l]`` for every lane — i.e. orderings under
+    which this position directly reuses the live pack."""
+    size = len(keys)
+    lanes_for: List[List[int]] = [
+        [i for i in range(size) if keys[i] == live[lane]]
+        for lane in range(size)
+    ]
+    used: Set[int] = set()
+    order: List[int] = []
+    produced = 0
+
+    def backtrack(lane: int) -> Iterator[Tuple[int, ...]]:
+        nonlocal produced
+        if produced >= limit:
+            return
+        if lane == size:
+            produced += 1
+            yield tuple(order)
+            return
+        for member in lanes_for[lane]:
+            if member in used:
+                continue
+            used.add(member)
+            order.append(member)
+            yield from backtrack(lane + 1)
+            order.pop()
+            used.discard(member)
+
+    yield from backtrack(0)

@@ -1,0 +1,14 @@
+"""Pre-processing transformations (Figure 3's pre-processing module)."""
+
+from .peel import choose_peel_count, peel_loop, peel_program
+from .unroll import UnrollResult, choose_unroll_factor, unroll_loop, unroll_program
+
+__all__ = [
+    "UnrollResult",
+    "choose_peel_count",
+    "choose_unroll_factor",
+    "peel_loop",
+    "peel_program",
+    "unroll_loop",
+    "unroll_program",
+]

@@ -1,0 +1,197 @@
+"""Loop unrolling with scalar renaming — the paper's pre-processing step.
+
+"For loop-intensive applications, loop unrolling can be used to reveal
+more opportunities for short SIMD operations and to fully utilize the
+superword datapath available in the underlying architecture" (Section 3).
+
+Unrolling the innermost loop by ``u`` replicates the body with the index
+substituted ``i -> i + k*step`` for copy ``k``. Scalars defined inside
+the body are renamed per copy (``a -> a__k``) so the copies do not carry
+false (anti/output) dependences that would block grouping; the *last*
+copy keeps the original names, so the scalar state after the loop is
+bit-identical to the non-unrolled execution — which the differential
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (
+    Affine,
+    BasicBlock,
+    Expr,
+    Loop,
+    Program,
+    Statement,
+    Var,
+)
+
+
+def choose_unroll_factor(loop: Loop, datapath_bits: int) -> int:
+    """Lanes of the *highest-lane-count* element type in the body, i.e.
+    the factor that can fill the datapath with the narrowest elements."""
+    innermost = loop.innermost()
+    lane_counts = [1]
+    for stmt in innermost.body:
+        for leaf in list(stmt.expr.leaves()) + [stmt.target]:
+            if datapath_bits % leaf.type.bits == 0:
+                lane_counts.append(datapath_bits // leaf.type.bits)
+    return max(lane_counts)
+
+
+@dataclass
+class UnrollResult:
+    """An unrolled loop plus the bookkeeping the caller needs."""
+
+    main: Loop
+    remainder: Optional[Loop]
+    new_scalars: Tuple[Tuple[str, str], ...]  # (renamed, original)
+    factor: int
+
+
+class _Renamer:
+    """Tracks the current name of each body-defined scalar while copies
+    are emitted in order, so a use-before-def inside copy ``k`` correctly
+    reads copy ``k-1``'s value (reductions stay serialized, as they
+    must)."""
+
+    def __init__(self, factor: int, taken: Set[str]):
+        self.factor = factor
+        self.current: Dict[str, str] = {}
+        self.created: List[Tuple[str, str]] = []
+        self._taken = set(taken)
+
+    def note_def(self, name: str, copy: int) -> str:
+        if copy == self.factor - 1:
+            renamed = name
+        else:
+            renamed = f"{name}__{copy}"
+            while renamed in self._taken:
+                renamed += "_"
+        if renamed != name and all(r != renamed for r, _ in self.created):
+            self.created.append((renamed, name))
+            self._taken.add(renamed)
+        self.current[name] = renamed
+        return renamed
+
+    def use_name(self, name: str) -> str:
+        return self.current.get(name, name)
+
+
+def _rename_expr(expr: Expr, renamer: _Renamer) -> Expr:
+    if isinstance(expr, Var):
+        return Var(renamer.use_name(expr.name), expr.type)
+    kids = expr.children()
+    if not kids:
+        return expr
+    return expr.with_children(tuple(_rename_expr(k, renamer) for k in kids))
+
+
+def unroll_loop(
+    loop: Loop, factor: int, taken_names: Set[str]
+) -> UnrollResult:
+    """Unroll a single (innermost) loop by ``factor``.
+
+    Returns the main unrolled loop, an optional remainder loop covering
+    trip-count leftovers, and the scalar renames introduced.
+    """
+    if loop.inner is not None:
+        raise ValueError("unroll_loop expects an innermost loop")
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1 or loop.trip_count < factor:
+        return UnrollResult(loop, None, (), 1)
+
+    trips = loop.trip_count
+    main_trips = (trips // factor) * factor
+    main_stop = loop.start + main_trips * loop.step
+
+    renamer = _Renamer(factor, taken_names)
+    unrolled = BasicBlock()
+    sid = 0
+    for copy in range(factor):
+        shift = {loop.index: Affine.var(loop.index) + copy * loop.step}
+        for stmt in loop.body:
+            shifted = stmt.substitute_indices(shift)
+            expr = _rename_expr(shifted.expr, renamer)
+            target = shifted.target
+            if isinstance(target, Var):
+                target = Var(renamer.note_def(target.name, copy), target.type)
+            unrolled.append(Statement(sid, target, expr))
+            sid += 1
+
+    main = Loop(
+        loop.index, loop.start, main_stop, loop.step * factor, unrolled
+    )
+    remainder = None
+    if main_trips < trips:
+        remainder = Loop(
+            loop.index,
+            main_stop,
+            loop.stop,
+            loop.step,
+            BasicBlock([s.with_sid(i) for i, s in enumerate(loop.body)]),
+        )
+    return UnrollResult(main, remainder, tuple(renamer.created), factor)
+
+
+def unroll_program(
+    program: Program, datapath_bits: int, factor: Optional[int] = None
+) -> Program:
+    """Unroll every innermost loop of a program.
+
+    ``factor`` overrides the per-loop automatic choice (the datapath lane
+    count of the narrowest element type used in the loop body). Innermost
+    loops nested inside outer loops must have a trip count divisible by
+    the factor (our Loop model keeps one block + one nested loop per
+    body, so a remainder loop cannot be placed inside an outer body).
+    """
+    result = program.clone_shell()
+    taken = set(program.scalars) | set(program.arrays)
+
+    def register_renames(renames: Tuple[Tuple[str, str], ...]) -> None:
+        for renamed, original in renames:
+            elem = program.scalars[original].type
+            result.declare_scalar(renamed, elem)
+            taken.add(renamed)
+
+    def handle(loop: Loop, nested: bool) -> Tuple[Loop, Optional[Loop]]:
+        if loop.inner is not None:
+            inner_main, inner_rem = handle(loop.inner, nested=True)
+            if inner_rem is not None:
+                raise ValueError(
+                    f"inner loop {loop.inner.index} needs a remainder loop; "
+                    "give it a trip count divisible by the unroll factor"
+                )
+            return (
+                Loop(
+                    loop.index,
+                    loop.start,
+                    loop.stop,
+                    loop.step,
+                    loop.body,
+                    inner=inner_main,
+                ),
+                None,
+            )
+        chosen = factor or choose_unroll_factor(loop, datapath_bits)
+        outcome = unroll_loop(loop, chosen, taken)
+        register_renames(outcome.new_scalars)
+        if nested and outcome.remainder is not None:
+            raise ValueError(
+                f"nested loop {loop.index} has trip count "
+                f"{loop.trip_count} not divisible by factor {chosen}"
+            )
+        return outcome.main, outcome.remainder
+
+    for item in program.body:
+        if isinstance(item, Loop):
+            main, remainder = handle(item, nested=False)
+            result.add(main)
+            if remainder is not None:
+                result.add(remainder)
+        else:
+            result.add(item)
+    return result

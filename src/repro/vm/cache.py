@@ -1,0 +1,70 @@
+"""A set-associative LRU data cache.
+
+The machine models (Tables 1 and 2) give each platform its L1
+parameters; the simulator routes every array-element access through this
+cache so effects like the extra footprint of replicated arrays (Section
+7.2: "data replication ... has a negative impact on the cache
+behavior") show up in the measured cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    miss_penalty: float  # extra cycles per miss (next-level latency)
+
+    @property
+    def sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.ways)
+        if sets <= 0:
+            raise ValueError("cache too small for its associativity")
+        return sets
+
+
+class Cache:
+    """LRU set-associative cache over byte addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.config.sets)]
+
+    def touch_line(self, line: int) -> bool:
+        """Access one line; returns True on hit."""
+        index = line % self.config.sets
+        ways = self._sets[index]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(line)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def access(self, address: int, size_bytes: int) -> int:
+        """Access a byte range; returns the number of line misses."""
+        first = address // self.config.line_bytes
+        last = (address + size_bytes - 1) // self.config.line_bytes
+        misses = 0
+        for line in range(first, last + 1):
+            if not self.touch_line(line):
+                misses += 1
+        return misses

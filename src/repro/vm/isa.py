@@ -1,0 +1,138 @@
+"""The virtual vector ISA the code generator targets.
+
+The instruction set mirrors what an SSE2-class backend would emit for
+SLP code, at the granularity the paper's metrics need: wide loads and
+stores for contiguous aligned superwords, per-lane insert/extract
+sequences for everything else, register shuffles for reordered reuses,
+and lane-parallel arithmetic. Scalar statements compile to one composite
+:class:`ScalarExec` that still accounts loads/ops/stores individually.
+
+Every instruction is *functionally executable* by the simulator (it
+carries the value references it touches) and *costable* by a machine
+model (it exposes its instruction-class breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple, Union
+
+from ..ir import Affine, Statement
+
+
+# -- value references ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """A scalar variable (stack-arena resident for packing purposes)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A flattened array element: ``array[flat(indices)]``."""
+
+    array: str
+    flat: Affine
+
+
+@dataclass(frozen=True)
+class ImmRef:
+    """A literal constant lane."""
+
+    value: float
+
+
+ValueRef = Union[ScalarRef, MemRef, ImmRef]
+
+
+# -- access modes ---------------------------------------------------------------
+
+
+class PackMode(Enum):
+    """How a source superword gets materialized into a vector register."""
+
+    CONTIG_ALIGNED = "contig_aligned"      # one aligned wide load
+    CONTIG_UNALIGNED = "contig_unaligned"  # one unaligned wide load
+    GATHER = "gather"                      # per-lane element loads + inserts
+    SCALAR_GATHER = "scalar_gather"        # per-lane scalar loads + inserts
+    SCALAR_CONTIG = "scalar_contig"        # scalars contiguous in the arena
+    BROADCAST = "broadcast"                # one element splat to all lanes
+    IMMEDIATE = "immediate"                # constant vector materialization
+    MIXED = "mixed"                        # heterogeneous lane sources
+
+
+class StoreMode(Enum):
+    """How a target superword is written back."""
+
+    CONTIG_ALIGNED = "contig_aligned"
+    CONTIG_UNALIGNED = "contig_unaligned"
+    SCATTER = "scatter"                    # per-lane extracts + element stores
+    SCALAR_SCATTER = "scalar_scatter"      # per-lane extracts + scalar stores
+    SCALAR_CONTIG = "scalar_contig"        # scalars contiguous in the arena
+
+
+# -- instructions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarExec:
+    """One scalar statement: loads, the op tree, one store.
+
+    Kept composite so the simulator can evaluate the expression tree
+    directly while the machine model still charges ``len(loads)`` loads,
+    one ALU op per entry of ``ops`` and one store.
+    """
+
+    statement: Statement
+    loads: Tuple[ValueRef, ...]
+    ops: Tuple[str, ...]
+    store: ValueRef
+
+
+@dataclass(frozen=True)
+class VPack:
+    """Materialize an ordered superword into vector register ``dst``."""
+
+    dst: int
+    sources: Tuple[ValueRef, ...]
+    mode: PackMode
+
+
+@dataclass(frozen=True)
+class VOp:
+    """Lane-parallel arithmetic on vector registers."""
+
+    op: str
+    dst: int
+    srcs: Tuple[int, ...]
+    lanes: int
+
+
+@dataclass(frozen=True)
+class VShuffle:
+    """Reorder lanes of ``src`` into ``dst``: ``dst[l] = src[perm[l]]``.
+
+    This is the register permutation that turns an *indirect* superword
+    reuse (same data, different order) into the needed order without
+    touching memory — the saving Section 4.3 is after.
+    """
+
+    dst: int
+    src: int
+    perm: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class VStore:
+    """Write the lanes of vector register ``src`` to ``targets``."""
+
+    targets: Tuple[ValueRef, ...]
+    src: int
+    mode: StoreMode
+
+
+Instruction = Union[ScalarExec, VPack, VOp, VShuffle, VStore]

@@ -1,0 +1,135 @@
+"""Human-readable disassembly of executable plans.
+
+``disassemble_plan`` renders the virtual vector ISA the code generator
+produced — the closest thing this reproduction has to inspecting the
+SIMD assembly the paper's SUIF backend emitted. Used by the CLI's
+``--emit-plan`` and by tests that assert on emitted code shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .codegen import (
+    CompiledCopy,
+    CompiledLoop,
+    CompiledStraight,
+    CompiledUnit,
+    ExecutablePlan,
+)
+from .isa import (
+    ImmRef,
+    Instruction,
+    MemRef,
+    ScalarExec,
+    ScalarRef,
+    ValueRef,
+    VOp,
+    VPack,
+    VShuffle,
+    VStore,
+)
+
+
+def format_ref(ref: ValueRef) -> str:
+    if isinstance(ref, ScalarRef):
+        return f"${ref.name}"
+    if isinstance(ref, MemRef):
+        return f"{ref.array}[{ref.flat}]"
+    assert isinstance(ref, ImmRef)
+    return f"#{ref.value}"
+
+
+def format_instruction(instr: Instruction) -> str:
+    if isinstance(instr, ScalarExec):
+        return f"scalar  {instr.statement}"
+    if isinstance(instr, VPack):
+        lanes = ", ".join(format_ref(r) for r in instr.sources)
+        return f"vpack   v{instr.dst} <- [{lanes}]  ({instr.mode.value})"
+    if isinstance(instr, VOp):
+        srcs = ", ".join(f"v{s}" for s in instr.srcs)
+        return f"vop.{instr.op:<4} v{instr.dst} <- {srcs}  (x{instr.lanes})"
+    if isinstance(instr, VShuffle):
+        perm = ",".join(str(i) for i in instr.perm)
+        return f"vshuf   v{instr.dst} <- v{instr.src} [{perm}]"
+    if isinstance(instr, VStore):
+        lanes = ", ".join(format_ref(r) for r in instr.targets)
+        return f"vstore  [{lanes}] <- v{instr.src}  ({instr.mode.value})"
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def _format_unit(unit: CompiledUnit, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    lines: List[str] = []
+    if isinstance(unit, CompiledStraight):
+        lines.append(f"{pad}block:")
+        for instr in unit.instructions:
+            lines.append(f"{pad}  {format_instruction(instr)}")
+        return lines
+    if isinstance(unit, CompiledCopy):
+        rep = unit.replication
+        lines.append(
+            f"{pad}replicate {rep.new_name}[{rep.elements}] "
+            f"from {rep.source} "
+            f"(lanes={rep.lanes}, loop {rep.loop.index}="
+            f"{rep.loop.start}..{rep.loop.stop}:{rep.loop.step}, "
+            f"amortized /{unit.amortization:g})"
+        )
+        return lines
+    assert isinstance(unit, CompiledLoop)
+    spec = unit.spec
+    lines.append(
+        f"{pad}loop {spec.index} = {spec.start}..{spec.stop} "
+        f"step {spec.step}:"
+    )
+    if unit.preheader:
+        lines.append(f"{pad}  preheader:")
+        for instr in unit.preheader:
+            lines.append(f"{pad}    {format_instruction(instr)}")
+    if unit.body:
+        lines.append(f"{pad}  body:")
+        for instr in unit.body:
+            lines.append(f"{pad}    {format_instruction(instr)}")
+    if unit.inner is not None:
+        lines.extend(_format_unit(unit.inner, indent + 1))
+    return lines
+
+
+def disassemble_plan(plan: ExecutablePlan) -> str:
+    """The whole plan as indented text."""
+    lines: List[str] = []
+    for arena in plan.arenas.values():
+        slots = ", ".join(
+            f"{name}@{offset}" for name, offset in sorted(
+                arena.slots.items(), key=lambda kv: kv[1]
+            )
+        )
+        lines.append(f"arena {arena.type.name}: {slots}")
+    for unit in plan.units:
+        lines.extend(_format_unit(unit))
+    return "\n".join(lines) + "\n"
+
+
+def instruction_histogram(plan: ExecutablePlan) -> dict:
+    """Static instruction counts by mnemonic (per class, not dynamic)."""
+    counts: dict = {}
+
+    def visit(instrs: Iterable[Instruction]) -> None:
+        for instr in instrs:
+            name = type(instr).__name__
+            counts[name] = counts.get(name, 0) + 1
+
+    def walk(unit: CompiledUnit) -> None:
+        if isinstance(unit, CompiledStraight):
+            visit(unit.instructions)
+        elif isinstance(unit, CompiledLoop):
+            visit(unit.preheader)
+            visit(unit.body)
+            if unit.inner is not None:
+                walk(unit.inner)
+        else:
+            counts["CompiledCopy"] = counts.get("CompiledCopy", 0) + 1
+
+    for unit in plan.units:
+        walk(unit)
+    return counts

@@ -1,0 +1,114 @@
+"""Execution reports: dynamic instruction mix and cycle accounting.
+
+The categories are chosen so the paper's metrics fall out directly:
+
+* Figure 17 reports "dynamic instructions (excluding the
+  packing/unpacking instructions)" and "packing/unpacking overheads" —
+  :meth:`ExecutionReport.dynamic_instructions` and
+  :meth:`ExecutionReport.pack_unpack_ops`.
+* Figures 16/19/20/21 report execution-time reductions —
+  :attr:`ExecutionReport.cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Instruction categories that exist only to assemble or disassemble
+#: superwords. A contiguous aligned wide load/store is *not* overhead —
+#: it is the natural memory access SLP replaces several scalar accesses
+#: with; the overhead is the per-lane traffic, inserts/extracts,
+#: shuffles and vector-constant materialization.
+PACK_UNPACK_CATEGORIES = frozenset(
+    {
+        "lane_insert",
+        "lane_extract",
+        "shuffle",
+        "broadcast",
+        "imm_vector",
+        "pack_mem_load",
+        "unpack_mem_store",
+        "pack_scalar_move",
+        "unpack_scalar_move",
+    }
+)
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregated observations from one simulated execution."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    cycles: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    max_live_vregs: int = 0
+
+    def bump(self, category: str, count: int = 1) -> None:
+        self.counts[category] = self.counts.get(category, 0) + count
+
+    def charge(self, category: str, count: int, unit_cycles: float) -> None:
+        self.bump(category, count)
+        self.cycles += count * unit_cycles
+
+    def merge(self, other: "ExecutionReport") -> None:
+        for category, count in other.counts.items():
+            self.bump(category, count)
+        self.cycles += other.cycles
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.max_live_vregs = max(self.max_live_vregs, other.max_live_vregs)
+
+    # -- derived metrics ----------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def pack_unpack_ops(self) -> int:
+        return sum(
+            count
+            for category, count in self.counts.items()
+            if category in PACK_UNPACK_CATEGORIES
+        )
+
+    @property
+    def dynamic_instructions(self) -> int:
+        """Dynamic instructions excluding packing/unpacking (Figure 17)."""
+        return self.total_instructions - self.pack_unpack_ops
+
+    @property
+    def memory_operations(self) -> int:
+        return sum(
+            self.counts.get(cat, 0)
+            for cat in (
+                "scalar_load",
+                "scalar_store",
+                "vector_load",
+                "vector_store",
+                "pack_mem_load",
+                "unpack_mem_store",
+            )
+        )
+
+    def summary(self) -> str:
+        lines = [f"cycles: {self.cycles:.1f}"]
+        lines.append(
+            f"instructions: {self.total_instructions} "
+            f"(pack/unpack: {self.pack_unpack_ops})"
+        )
+        lines.append(
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+        )
+        for category in sorted(self.counts):
+            lines.append(f"  {category}: {self.counts[category]}")
+        return "\n".join(lines)
+
+
+def reduction(baseline: float, improved: float) -> float:
+    """Relative reduction (the y-axis of Figures 16-21): 1 - new/old."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - improved / baseline

@@ -1,0 +1,428 @@
+"""The virtual SIMD machine: functional + timing simulation.
+
+``Simulator.run`` executes an :class:`ExecutablePlan` instruction by
+instruction against a :class:`Memory`, producing both the final machine
+state (arrays + scalars, used by the differential correctness tests) and
+an :class:`ExecutionReport` (dynamic instruction mix, pack/unpack
+counts, cache statistics, cycle total — the quantities every figure of
+the paper's evaluation is built from).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..ir import ArrayRef, Const, Expr, Var
+from .cache import Cache
+from .codegen import (
+    CompiledCopy,
+    CompiledLoop,
+    CompiledStraight,
+    CompiledUnit,
+    ExecutablePlan,
+)
+from .isa import (
+    ImmRef,
+    Instruction,
+    MemRef,
+    PackMode,
+    ScalarExec,
+    ScalarRef,
+    StoreMode,
+    ValueRef,
+    VOp,
+    VPack,
+    VShuffle,
+    VStore,
+)
+from .machine import MachineModel
+from .report import ExecutionReport
+
+_OP_FUNCS: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "min": min,
+    "max": max,
+    "neg": lambda a: -a,
+    "abs": abs,
+    "sqrt": math.sqrt,
+}
+
+
+class Memory:
+    """Program state: flat numpy arrays plus a scalar environment.
+
+    Array base addresses are assigned sequentially, aligned to the cache
+    line, so the cache simulation sees a realistic address space.
+    """
+
+    def __init__(
+        self,
+        plan_or_program,
+        seed: int = 0,
+        line_bytes: int = 64,
+    ):
+        if isinstance(plan_or_program, ExecutablePlan):
+            program = plan_or_program.program
+            replicated = dict(plan_or_program.replicated_decls)
+            rep_types = {
+                unit.replication.new_name: program.arrays[
+                    unit.replication.source
+                ].type
+                for unit in plan_or_program.units
+                if isinstance(unit, CompiledCopy)
+            }
+        else:
+            program = plan_or_program
+            replicated = {}
+            rep_types = {}
+        self.program = program
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.scalars: Dict[str, float] = {}
+        self._base: Dict[str, int] = {}
+        self._elem_bytes: Dict[str, int] = {}
+        next_base = line_bytes
+
+        for decl in program.arrays.values():
+            rng = _name_rng(seed, decl.name)
+            if decl.type.is_float:
+                data = rng.uniform(1.0, 2.0, decl.size)
+            else:
+                data = rng.integers(1, 100, decl.size).astype(np.float64)
+            self.arrays[decl.name] = data
+            self._base[decl.name] = next_base
+            self._elem_bytes[decl.name] = decl.type.bytes
+            next_base += _aligned(decl.size * decl.type.bytes, line_bytes)
+
+        for name, elements in replicated.items():
+            elem = rep_types.get(name)
+            bytes_per = elem.bytes if elem else 8
+            self.arrays[name] = np.zeros(elements, dtype=np.float64)
+            self._base[name] = next_base
+            self._elem_bytes[name] = bytes_per
+            next_base += _aligned(elements * bytes_per, line_bytes)
+
+        for decl in program.scalars.values():
+            rng = _name_rng(seed, decl.name)
+            if decl.type.is_float:
+                self.scalars[decl.name] = float(rng.uniform(1.0, 2.0))
+            else:
+                self.scalars[decl.name] = float(rng.integers(1, 100))
+
+    def read(self, array: str, flat: int) -> float:
+        return float(self.arrays[array][flat])
+
+    def write(self, array: str, flat: int, value: float) -> None:
+        self.arrays[array][flat] = value
+
+    def address(self, array: str, flat: int) -> int:
+        return self._base[array] + flat * self._elem_bytes[array]
+
+    def elem_bytes(self, array: str) -> int:
+        return self._elem_bytes[array]
+
+    # -- test support -----------------------------------------------------------
+
+    def state_equal(self, other: "Memory", rtol: float = 0.0) -> bool:
+        """Exact (or tolerant) equality of shared arrays and scalars."""
+        shared = set(self.arrays) & set(other.arrays)
+        for name in shared:
+            a, b = self.arrays[name], other.arrays[name]
+            if len(a) != len(b):
+                return False
+            if rtol:
+                if not np.allclose(a, b, rtol=rtol):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        for name in set(self.scalars) & set(other.scalars):
+            a, b = self.scalars[name], other.scalars[name]
+            if rtol:
+                if not math.isclose(a, b, rel_tol=rtol):
+                    return False
+            elif a != b:
+                return False
+        return True
+
+
+def _aligned(size: int, align: int) -> int:
+    return ((size + align - 1) // align) * align
+
+
+def _name_rng(seed: int, name: str) -> np.random.Generator:
+    """Per-name RNG: initial contents depend only on (seed, name), never
+    on how many other declarations exist — so a variant that adds
+    replicated arrays still starts from bit-identical input state (the
+    differential tests rely on this)."""
+    import zlib
+
+    return np.random.default_rng([seed, zlib.crc32(name.encode("utf-8"))])
+
+
+def evaluate_expr(expr: Expr, env: Dict[str, int], memory: Memory) -> float:
+    if isinstance(expr, Const):
+        return float(expr.value)
+    if isinstance(expr, Var):
+        return memory.scalars[expr.name]
+    if isinstance(expr, ArrayRef):
+        decl = memory.program.arrays[expr.array]
+        flat = 0
+        for subscript, dim in zip(expr.subscripts, decl.shape):
+            flat = flat * dim + subscript.evaluate(env)
+        return memory.read(expr.array, flat)
+    kids = expr.children()
+    values = [evaluate_expr(k, env, memory) for k in kids]
+    return _OP_FUNCS[getattr(expr, "op")](*values)
+
+
+class Simulator:
+    """Executes plans with cycle/cache accounting."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+
+    def run(
+        self,
+        plan: ExecutablePlan,
+        memory: Optional[Memory] = None,
+        seed: int = 0,
+    ) -> Tuple[ExecutionReport, Memory]:
+        memory = memory or Memory(plan, seed=seed)
+        report = ExecutionReport()
+        cache = Cache(self.machine.l1)
+        state = _RunState(self.machine, memory, report, cache)
+        env: Dict[str, int] = {}
+        for unit in plan.units:
+            self._run_unit(unit, env, state)
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+        return report, memory
+
+    # -- unit execution -------------------------------------------------------------
+
+    def _run_unit(self, unit: CompiledUnit, env: Dict[str, int], state) -> None:
+        if isinstance(unit, CompiledStraight):
+            for instr in unit.instructions:
+                state.execute(instr, env)
+            return
+        if isinstance(unit, CompiledCopy):
+            state.run_copy(unit)
+            return
+        assert isinstance(unit, CompiledLoop)
+        for instr in unit.preheader:
+            state.execute(instr, env)
+        spec = unit.spec
+        for value in range(spec.start, spec.stop, spec.step):
+            env[spec.index] = value
+            for instr in unit.body:
+                state.execute(instr, env)
+            if unit.inner is not None:
+                self._run_unit(unit.inner, env, state)
+        env.pop(spec.index, None)
+
+
+class _RunState:
+    """Per-run mutable execution state and the instruction semantics."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        memory: Memory,
+        report: ExecutionReport,
+        cache: Cache,
+    ):
+        self.machine = machine
+        self.memory = memory
+        self.report = report
+        self.cache = cache
+        self.vregs: Dict[int, Tuple[float, ...]] = {}
+
+    # -- memory with cache accounting ----------------------------------------------
+
+    def _touch(self, array: str, flat: int, size_bytes: int) -> None:
+        address = self.memory.address(array, flat)
+        misses = self.cache.access(address, size_bytes)
+        if misses:
+            self.report.cycles += misses * self.machine.l1.miss_penalty
+
+    def read_ref(self, ref: ValueRef, env: Dict[str, int]) -> float:
+        if isinstance(ref, ImmRef):
+            return float(ref.value)
+        if isinstance(ref, ScalarRef):
+            return self.memory.scalars[ref.name]
+        assert isinstance(ref, MemRef)
+        flat = ref.flat.evaluate(env)
+        return self.memory.read(ref.array, flat)
+
+    def write_ref(self, ref: ValueRef, value: float, env: Dict[str, int]) -> None:
+        if isinstance(ref, ScalarRef):
+            self.memory.scalars[ref.name] = value
+            return
+        assert isinstance(ref, MemRef)
+        flat = ref.flat.evaluate(env)
+        self.memory.write(ref.array, flat, value)
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def execute(self, instr: Instruction, env: Dict[str, int]) -> None:
+        if isinstance(instr, ScalarExec):
+            self._exec_scalar(instr, env)
+        elif isinstance(instr, VPack):
+            self._exec_pack(instr, env)
+        elif isinstance(instr, VOp):
+            self._exec_vop(instr)
+        elif isinstance(instr, VShuffle):
+            self._exec_shuffle(instr)
+        elif isinstance(instr, VStore):
+            self._exec_store(instr, env)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    def _exec_scalar(self, instr: ScalarExec, env: Dict[str, int]) -> None:
+        machine, report = self.machine, self.report
+        for load in instr.loads:
+            if isinstance(load, MemRef):
+                flat = load.flat.evaluate(env)
+                self._touch(load.array, flat, self.memory.elem_bytes(load.array))
+                report.charge("scalar_load", 1, machine.scalar_load)
+            else:
+                report.charge("scalar_move", 1, machine.scalar_move)
+        for op in instr.ops:
+            report.charge("scalar_op", 1, machine.op_cost(op))
+        value = evaluate_expr(instr.statement.expr, env, self.memory)
+        if isinstance(instr.store, MemRef):
+            flat = instr.store.flat.evaluate(env)
+            self._touch(
+                instr.store.array, flat, self.memory.elem_bytes(instr.store.array)
+            )
+            report.charge("scalar_store", 1, machine.scalar_store)
+        else:
+            report.charge("scalar_move", 1, machine.scalar_move)
+        self.write_ref(instr.store, value, env)
+
+    def _exec_pack(self, instr: VPack, env: Dict[str, int]) -> None:
+        machine, report = self.machine, self.report
+        lanes = len(instr.sources)
+        mode = instr.mode
+        if mode is PackMode.CONTIG_ALIGNED or mode is PackMode.CONTIG_UNALIGNED:
+            first = instr.sources[0]
+            assert isinstance(first, MemRef)
+            flat = first.flat.evaluate(env)
+            width = lanes * self.memory.elem_bytes(first.array)
+            self._touch(first.array, flat, width)
+            cost = machine.vector_load
+            if mode is PackMode.CONTIG_UNALIGNED:
+                cost += machine.unaligned_extra
+            report.charge("vector_load", 1, cost)
+        elif mode is PackMode.SCALAR_CONTIG:
+            report.charge("vector_load", 1, machine.vector_load)
+        elif mode is PackMode.IMMEDIATE:
+            report.charge("imm_vector", 1, machine.imm_vector)
+        elif mode is PackMode.BROADCAST:
+            first = instr.sources[0]
+            if isinstance(first, MemRef):
+                flat = first.flat.evaluate(env)
+                self._touch(
+                    first.array, flat, self.memory.elem_bytes(first.array)
+                )
+                report.charge("pack_mem_load", 1, machine.scalar_load)
+            elif isinstance(first, ScalarRef):
+                report.charge("pack_scalar_move", 1, machine.scalar_move)
+            report.charge("broadcast", 1, machine.broadcast)
+        else:  # GATHER / SCALAR_GATHER / MIXED
+            for source in instr.sources:
+                if isinstance(source, MemRef):
+                    flat = source.flat.evaluate(env)
+                    self._touch(
+                        source.array, flat, self.memory.elem_bytes(source.array)
+                    )
+                    report.charge("pack_mem_load", 1, machine.scalar_load)
+                elif isinstance(source, ScalarRef):
+                    report.charge("pack_scalar_move", 1, machine.scalar_move)
+                report.charge("lane_insert", 1, machine.lane_insert)
+        self.vregs[instr.dst] = tuple(
+            self.read_ref(src, env) for src in instr.sources
+        )
+
+    def _exec_vop(self, instr: VOp) -> None:
+        self.report.charge("vector_op", 1, self.machine.op_cost(instr.op))
+        fn = _OP_FUNCS[instr.op]
+        operands = [self.vregs[s] for s in instr.srcs]
+        self.vregs[instr.dst] = tuple(
+            fn(*[reg[lane] for reg in operands]) for lane in range(instr.lanes)
+        )
+
+    def _exec_shuffle(self, instr: VShuffle) -> None:
+        self.report.charge("shuffle", 1, self.machine.shuffle)
+        src = self.vregs[instr.src]
+        self.vregs[instr.dst] = tuple(src[i] for i in instr.perm)
+
+    def _exec_store(self, instr: VStore, env: Dict[str, int]) -> None:
+        machine, report = self.machine, self.report
+        values = self.vregs[instr.src]
+        mode = instr.mode
+        if mode is StoreMode.CONTIG_ALIGNED or mode is StoreMode.CONTIG_UNALIGNED:
+            first = instr.targets[0]
+            assert isinstance(first, MemRef)
+            flat = first.flat.evaluate(env)
+            width = len(instr.targets) * self.memory.elem_bytes(first.array)
+            self._touch(first.array, flat, width)
+            cost = machine.vector_store
+            if mode is StoreMode.CONTIG_UNALIGNED:
+                cost += machine.unaligned_extra
+            report.charge("vector_store", 1, cost)
+        elif mode is StoreMode.SCALAR_CONTIG:
+            report.charge("vector_store", 1, machine.vector_store)
+        else:  # SCATTER / SCALAR_SCATTER
+            for target in instr.targets:
+                report.charge("lane_extract", 1, machine.lane_extract)
+                if isinstance(target, MemRef):
+                    flat = target.flat.evaluate(env)
+                    self._touch(
+                        target.array, flat, self.memory.elem_bytes(target.array)
+                    )
+                    report.charge("unpack_mem_store", 1, machine.scalar_store)
+                else:
+                    report.charge("unpack_scalar_move", 1, machine.scalar_move)
+        for target, value in zip(instr.targets, values):
+            self.write_ref(target, value, env)
+
+    # -- layout replication copies ---------------------------------------------------
+
+    def run_copy(self, unit: CompiledCopy) -> None:
+        """Materialize a replicated array.
+
+        The per-element cost (and its misses) is charged divided by the
+        amortization factor — the paper's applications execute the
+        optimized loop nest many times per replication. The copy *does*
+        warm the cache with the lines it touches (it runs immediately
+        before the kernel, and on every invocation after the first the
+        replica is as warm as the original array would have been), so
+        the kernel is not charged phantom cold misses for the replica.
+        """
+        rep = unit.replication
+        src = self.memory.arrays[rep.source]
+        dst = self.memory.arrays[rep.new_name]
+        misses = 0
+        for dst_index, src_index in rep.copy_pairs():
+            dst[dst_index] = src[src_index]
+            misses += self.cache.access(
+                self.memory.address(rep.source, src_index),
+                self.memory.elem_bytes(rep.source),
+            )
+            misses += self.cache.access(
+                self.memory.address(rep.new_name, dst_index),
+                self.memory.elem_bytes(rep.new_name),
+            )
+        per_element = self.machine.scalar_load + self.machine.scalar_store
+        amortized = (
+            rep.elements * per_element
+            + misses * self.machine.l1.miss_penalty
+        ) / unit.amortization
+        self.report.bump("layout_copy_element", rep.elements)
+        self.report.cycles += amortized

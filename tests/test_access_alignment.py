@@ -1,0 +1,124 @@
+"""Memory access vectors (Equation 1) and alignment/contiguity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    access_vector,
+    alignment_of,
+    flat_affine,
+    is_aligned,
+    loop_access_vectors,
+    pack_contiguity,
+)
+from repro.ir import Affine, ArrayDecl, ArrayRef, FLOAT32, parse_program
+
+
+def ref1(array, **kw):
+    const = kw.pop("const", 0)
+    return ArrayRef(array, (Affine.of(const, **kw),), FLOAT32)
+
+
+class TestAccessVectors:
+    def test_1d_access_vector(self):
+        av = access_vector(ref1("A", i=4, const=3), ["i"])
+        assert av.matrix == ((4,),)
+        assert av.offset == (3,)
+        assert av.evaluate([2]) == (11,)
+
+    def test_2d_access_vector(self):
+        ref = ArrayRef(
+            "M",
+            (Affine.of(1, i=2), Affine.of(0, j=3)),
+            FLOAT32,
+        )
+        av = access_vector(ref, ["i", "j"])
+        assert np.array_equal(av.Q, np.array([[2, 0], [0, 3]]))
+        assert av.evaluate([1, 2]) == (3, 6)
+        assert av.innermost_column() == (0, 3)
+
+    def test_rowmajor_innermost_stride(self):
+        ref = ArrayRef(
+            "M", (Affine.of(0, i=1), Affine.of(0, j=2)), FLOAT32
+        )
+        av = access_vector(ref, ["i", "j"])
+        assert av.innermost_stride_rowmajor((8, 16)) == 2
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ValueError):
+            access_vector(ref1("A", k=1), ["i"])
+
+    def test_loop_access_vectors(self):
+        program = parse_program(
+            """
+            float M[8][16];
+            for (i = 0; i < 8; i += 1) {
+                for (j = 0; j < 16; j += 1) {
+                    M[i][j] = M[i][j] * 2.0;
+                }
+            }
+            """
+        )
+        loop = next(iter(program.loops()))
+        vectors = loop_access_vectors(loop)
+        assert len(vectors) == 2  # target + source
+        assert all(av.indices == ("i", "j") for _, av in vectors)
+
+
+class TestFlattening:
+    def test_flat_affine_rowmajor(self):
+        decl = ArrayDecl("M", (8, 16), FLOAT32)
+        ref = ArrayRef(
+            "M", (Affine.of(0, i=1), Affine.of(3, j=1)), FLOAT32
+        )
+        flat = flat_affine(ref, decl)
+        assert flat.evaluate({"i": 2, "j": 5}) == 2 * 16 + 8
+
+    def test_rank_mismatch_rejected(self):
+        decl = ArrayDecl("M", (8, 16), FLOAT32)
+        with pytest.raises(ValueError):
+            flat_affine(ref1("M", i=1), decl)
+
+
+class TestContiguity:
+    DECL = ArrayDecl("A", (64,), FLOAT32)
+
+    def decl_of(self, name):
+        return self.DECL
+
+    def test_consecutive_refs_contiguous(self):
+        refs = [ref1("A", i=4), ref1("A", i=4, const=1)]
+        base = pack_contiguity(refs, self.decl_of, 2)
+        assert base is not None
+        assert base == Affine.of(0, i=4)
+
+    def test_order_matters(self):
+        refs = [ref1("A", i=4, const=1), ref1("A", i=4)]
+        assert pack_contiguity(refs, self.decl_of, 2) is None
+
+    def test_stride_two_not_contiguous(self):
+        refs = [ref1("A", i=4), ref1("A", i=4, const=2)]
+        assert pack_contiguity(refs, self.decl_of, 2) is None
+
+    def test_mixed_arrays_not_contiguous(self):
+        other = ArrayDecl("B", (64,), FLOAT32)
+        refs = [ref1("A", i=1), ref1("B", i=1, const=1)]
+        decl_of = lambda n: self.DECL if n == "A" else other  # noqa: E731
+        assert pack_contiguity(refs, decl_of, 2) is None
+
+
+class TestAlignment:
+    def test_aligned_when_all_terms_divide(self):
+        assert is_aligned(Affine.of(4, i=8), 4)
+        assert is_aligned(Affine.of(0, i=4), 4)
+
+    def test_unaligned_constant(self):
+        assert not is_aligned(Affine.of(2, i=4), 4)
+
+    def test_unknown_alignment_with_odd_coeff(self):
+        assert not is_aligned(Affine.of(0, i=3), 4)
+        assert alignment_of(Affine.of(0, i=3), 4) is None
+
+    def test_alignment_residue(self):
+        assert alignment_of(Affine.of(6, i=4), 4) == 2
+        assert alignment_of(Affine.of(8, i=4), 4) == 0

@@ -1,0 +1,96 @@
+"""Affine index function arithmetic, evaluation, and substitution."""
+
+import pytest
+
+from repro.ir import Affine
+
+
+class TestConstruction:
+    def test_of_builds_normalized_coeffs(self):
+        a = Affine.of(3, i=4)
+        assert a.const == 3
+        assert a.coeff("i") == 4
+        assert a.coeff("j") == 0
+
+    def test_zero_coefficients_are_dropped(self):
+        a = Affine.of(1, i=0, j=2)
+        assert a.variables() == ("j",)
+
+    def test_var_constructor(self):
+        assert Affine.var("i") == Affine.of(0, i=1)
+        assert Affine.var("i", 3) == Affine.of(0, i=3)
+
+    def test_is_constant(self):
+        assert Affine.of(7).is_constant
+        assert not Affine.of(7, i=1).is_constant
+
+
+class TestArithmetic:
+    def test_addition_merges_terms(self):
+        a = Affine.of(1, i=2) + Affine.of(3, i=5, j=1)
+        assert a == Affine.of(4, i=7, j=1)
+
+    def test_addition_with_int(self):
+        assert Affine.of(1, i=2) + 5 == Affine.of(6, i=2)
+        assert 5 + Affine.of(1, i=2) == Affine.of(6, i=2)
+
+    def test_subtraction_cancels(self):
+        a = Affine.of(4, i=3) - Affine.of(1, i=3)
+        assert a == Affine.of(3)
+        assert a.is_constant
+
+    def test_negation(self):
+        assert -Affine.of(2, i=1) == Affine.of(-2, i=-1)
+
+    def test_scaling(self):
+        assert Affine.of(1, i=2) * 3 == Affine.of(3, i=6)
+        assert 3 * Affine.of(1, i=2) == Affine.of(3, i=6)
+
+    def test_scaling_by_zero(self):
+        assert Affine.of(5, i=2) * 0 == Affine.of(0)
+
+    def test_scaling_by_non_int_raises(self):
+        with pytest.raises(TypeError):
+            Affine.of(1) * 1.5
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        a = Affine.of(3, i=4, j=-1)
+        assert a.evaluate({"i": 2, "j": 5}) == 3 + 8 - 5
+
+    def test_evaluate_requires_bindings(self):
+        with pytest.raises(KeyError):
+            Affine.of(0, i=1).evaluate({})
+
+    def test_constant_needs_no_bindings(self):
+        assert Affine.of(9).evaluate({}) == 9
+
+
+class TestSubstitution:
+    def test_unroll_style_substitution(self):
+        # i -> i + 2 (copy 2 of an unrolled loop with step 1)
+        a = Affine.of(3, i=4)
+        shifted = a.substitute({"i": Affine.var("i") + 2})
+        assert shifted == Affine.of(11, i=4)
+
+    def test_substitution_leaves_other_indices(self):
+        a = Affine.of(0, i=1, j=1)
+        shifted = a.substitute({"i": Affine.var("i") + 1})
+        assert shifted == Affine.of(1, i=1, j=1)
+
+    def test_substitution_into_multiple_terms(self):
+        a = Affine.of(0, i=2)
+        widened = a.substitute({"i": Affine.of(0, i=4) + 1})
+        assert widened == Affine.of(2, i=8)
+
+
+class TestOrderingAndDisplay:
+    def test_affines_are_sortable(self):
+        values = sorted([Affine.of(3, i=1), Affine.of(1), Affine.of(2, i=1)])
+        assert values[0] == Affine.of(1)
+
+    def test_str_renders_terms(self):
+        assert str(Affine.of(3, i=4)) == "4*i + 3"
+        assert str(Affine.of(-2, i=1)) == "i - 2"
+        assert str(Affine.of(0)) == "0"

@@ -1,0 +1,152 @@
+"""The Larsen–Amarasinghe greedy SLP baseline and the Native model."""
+
+import pytest
+
+from repro.analysis import DependenceGraph
+from repro.ir import parse_block, parse_program
+from repro.slp import (
+    GreedyConfig,
+    GreedySLP,
+    greedy_slp_schedule,
+    native_schedule,
+)
+
+DECLS = """
+float A[512]; float B[512]; float C[512];
+float a, b, c, d, p, q;
+"""
+
+
+def setup(src):
+    block = parse_block(src, DECLS)
+    deps = DependenceGraph(block)
+    decls = parse_program(DECLS).arrays
+    return block, deps, lambda name: decls[name]
+
+
+def groups_of(schedule):
+    return {frozenset(sw.sids) for sw in schedule.superwords()}
+
+
+class TestSeeds:
+    def test_adjacent_loads_seed_a_pack(self):
+        block, deps, decl_of = setup("a = A[0]; b = A[1];")
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        assert groups_of(schedule) == {frozenset({0, 1})}
+
+    def test_lane_order_follows_addresses(self):
+        block, deps, decl_of = setup("a = A[1]; b = A[0];")
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        sw = next(schedule.superwords())
+        # Lane 0 must hold the lower address (A[0], defined by S1).
+        assert sw.sids == (1, 0)
+
+    def test_non_adjacent_loads_do_not_seed(self):
+        block, deps, decl_of = setup("a = A[0]; b = A[5];")
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        assert groups_of(schedule) == set()
+
+    def test_adjacent_stores_seed(self):
+        block, deps, decl_of = setup("B[0] = a + p; B[1] = b + p;")
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        assert groups_of(schedule) == {frozenset({0, 1})}
+
+
+class TestChainExtension:
+    SRC = """
+    a = A[0];
+    b = A[1];
+    c = a * p;
+    d = b * p;
+    B[4] = c + q;
+    B[9] = d + q;
+    """
+
+    def test_def_use_extension(self):
+        block, deps, decl_of = setup(self.SRC)
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        groups = groups_of(schedule)
+        assert frozenset({0, 1}) in groups  # the seed
+        assert frozenset({2, 3}) in groups  # def-use from <a,b>
+        assert frozenset({4, 5}) in groups  # def-use from <c,d>
+
+    def test_use_def_extension(self):
+        block, deps, decl_of = setup(
+            """
+            a = p * q;
+            b = c * q;
+            B[0] = a + d;
+            B[1] = b + d;
+            """
+        )
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        groups = groups_of(schedule)
+        assert frozenset({2, 3}) in groups  # the store seed
+        assert frozenset({0, 1}) in groups  # use-def from <a,b>
+
+    def test_no_chains_when_disabled(self):
+        block, deps, decl_of = setup(self.SRC)
+        config = GreedyConfig(datapath_bits=128, follow_chains=False)
+        schedule = GreedySLP(block, deps, decl_of, config).schedule()
+        groups = groups_of(schedule)
+        assert frozenset({0, 1}) in groups
+        assert frozenset({2, 3}) not in groups
+
+
+class TestCombination:
+    def test_pairs_combine_into_quads(self):
+        block, deps, decl_of = setup(
+            "a = A[0]; b = A[1]; c = A[2]; d = A[3];"
+        )
+        schedule = greedy_slp_schedule(block, deps, decl_of, 128)
+        groups = groups_of(schedule)
+        assert frozenset({0, 1, 2, 3}) in groups
+
+    def test_combination_respects_datapath(self):
+        block, deps, decl_of = setup(
+            "a = A[0]; b = A[1]; c = A[2]; d = A[3];"
+        )
+        schedule = greedy_slp_schedule(block, deps, decl_of, 64)
+        groups = groups_of(schedule)
+        assert frozenset({0, 1}) in groups
+        assert frozenset({2, 3}) in groups
+
+
+class TestNative:
+    def test_native_requires_full_contiguity(self):
+        # One adjacent position + one strided position: SLP packs it,
+        # Native does not.
+        src = "B[0] = A[0] + q; B[1] = A[7] + q;"
+        block, deps, decl_of = setup(src)
+        assert groups_of(greedy_slp_schedule(block, deps, decl_of)) == {
+            frozenset({0, 1})
+        }
+        assert groups_of(native_schedule(block, deps, decl_of)) == set()
+
+    def test_native_accepts_fully_contiguous(self):
+        src = "B[0] = A[0] + q; B[1] = A[1] + q;"
+        block, deps, decl_of = setup(src)
+        assert groups_of(native_schedule(block, deps, decl_of)) == {
+            frozenset({0, 1})
+        }
+
+    def test_native_rejects_differing_scalars(self):
+        src = "B[0] = A[0] + p; B[1] = A[1] + q;"
+        block, deps, decl_of = setup(src)
+        assert groups_of(native_schedule(block, deps, decl_of)) == set()
+
+
+class TestSchedules:
+    def test_schedules_are_valid(self):
+        block, deps, decl_of = setup(TestChainExtension.SRC)
+        for make in (greedy_slp_schedule, native_schedule):
+            schedule = make(block, deps, decl_of)
+            schedule.validate(deps, datapath_bits=128)
+
+    def test_statements_in_at_most_one_group(self):
+        block, deps, decl_of = setup(TestChainExtension.SRC)
+        schedule = greedy_slp_schedule(block, deps, decl_of)
+        seen = set()
+        for sw in schedule.superwords():
+            assert not (sw.sid_set & seen)
+            seen |= sw.sid_set

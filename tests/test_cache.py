@@ -1,0 +1,82 @@
+"""The set-associative LRU cache model."""
+
+import pytest
+
+from repro.vm import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(
+        CacheConfig(
+            size_bytes=ways * sets * line,
+            line_bytes=line,
+            ways=ways,
+            miss_penalty=10.0,
+        )
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0, 8) == 1
+        assert cache.access(0, 8) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache()
+        cache.access(0, 8)
+        assert cache.access(32, 8) == 0
+
+    def test_straddling_access_touches_two_lines(self):
+        cache = small_cache()
+        assert cache.access(60, 8) == 2
+
+    def test_wide_access_counts_all_lines(self):
+        cache = small_cache()
+        assert cache.access(0, 256) == 4
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        cache = small_cache(ways=2, sets=1, line=64)
+        cache.access(0, 1)      # line 0
+        cache.access(64, 1)     # line 1
+        cache.access(128, 1)    # line 2 evicts line 0
+        assert cache.access(64, 1) == 0   # line 1 still resident
+        assert cache.access(0, 1) == 1    # line 0 was evicted
+
+    def test_touch_refreshes_lru_position(self):
+        cache = small_cache(ways=2, sets=1, line=64)
+        cache.access(0, 1)
+        cache.access(64, 1)
+        cache.access(0, 1)      # refresh line 0
+        cache.access(128, 1)    # evicts line 1, not line 0
+        assert cache.access(0, 1) == 0
+        assert cache.access(64, 1) == 1
+
+    def test_sets_are_independent(self):
+        cache = small_cache(ways=1, sets=2, line=64)
+        cache.access(0, 1)      # set 0
+        cache.access(64, 1)     # set 1
+        assert cache.access(0, 1) == 0
+        assert cache.access(64, 1) == 0
+
+
+class TestConfig:
+    def test_sets_computed_from_geometry(self):
+        config = CacheConfig(32 * 1024, 64, 8, 12.0)
+        assert config.sets == 64
+
+    def test_invalid_geometry_rejected(self):
+        config = CacheConfig(64, 64, 8, 12.0)
+        with pytest.raises(ValueError):
+            _ = config.sets
+
+    def test_flush_and_reset(self):
+        cache = small_cache()
+        cache.access(0, 8)
+        cache.flush()
+        cache.reset_stats()
+        assert cache.access(0, 8) == 1
+        assert cache.misses == 1

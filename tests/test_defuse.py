@@ -1,0 +1,66 @@
+"""Def-use / use-def chains."""
+
+from repro.analysis import DefUseChains, UseSite
+from repro.ir import parse_block
+
+DECLS = "float A[64]; float a, b, c;"
+
+
+def chains(src):
+    block = parse_block(src, DECLS)
+    return block, DefUseChains(block)
+
+
+class TestScalarChains:
+    def test_def_reaches_use(self):
+        block, du = chains("a = b + 1.0; c = a * 2.0;")
+        assert du.definition_feeding(1, 0).sid == 0
+        assert du.users(0) == (UseSite(1, 0),)
+
+    def test_latest_def_wins(self):
+        block, du = chains("a = b + 1.0; a = b + 2.0; c = a * 2.0;")
+        assert du.definition_feeding(2, 0).sid == 1
+        assert du.users(0) == ()
+
+    def test_external_value_has_no_def(self):
+        block, du = chains("c = a * 2.0;")
+        assert du.definition_feeding(0, 0) is None
+
+    def test_positions_index_rhs_leaves(self):
+        block, du = chains("a = b + 1.0; b = c + 1.0; c = a * b;")
+        # In S2, leaf 0 is `a` (def S0), leaf 1 is `b` (def S1).
+        assert du.definition_feeding(2, 0).sid == 0
+        assert du.definition_feeding(2, 1).sid == 1
+
+
+class TestArrayChains:
+    def test_exact_element_match(self):
+        block, du = chains("A[3] = a + 1.0; b = A[3] * 2.0;")
+        assert du.definition_feeding(1, 0).sid == 0
+
+    def test_distinct_elements_do_not_chain(self):
+        block, du = chains("A[3] = a + 1.0; b = A[4] * 2.0;")
+        assert du.definition_feeding(1, 0) is None
+
+    def test_may_alias_write_breaks_chain(self):
+        # A[3] is defined, then some A element is overwritten via an
+        # unprovable index: the chain must be dropped, not guessed.
+        block = parse_block(
+            "A[3] = a + 1.0; b = A[3] * 2.0;", DECLS
+        )
+        du = DefUseChains(block)
+        assert du.definition_feeding(1, 0).sid == 0
+
+
+class TestDeadness:
+    def test_unused_scalar_def_is_dead(self):
+        block, du = chains("a = b + 1.0; c = b + 2.0;")
+        assert du.is_dead(0)
+
+    def test_used_def_is_live(self):
+        block, du = chains("a = b + 1.0; c = a + 2.0;")
+        assert not du.is_dead(0)
+
+    def test_array_writes_never_dead(self):
+        block, du = chains("A[0] = b + 1.0;")
+        assert not du.is_dead(0)

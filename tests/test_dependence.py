@@ -1,0 +1,102 @@
+"""Intra-block dependence analysis: flow/anti/output, alias tests,
+group-level relations."""
+
+import pytest
+
+from repro.analysis import (
+    DepKind,
+    DependenceGraph,
+    refs_may_alias,
+    refs_must_alias,
+)
+from repro.ir import Affine, ArrayRef, FLOAT32, parse_block
+
+DECLS = "float A[256]; float B[256]; float a, b, c;"
+
+
+def graph(src):
+    return DependenceGraph(parse_block(src, DECLS))
+
+
+def ref(array, **coeffs):
+    const = coeffs.pop("const", 0)
+    return ArrayRef(array, (Affine.of(const, **coeffs),), FLOAT32)
+
+
+class TestAliasTests:
+    def test_same_affine_must_alias(self):
+        assert refs_must_alias(ref("A", i=4), ref("A", i=4))
+
+    def test_different_array_never_aliases(self):
+        assert not refs_may_alias(ref("A", i=4), ref("B", i=4))
+
+    def test_constant_offset_difference_proves_independence(self):
+        assert not refs_may_alias(ref("A", i=4), ref("A", i=4, const=3))
+
+    def test_different_coefficients_may_alias(self):
+        # A[4i] and A[2i] coincide at i = 0.
+        assert refs_may_alias(ref("A", i=4), ref("A", i=2))
+        assert not refs_must_alias(ref("A", i=4), ref("A", i=2))
+
+
+class TestScalarDependences:
+    def test_flow_dependence(self):
+        g = graph("a = b + 1.0; c = a * 2.0;")
+        kinds = {(d.src, d.dst, d.kind) for d in g.edges}
+        assert (0, 1, DepKind.FLOW) in kinds
+
+    def test_anti_dependence(self):
+        g = graph("c = a * 2.0; a = b + 1.0;")
+        kinds = {(d.src, d.dst, d.kind) for d in g.edges}
+        assert (0, 1, DepKind.ANTI) in kinds
+
+    def test_output_dependence(self):
+        g = graph("a = b + 1.0; a = c + 2.0;")
+        kinds = {(d.src, d.dst, d.kind) for d in g.edges}
+        assert (0, 1, DepKind.OUTPUT) in kinds
+
+    def test_independent_statements(self):
+        g = graph("a = b + 1.0; c = b + 2.0;")
+        assert g.independent(0, 1)
+
+
+class TestArrayDependences:
+    def test_provably_distinct_elements_independent(self):
+        g = graph("A[0] = a; A[1] = b;")
+        assert g.independent(0, 1)
+
+    def test_may_alias_is_conservative(self):
+        # A[0] vs A[0]: same element.
+        g = graph("A[0] = a; b = A[0];")
+        assert g.dependent(0, 1)
+
+    def test_read_read_no_dependence(self):
+        g = graph("a = A[0]; b = A[0];")
+        assert g.independent(0, 1)
+
+
+class TestGroupLevel:
+    def test_group_depends_direction(self):
+        g = graph("a = b + 1.0; c = a * 2.0; A[0] = c;")
+        assert g.group_depends(frozenset({0}), frozenset({1}))
+        assert not g.group_depends(frozenset({1}), frozenset({0}))
+
+    def test_groups_conflict_on_shared_statement(self):
+        g = graph("a = b + 1.0; c = b + 2.0; A[0] = b;")
+        assert g.groups_conflict(frozenset({0, 1}), frozenset({1, 2}))
+
+    def test_groups_conflict_on_dependence_cycle(self):
+        # S0 -> S1 (flow on a), S2 -> S3 (flow on b): grouping {S0,S3}
+        # with {S1,S2} creates a cycle.
+        g = graph(
+            "a = b + 1.0;"   # S0
+            "c = a * 2.0;"   # S1 depends on S0
+            "b = c + 3.0;"   # S2 depends on S1 (and anti on S0)
+            "A[0] = b;"      # S3 depends on S2
+        )
+        assert g.groups_conflict(frozenset({0, 3}), frozenset({1, 2}))
+
+    def test_predecessors_and_successors(self):
+        g = graph("a = b + 1.0; c = a * 2.0;")
+        assert g.successors(0) == frozenset({1})
+        assert g.predecessors(1) == frozenset({0})

@@ -1,0 +1,109 @@
+"""Defensive behavior: malformed inputs fail loudly and early."""
+
+import pytest
+
+from repro import CompilerOptions, Variant, compile_program, intel_dunnington
+from repro.ir import (
+    Affine,
+    ArrayRef,
+    BasicBlock,
+    FLOAT32,
+    Loop,
+    ParseError,
+    Program,
+    Statement,
+    Var,
+    parse_program,
+)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "float a; a = ;",                       # missing expression
+            "float a; a = b;",                      # undeclared identifier
+            "float A[2]; A[0 = 1.0;",               # unclosed subscript
+            "float a; for (i = 0; j < 4; i += 1) { a = 1.0; }",
+            "float a; for (i = 0; i < 4; j += 1) { a = 1.0; }",
+            "float A[x];",                          # non-literal dimension
+            "float A[4]; A[1.5] = 1.0;",            # fractional subscript
+            "float a; a = min(a);",                 # arity error
+        ],
+    )
+    def test_malformed_source_raises(self, src):
+        with pytest.raises((ParseError, ValueError)):
+            parse_program(src)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "float M[2][2]; for (i = 0; i < 2; i += 1) "
+                "{ M[i] = 1.0; }"
+            )
+
+
+class TestIrGuards:
+    def test_loop_needs_positive_step(self):
+        with pytest.raises(ValueError):
+            Loop("i", 0, 4, 0, BasicBlock())
+
+    def test_affine_lane_scale_type(self):
+        with pytest.raises(TypeError):
+            Affine.var("i") * "x"  # type: ignore[operator]
+
+    def test_program_rejects_shadowing(self):
+        program = Program()
+        program.declare_scalar("x", FLOAT32)
+        with pytest.raises(ValueError):
+            program.declare_array("x", (4,), FLOAT32)
+
+
+class TestCompilerGuards:
+    def test_unknown_decision_mode_rejected(self):
+        from repro.slp import BasicGrouping, GroupNode
+        from repro.analysis import DependenceGraph
+
+        program = parse_program("float a, b; a = b + 1.0;")
+        block = next(iter(program.blocks()))
+        deps = DependenceGraph(block)
+        units = [GroupNode.of_statement(s) for s in block]
+        with pytest.raises(ValueError):
+            BasicGrouping(units, deps, 128, decision_mode="bogus")
+
+    def test_incompatible_datapath_for_type(self):
+        from repro.ir import FLOAT64
+
+        with pytest.raises(ValueError):
+            FLOAT64.lanes(100)  # 100 bits not a multiple of 64
+
+    def test_out_of_bounds_access_surfaces(self):
+        src = """
+        double A[4];
+        for (i = 0; i < 8; i += 1) { A[i] = 1.0; }
+        """
+        result = compile_program(
+            parse_program(src), Variant.SCALAR, intel_dunnington()
+        )
+        from repro.vm import Simulator
+
+        with pytest.raises(IndexError):
+            Simulator(result.machine).run(result.plan)
+
+
+class TestScheduleGuards:
+    def test_unroll_negative_factor(self):
+        from repro.transform import unroll_loop
+
+        program = parse_program(
+            "float A[8]; for (i = 0; i < 8; i += 1) { A[i] = 1.0; }"
+        )
+        loop = next(iter(program.loops()))
+        with pytest.raises(ValueError):
+            unroll_loop(loop, 0, set())
+
+    def test_cache_config_validation(self):
+        from repro.vm import CacheConfig
+
+        with pytest.raises(ValueError):
+            _ = CacheConfig(64, 64, 4, 10.0).sets

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion and prints what
+its docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "faster" in out
+    assert "semantics preserved: True" in out
+    assert "instruction mix" in out
+
+
+def test_figure15_walkthrough():
+    out = run_example("figure15_walkthrough.py")
+    assert "1 superword reuse(s)" in out
+    assert "3 superword reuse(s)" in out
+    assert "weight" in out
+
+
+def test_complex_multiply():
+    out = run_example("complex_multiply.py")
+    assert "global+layout" in out
+    assert "__slp_rep" in out
+
+
+def test_stencil_sweep():
+    out = run_example("stencil_sweep.py")
+    assert "1024-bit" in out
+    assert "superword statements" in out
+
+
+def test_inspect_pipeline():
+    out = run_example("inspect_pipeline.py")
+    assert "weight" in out
+    assert "vpack" in out
+    assert "max live superwords" in out
+    assert "spills: 0" in out

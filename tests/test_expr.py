@@ -1,0 +1,97 @@
+"""Expression trees: typing, traversal, signatures, substitution."""
+
+import pytest
+
+from repro.ir import (
+    Affine,
+    ArrayRef,
+    BinOp,
+    Const,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    UnOp,
+    Var,
+)
+
+
+def ref(array, **coeffs):
+    const = coeffs.pop("const", 0)
+    return ArrayRef(array, (Affine.of(const, **coeffs),), FLOAT32)
+
+
+class TestTyping:
+    def test_binop_type_propagates(self):
+        e = BinOp("+", Var("a", FLOAT32), Var("b", FLOAT32))
+        assert e.type == FLOAT32
+
+    def test_binop_rejects_mixed_types(self):
+        with pytest.raises(TypeError):
+            BinOp("+", Var("a", FLOAT32), Var("b", FLOAT64))
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Var("a", FLOAT32), Var("b", FLOAT32))
+
+    def test_unop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnOp("exp", Var("a", FLOAT32))
+
+
+class TestTraversal:
+    def test_leaves_in_positional_order(self):
+        e = BinOp(
+            "+",
+            Var("d", FLOAT32),
+            BinOp("*", Var("a", FLOAT32), Var("c", FLOAT32)),
+        )
+        assert [str(leaf) for leaf in e.leaves()] == ["d", "a", "c"]
+
+    def test_count_ops(self):
+        e = BinOp(
+            "+",
+            Var("d", FLOAT32),
+            BinOp("*", Var("a", FLOAT32), Var("c", FLOAT32)),
+        )
+        assert e.count_ops() == 2
+        assert Var("x", FLOAT32).count_ops() == 0
+
+
+class TestSignatures:
+    def test_same_shape_same_signature(self):
+        e1 = BinOp("*", Var("a", FLOAT32), ref("B", i=4))
+        e2 = BinOp("*", Var("r", FLOAT32), ref("B", i=4, const=2))
+        assert e1.opcode_signature() == e2.opcode_signature()
+
+    def test_different_op_different_signature(self):
+        e1 = BinOp("*", Var("a", FLOAT32), Var("b", FLOAT32))
+        e2 = BinOp("+", Var("a", FLOAT32), Var("b", FLOAT32))
+        assert e1.opcode_signature() != e2.opcode_signature()
+
+    def test_different_leaf_type_different_signature(self):
+        e1 = BinOp("+", Var("a", FLOAT32), Var("b", FLOAT32))
+        e2 = BinOp("+", Var("a", INT32), Var("b", INT32))
+        assert e1.opcode_signature() != e2.opcode_signature()
+
+    def test_leaf_kind_does_not_matter(self):
+        # A var and an array ref of the same type occupy a lane equally.
+        e1 = BinOp("+", Var("a", FLOAT32), Var("b", FLOAT32))
+        e2 = BinOp("+", ref("A", i=1), Const(1.0, FLOAT32))
+        assert e1.opcode_signature() == e2.opcode_signature()
+
+
+class TestSubstitution:
+    def test_substitute_indices_rewrites_subscripts(self):
+        e = BinOp("*", Var("a", FLOAT32), ref("B", i=4))
+        shifted = e.substitute_indices({"i": Affine.var("i") + 1})
+        leaves = list(shifted.leaves())
+        assert str(leaves[1]) == "B[4*i + 4]"
+
+    def test_substitute_preserves_structure(self):
+        e = UnOp("sqrt", BinOp("+", ref("A", i=1), ref("A", i=1, const=1)))
+        shifted = e.substitute_indices({"i": Affine.var("i") + 3})
+        assert shifted.opcode_signature() == e.opcode_signature()
+
+    def test_with_children_rejects_leaf_children(self):
+        with pytest.raises(ValueError):
+            Var("a", FLOAT32).with_children((Var("b", FLOAT32),))

@@ -1,0 +1,242 @@
+"""The grouping machinery: candidates, the VP graph, auxiliary-graph
+weights (including the paper's 2/3 example), and decision updates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import DependenceGraph
+from repro.ir import parse_block
+from repro.slp import (
+    BasicGrouping,
+    GroupNode,
+    VariablePackGraph,
+    find_candidates,
+)
+from repro.slp.grouping import (
+    eliminate_conflicts,
+    pack_adjacency_score,
+    pack_materialization_penalty,
+)
+from repro.slp.model import pack_data
+
+DECLS = "float A[512]; float B[512]; float v1, v2, v3, v5, v7;"
+
+# Figure 2's example block (the paper's figure is partially garbled in
+# the source; this is the reconstruction consistent with Figures 4-6:
+# candidate groups {S0,S1}, {S0,S2}, {S3,S4}, and weight 2/3 for
+# {S3,S4}).
+FIG2 = """
+v1 = v3;
+v2 = v5;
+v5 = v7;
+v3 = v1 + v1;
+v5 = v2 + v5;
+"""
+
+
+def make(src, decls=DECLS):
+    block = parse_block(src, decls)
+    deps = DependenceGraph(block)
+    units = [GroupNode.of_statement(s) for s in block]
+    return block, deps, units
+
+
+class TestCandidates:
+    def test_isomorphic_independent_pairs_only(self):
+        block, deps, units = make(
+            "v1 = v3 + 0.0; v2 = v5 + 0.0; v3 = v1 * v1;"
+        )
+        candidates = find_candidates(units, deps, 128)
+        sets = {tuple(sorted(c.sid_set)) for c in candidates}
+        assert (0, 1) in sets         # isomorphic, independent
+        assert (0, 2) not in sets     # not isomorphic (+ vs *), dependent
+        assert (1, 2) not in sets
+
+    def test_copies_not_isomorphic_to_adds(self):
+        block, deps, units = make("v1 = v3; v2 = v5 + v7;")
+        assert find_candidates(units, deps, 128) == []
+
+    def test_dependent_pair_excluded(self):
+        block, deps, units = make("v1 = v3 + 0.0; v2 = v1 + 0.0;")
+        assert find_candidates(units, deps, 128) == []
+
+    def test_datapath_width_respected(self):
+        block, deps, units = make("v1 = v3 + 0.0; v2 = v5 + 0.0;")
+        assert find_candidates(units, deps, 32) == []
+        assert len(find_candidates(units, deps, 64)) == 1
+
+
+class TestVariablePackGraph:
+    def test_figure4_structure(self):
+        block, deps, units = make(FIG2)
+        candidates = find_candidates(units, deps, 64)
+        vp = VariablePackGraph(candidates, deps)
+        sets = {tuple(sorted(c.sid_set)) for c in candidates}
+        assert sets == {(0, 1), (0, 2), (3, 4)}
+        # Conflicting candidates: {S0,S1} and {S0,S2} share S0.
+        i01 = next(
+            i for i, c in enumerate(candidates)
+            if sorted(c.sid_set) == [0, 1]
+        )
+        i02 = next(
+            i for i, c in enumerate(candidates)
+            if sorted(c.sid_set) == [0, 2]
+        )
+        i34 = next(
+            i for i, c in enumerate(candidates)
+            if sorted(c.sid_set) == [3, 4]
+        )
+        assert vp.candidates_conflict(i01, i02)
+        assert not vp.candidates_conflict(i01, i34)
+        # Each candidate contributes one node per operand position.
+        assert all(len(vp.nodes_of_candidate(i)) >= 2 for i in (i01, i34))
+
+    def test_remove_candidate_drops_nodes_and_edges(self):
+        block, deps, units = make(FIG2)
+        candidates = find_candidates(units, deps, 64)
+        vp = VariablePackGraph(candidates, deps)
+        before_nodes = len(vp.nodes)
+        vp.remove_candidate(0)
+        assert len(vp.nodes) < before_nodes
+        assert vp.nodes_of_candidate(0) == []
+
+
+class TestWeights:
+    def test_paper_example_two_thirds(self):
+        """Figure 6: the candidate {S3,S4} gets weight 2/3."""
+        block, deps, units = make(FIG2)
+        grouping = BasicGrouping(units, deps, 64)
+        i34 = next(
+            i
+            for i, c in enumerate(grouping.candidates)
+            if sorted(c.sid_set) == [3, 4]
+        )
+        assert grouping.weight(i34) == Fraction(2, 3)
+
+    def test_weight_counts_decided_groups(self):
+        block, deps, units = make(FIG2)
+        grouping = BasicGrouping(units, deps, 64)
+        i01 = next(
+            i
+            for i, c in enumerate(grouping.candidates)
+            if sorted(c.sid_set) == [0, 1]
+        )
+        before = grouping.weight(
+            next(
+                i
+                for i, c in enumerate(grouping.candidates)
+                if sorted(c.sid_set) == [3, 4]
+            )
+        )
+        grouping.decided.append(i01)
+        grouping.decided_packs.extend(grouping.candidates[i01].packs)
+        after = grouping.weight(
+            next(
+                i
+                for i, c in enumerate(grouping.candidates)
+                if sorted(c.sid_set) == [3, 4]
+            )
+        )
+        # The decided group's packs still support {S3,S4}'s reuses.
+        assert after >= before - Fraction(1, 100)
+
+
+class TestConflictElimination:
+    def test_removes_highest_degree_first(self):
+        from repro.slp.conflict import PackNode
+
+        a = PackNode(pack_data([("var", "x"), ("var", "y")]), 0, 0)
+        b = PackNode(pack_data([("var", "x"), ("var", "y")]), 1, 0)
+        c = PackNode(pack_data([("var", "x"), ("var", "y")]), 2, 0)
+        adjacency = {a: {b, c}, b: {a}, c: {a}}
+        survivors = eliminate_conflicts([a, b, c], adjacency)
+        assert a not in survivors
+        assert set(survivors) == {b, c}
+
+    def test_no_edges_keeps_everything(self):
+        from repro.slp.conflict import PackNode
+
+        nodes = [
+            PackNode(pack_data([("var", "x"), ("var", "y")]), i, 0)
+            for i in range(3)
+        ]
+        survivors = eliminate_conflicts(nodes, {n: set() for n in nodes})
+        assert set(survivors) == set(nodes)
+
+
+class TestDecisions:
+    def test_run_groups_everything_groupable(self):
+        block, deps, units = make(FIG2)
+        decided, leftovers, trace = BasicGrouping(units, deps, 64).run()
+        grouped_sids = set()
+        for group in decided:
+            grouped_sids |= group.sid_set
+        # {S0,S1} and {S0,S2} conflict: only one survives, plus {S3,S4}.
+        assert len(decided) == 2
+        assert frozenset({3, 4}) in {g.sid_set for g in decided}
+
+    def test_trace_records_weights(self):
+        block, deps, units = make(FIG2)
+        _, _, trace = BasicGrouping(units, deps, 64).run()
+        assert all(isinstance(w, Fraction) for _, w in trace.decisions)
+
+
+class TestPackScores:
+    def test_contiguous_memory_pack_scores_high(self):
+        block = parse_block("v1 = A[0]; v2 = A[1];", DECLS)
+        keys = [
+            GroupNode.of_statement(s).positions[1][0] for s in block
+        ]
+        data = pack_data(keys)
+        assert pack_adjacency_score(data, None) == 2
+        assert pack_materialization_penalty(data, None) == 0.0
+
+    def test_strided_memory_pack_penalized(self):
+        block = parse_block("v1 = A[0]; v2 = A[7];", DECLS)
+        keys = [
+            GroupNode.of_statement(s).positions[1][0] for s in block
+        ]
+        data = pack_data(keys)
+        assert pack_adjacency_score(data, None) == 0
+        assert pack_materialization_penalty(data, None) > 0
+
+    def test_splat_pack_is_free(self):
+        data = pack_data([("var", "x"), ("var", "x")])
+        assert pack_adjacency_score(data, None) == 1
+        assert pack_materialization_penalty(data, None) == 0.0
+
+    def test_scalar_pack_penalties(self):
+        from repro.slp.grouping import (
+            SCALAR_GATHER_PENALTY,
+            SCALAR_SCATTER_PENALTY,
+            PenaltyContext,
+        )
+
+        data = pack_data([("var", "x"), ("var", "y")])
+        assert (
+            pack_materialization_penalty(data, None)
+            == SCALAR_GATHER_PENALTY
+        )
+        assert (
+            pack_materialization_penalty(data, None, is_store=True)
+            == SCALAR_SCATTER_PENALTY
+        )
+        # Known-contiguous arena slots make the pack free.
+        context = PenaltyContext(
+            scalar_slots=(
+                ("x", ("float", 0)),
+                ("y", ("float", 1)),
+            )
+        )
+        assert pack_materialization_penalty(data, None, context) == 0.0
+
+    def test_reuse_saving_scales_with_pack_cost(self):
+        from repro.slp.grouping import pack_reuse_saving
+
+        const_pack = pack_data(
+            [("const", "float", 1.0), ("const", "float", 2.0)]
+        )
+        scalar_pack = pack_data([("var", "x"), ("var", "y")])
+        assert pack_reuse_saving(const_pack, None) == 0.0
+        assert pack_reuse_saving(scalar_pack, None) > 0.0

@@ -1,0 +1,165 @@
+"""Direct semantics tests of individual virtual ISA instructions,
+executed through a minimal hand-built plan."""
+
+import pytest
+
+from repro.ir import Affine, parse_program
+from repro.vm import (
+    CompiledStraight,
+    ExecutablePlan,
+    ImmRef,
+    MemRef,
+    Memory,
+    PackMode,
+    ScalarRef,
+    Simulator,
+    StoreMode,
+    VOp,
+    VPack,
+    VShuffle,
+    VStore,
+    intel_dunnington,
+)
+from repro.layout import default_scalar_layout
+
+PROGRAM_SRC = "double A[16]; double B[16]; double x, y;"
+
+
+def run_instructions(instructions):
+    program = parse_program(PROGRAM_SRC)
+    plan = ExecutablePlan(program, default_scalar_layout(program))
+    plan.units.append(CompiledStraight(list(instructions)))
+    simulator = Simulator(intel_dunnington())
+    return simulator.run(plan)
+
+
+def mem(array, const):
+    return MemRef(array, Affine.of(const))
+
+
+class TestVPack:
+    def test_contiguous_load_reads_memory(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (mem("A", 0), mem("A", 1)), PackMode.CONTIG_ALIGNED),
+                VStore((mem("B", 0), mem("B", 1)), 0, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert memory.arrays["B"][0] == memory.arrays["A"][0]
+        assert memory.arrays["B"][1] == memory.arrays["A"][1]
+        assert report.counts["vector_load"] == 1
+        assert report.counts["vector_store"] == 1
+
+    def test_gather_counts_per_lane(self):
+        report, _ = run_instructions(
+            [
+                VPack(0, (mem("A", 0), mem("A", 9)), PackMode.GATHER),
+                VStore((mem("B", 0), mem("B", 1)), 0, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert report.counts["pack_mem_load"] == 2
+        assert report.counts["lane_insert"] == 2
+
+    def test_immediate_pack(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(4.0), ImmRef(9.0)), PackMode.IMMEDIATE),
+                VStore((mem("B", 2), mem("B", 3)), 0, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert list(memory.arrays["B"][2:4]) == [4.0, 9.0]
+        assert report.counts["imm_vector"] == 1
+
+    def test_broadcast_reads_scalar_once(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ScalarRef("x"), ScalarRef("x")), PackMode.BROADCAST),
+                VStore((mem("B", 0), mem("B", 1)), 0, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert memory.arrays["B"][0] == memory.arrays["B"][1]
+        assert report.counts["broadcast"] == 1
+
+
+class TestVOpAndShuffle:
+    def test_lanewise_arithmetic(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(2.0), ImmRef(3.0)), PackMode.IMMEDIATE),
+                VPack(1, (ImmRef(10.0), ImmRef(20.0)), PackMode.IMMEDIATE),
+                VOp("*", 2, (0, 1), 2),
+                VStore((mem("B", 0), mem("B", 1)), 2, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert list(memory.arrays["B"][0:2]) == [20.0, 60.0]
+        assert report.counts["vector_op"] == 1
+
+    def test_shuffle_permutes_lanes(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(1.0), ImmRef(2.0)), PackMode.IMMEDIATE),
+                VShuffle(1, 0, (1, 0)),
+                VStore((mem("B", 0), mem("B", 1)), 1, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert list(memory.arrays["B"][0:2]) == [2.0, 1.0]
+        assert report.counts["shuffle"] == 1
+
+    def test_unary_vop(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(9.0), ImmRef(16.0)), PackMode.IMMEDIATE),
+                VOp("sqrt", 1, (0,), 2),
+                VStore((mem("B", 0), mem("B", 1)), 1, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        assert list(memory.arrays["B"][0:2]) == [3.0, 4.0]
+
+
+class TestVStore:
+    def test_scalar_scatter_updates_env(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(7.0), ImmRef(8.0)), PackMode.IMMEDIATE),
+                VStore(
+                    (ScalarRef("x"), ScalarRef("y")),
+                    0,
+                    StoreMode.SCALAR_SCATTER,
+                ),
+            ]
+        )
+        assert memory.scalars["x"] == 7.0
+        assert memory.scalars["y"] == 8.0
+        assert report.counts["lane_extract"] == 2
+        assert report.counts["unpack_scalar_move"] == 2
+
+    def test_memory_scatter_counts(self):
+        report, memory = run_instructions(
+            [
+                VPack(0, (ImmRef(1.0), ImmRef(2.0)), PackMode.IMMEDIATE),
+                VStore(
+                    (mem("B", 0), mem("B", 9)), 0, StoreMode.SCATTER
+                ),
+            ]
+        )
+        assert memory.arrays["B"][9] == 2.0
+        assert report.counts["unpack_mem_store"] == 2
+
+    def test_unaligned_costs_more_than_aligned(self):
+        aligned, _ = run_instructions(
+            [
+                VPack(0, (ImmRef(1.0), ImmRef(2.0)), PackMode.IMMEDIATE),
+                VStore((mem("B", 0), mem("B", 1)), 0, StoreMode.CONTIG_ALIGNED),
+            ]
+        )
+        unaligned, _ = run_instructions(
+            [
+                VPack(0, (ImmRef(1.0), ImmRef(2.0)), PackMode.IMMEDIATE),
+                VStore(
+                    (mem("B", 1), mem("B", 2)),
+                    0,
+                    StoreMode.CONTIG_UNALIGNED,
+                ),
+            ]
+        )
+        assert unaligned.cycles > aligned.cycles

@@ -1,0 +1,73 @@
+"""Iterative grouping (Section 4.2.2): widening to fill the datapath."""
+
+import pytest
+
+from repro.analysis import DependenceGraph
+from repro.ir import parse_block
+from repro.slp import iterative_grouping
+
+DECLS = "float A[512]; float B[512]; float p;"
+
+
+def units_for(src, datapath):
+    block = parse_block(src, DECLS)
+    deps = DependenceGraph(block)
+    units, traces = iterative_grouping(block, deps, datapath)
+    return block, units, traces
+
+
+EIGHT_ISOMORPHIC = "".join(
+    f"B[{i}] = A[{i}] * p;" for i in range(8)
+)
+
+
+class TestWidening:
+    def test_pairs_at_64_bits(self):
+        _, units, traces = units_for(EIGHT_ISOMORPHIC, 64)
+        sizes = sorted(u.size for u in units)
+        assert sizes == [2, 2, 2, 2]
+        assert len(traces) >= 1
+
+    def test_quads_at_128_bits(self):
+        _, units, _ = units_for(EIGHT_ISOMORPHIC, 128)
+        assert sorted(u.size for u in units) == [4, 4]
+
+    def test_full_width_at_256_bits(self):
+        _, units, _ = units_for(EIGHT_ISOMORPHIC, 256)
+        assert [u.size for u in units] == [8]
+
+    def test_width_capped_by_datapath(self):
+        _, units, _ = units_for(EIGHT_ISOMORPHIC, 512)
+        # Only 8 statements exist: one 8-wide group, not 16-wide.
+        assert [u.size for u in units] == [8]
+
+    def test_wider_groups_merge_contiguously(self):
+        _, units, _ = units_for(EIGHT_ISOMORPHIC, 256)
+        group = units[0]
+        # The 8-wide group covers B[0..7] in one contiguous superword.
+        assert group.sids == tuple(range(8))
+
+
+class TestOddCounts:
+    def test_leftover_single_stays_scalar(self):
+        src = "".join(f"B[{i}] = A[{i}] * p;" for i in range(5))
+        _, units, _ = units_for(src, 256)
+        sizes = sorted(u.size for u in units)
+        assert sizes == [1, 4]
+
+    def test_non_isomorphic_statements_never_merge(self):
+        src = "B[0] = A[0] * p; B[1] = A[1] + p;"
+        _, units, _ = units_for(src, 128)
+        assert all(u.size == 1 for u in units)
+
+
+class TestRoundStructure:
+    def test_traces_one_per_round(self):
+        _, units, traces = units_for(EIGHT_ISOMORPHIC, 256)
+        # rounds: 2-wide, 4-wide, 8-wide (final round may be empty).
+        assert len(traces) >= 3
+
+    def test_partition_invariant(self):
+        block, units, _ = units_for(EIGHT_ISOMORPHIC, 256)
+        sids = sorted(s for u in units for s in u.sids)
+        assert sids == [s.sid for s in block]

@@ -1,0 +1,95 @@
+"""The 16-kernel workload suite (Table 3) and the evaluation harness."""
+
+import pytest
+
+from repro import Variant, compile_program, intel_dunnington, simulate
+from repro.bench import (
+    ALL_KERNELS,
+    KERNELS,
+    NAS_KERNELS,
+    SPEC_KERNELS,
+    build_kernel,
+    run_kernel,
+    run_multicore,
+)
+from repro.ir import Program
+
+
+class TestRegistry:
+    def test_sixteen_kernels(self):
+        assert len(ALL_KERNELS) == 16
+        assert len(SPEC_KERNELS) == 10
+        assert len(NAS_KERNELS) == 6
+
+    def test_paper_benchmark_names(self):
+        expected = {
+            "cactusADM", "soplex", "lbm", "milc", "povray", "gromacs",
+            "calculix", "dealII", "wrf", "namd",
+            "ua", "ft", "bt", "sp", "mg", "cg",
+        }
+        assert set(KERNELS) == expected
+
+    def test_descriptions_nonempty(self):
+        assert all(k.description for k in ALL_KERNELS)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_builds_a_program(self, kernel):
+        program = kernel.build(16)
+        assert isinstance(program, Program)
+        assert list(program.loops())
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_size_parameter_scales_trip_count(self, kernel):
+        small = next(iter(kernel.build(8).loops()))
+        large = next(iter(kernel.build(32).loops()))
+        assert large.trip_count > small.trip_count
+
+    def test_build_kernel_by_name(self):
+        assert isinstance(build_kernel("milc", 8), Program)
+
+
+class TestKernelExecution:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_all_variants_preserve_semantics(self, kernel):
+        result = run_kernel(kernel, intel_dunnington(), n=16)
+        assert result.semantics_preserved()
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_figure16_ordering_holds(self, kernel):
+        """Native <= SLP <= Global <= Global+Layout, none negative."""
+        result = run_kernel(kernel, intel_dunnington(), n=32)
+        native = result.time_reduction(Variant.NATIVE)
+        slp = result.time_reduction(Variant.SLP)
+        glob = result.time_reduction(Variant.GLOBAL)
+        layout = result.time_reduction(Variant.GLOBAL_LAYOUT)
+        eps = 1e-9
+        assert native >= -eps
+        assert slp >= native - eps
+        assert glob >= slp - eps
+        assert layout >= glob - eps
+
+
+class TestMulticore:
+    def test_point_reduction_positive_for_vector_win(self):
+        point = run_multicore(
+            KERNELS["ft"], intel_dunnington(), Variant.GLOBAL, cores=4,
+            n=128,
+        )
+        assert point.cores == 4
+        assert 0.0 <= point.reduction < 1.0
+
+    def test_sync_overhead_grows_with_cores(self):
+        from repro.vm import parallel_cycles
+
+        machine = intel_dunnington()
+        assert parallel_cycles(1000.0, 4, machine) > parallel_cycles(
+            1000.0, 1, machine
+        )
+
+    def test_invalid_core_count_rejected(self):
+        from repro.vm import parallel_cycles
+
+        with pytest.raises(ValueError):
+            parallel_cycles(1000.0, 0, intel_dunnington())

@@ -1,0 +1,153 @@
+"""Array-reference superword layout: eligibility, mapping, rewriting."""
+
+import pytest
+
+from repro.analysis import DependenceGraph
+from repro.ir import ArrayRef, parse_program
+from repro.layout import (
+    LoopContext,
+    apply_array_layout,
+    plan_array_layout,
+    written_arrays,
+)
+from repro.slp import holistic_slp_schedule
+from repro.transform import unroll_program
+
+
+def compile_kernel(src, datapath=128):
+    program = unroll_program(parse_program(src), datapath)
+    loop = next(iter(program.loops()))
+    block = loop.body
+    deps = DependenceGraph(block)
+    # Grouping is told the layout stage will run (as the Global+Layout
+    # pipeline does), so strided read-only gathers are worth grouping.
+    from repro.slp import PenaltyContext
+
+    replicable = frozenset(program.arrays) - written_arrays(program)
+    schedule = holistic_slp_schedule(
+        block,
+        deps,
+        datapath,
+        lambda n: program.arrays[n],
+        PenaltyContext(replicable),
+    )
+    ctx = LoopContext(loop.index, loop.start, loop.stop, loop.step)
+    return program, block, schedule, ctx
+
+
+STRIDED = """
+double F[4096]; double R[512];
+for (i = 0; i < 128; i += 1) {
+    R[i] = F[9*i] + F[9*i + 1];
+}
+"""
+
+
+class TestWrittenArrays:
+    def test_detects_store_targets(self):
+        program = parse_program(STRIDED)
+        assert written_arrays(program) == {"R"}
+
+
+class TestPlanning:
+    def test_strided_readonly_pack_is_replicated(self):
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        assert plan.replications, "the F gathers should be replicated"
+        assert all(r.source == "F" for r in plan.replications)
+        assert plan.rewrites
+
+    def test_written_array_is_not_replicated(self):
+        src = """
+        double F[4096];
+        for (i = 0; i < 128; i += 1) {
+            F[9*i] = F[9*i] + 1.0;
+        }
+        """
+        program, block, schedule, ctx = compile_kernel(src)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        assert not plan.replications
+
+    def test_contiguous_pack_not_replicated(self):
+        src = """
+        double F[4096]; double R[4096];
+        for (i = 0; i < 128; i += 1) {
+            R[i] = F[i] * 2.0;
+        }
+        """
+        program, block, schedule, ctx = compile_kernel(src)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        assert not plan.replications
+
+    def test_budget_is_respected(self):
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=4)
+        assert not plan.replications
+
+    def test_duplicate_packs_share_one_replica(self):
+        src = """
+        double F[4096]; double R[512]; double S[512];
+        for (i = 0; i < 128; i += 1) {
+            R[i] = F[9*i] * 2.0;
+            S[i] = F[9*i] * 3.0;
+        }
+        """
+        program, block, schedule, ctx = compile_kernel(src)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        sources = [
+            tuple(str(f) for f in r.lane_flats) for r in plan.replications
+        ]
+        assert len(sources) == len(set(sources))
+
+
+class TestMappingSemantics:
+    def test_copy_pairs_realize_stride_L(self):
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        rep = plan.replications[0]
+        pairs = list(rep.copy_pairs())
+        # Destination indices are exactly 0..elements-1 (dense, stride-L
+        # interleaving of the lanes).
+        dsts = sorted(d for d, _ in pairs)
+        assert dsts == list(range(rep.elements))
+
+    def test_new_subscript_matches_copy(self):
+        """B[new_subscript(lane)] evaluated at iteration i must hold
+        A[original flat index at i] — the defining property."""
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        rep = plan.replications[0]
+        image = dict()
+        for dst, src in rep.copy_pairs():
+            image[dst] = src
+        for lane, flat in enumerate(rep.lane_flats):
+            for i in range(ctx.start, ctx.stop, ctx.step):
+                new_index = rep.new_subscript(lane).evaluate({ctx.index: i})
+                assert image[new_index] == flat.evaluate({ctx.index: i})
+
+
+class TestRewriting:
+    def test_apply_rewrites_block_and_schedule(self):
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        plan = plan_array_layout(program, schedule, ctx, budget_elements=1 << 20)
+        new_block, new_schedule = apply_array_layout(block, schedule, plan)
+        rewritten_arrays = {
+            ref.array
+            for stmt in new_block
+            for ref in stmt.array_refs()
+        }
+        assert any(a.startswith("__slp_rep") for a in rewritten_arrays)
+        # Same structure: every superword statement maps across by sids.
+        old = [sw.sids for sw in schedule.superwords()]
+        new = [sw.sids for sw in new_schedule.superwords()]
+        assert old == new
+
+    def test_noop_plan_returns_inputs(self):
+        program, block, schedule, ctx = compile_kernel(STRIDED)
+        from repro.layout import ArrayLayoutPlan
+
+        empty = ArrayLayoutPlan([], {})
+        same_block, same_schedule = apply_array_layout(
+            block, schedule, empty
+        )
+        assert same_block is block and same_schedule is schedule

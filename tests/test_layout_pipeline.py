@@ -1,0 +1,144 @@
+"""The Global+Layout pipeline end to end: scalar arenas, replication
+gating, interaction with the cost model."""
+
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    simulate,
+)
+from repro.ir import parse_program
+from repro.vm import CompiledCopy, PackMode, VPack
+
+
+def compile_layout(src, **options):
+    return compile_program(
+        parse_program(src),
+        Variant.GLOBAL_LAYOUT,
+        intel_dunnington(),
+        CompilerOptions(**options),
+    )
+
+
+SCALAR_CASE = """
+double DX[256]; double DY[256]; double W1[256]; double W2[256];
+double OUT[256];
+double dx, dy;
+for (i = 0; i < 128; i += 1) {
+    dx = DX[i] * W1[i];
+    dy = DY[i] * W2[i];
+    OUT[i] = dx * dy;
+}
+"""
+
+ARRAY_CASE = """
+double F[4096]; double R[512];
+for (i = 0; i < 128; i += 1) {
+    R[i] = F[9*i] / F[9*i + 1];
+}
+"""
+
+
+class TestScalarArenaStage:
+    def test_optimized_arena_matches_schedule_packs(self):
+        """Every all-scalar pack the schedule uses gets consecutive
+        aligned arena slots (Figure 12's offset assignment)."""
+        from repro.layout import pack_is_contiguous, scalar_packs_of
+
+        result = compile_layout(SCALAR_CASE)
+        arenas = result.plan.arenas
+        elem = result.plan.program.scalars["dx"].type
+        packs = []
+        for schedule in result.schedules:
+            packs.extend(scalar_packs_of(schedule))
+        assert packs, "expected scalar superwords in this kernel"
+        assert all(
+            pack_is_contiguous(pack, arenas, elem) for pack in packs
+        )
+
+    def test_scalar_packs_become_single_ops(self):
+        """With the arena laid out, the <dx,dy> pack is one arena access
+        instead of a per-lane gather."""
+        result = compile_layout(SCALAR_CASE)
+        modes = []
+        for unit in result.plan.units:
+            for instr in getattr(unit, "body", []):
+                if isinstance(instr, VPack):
+                    modes.append(instr.mode)
+        assert PackMode.SCALAR_GATHER not in modes
+
+    def test_plain_global_keeps_declaration_order(self):
+        result = compile_program(
+            parse_program(SCALAR_CASE), Variant.GLOBAL, intel_dunnington()
+        )
+        arena = result.plan.arenas["double"]
+        assert arena.slot("dx") == 0 and arena.slot("dy") == 1
+
+
+class TestReplicationStage:
+    def test_replicas_execute_before_kernel(self):
+        result = compile_layout(ARRAY_CASE)
+        kinds = [type(u).__name__ for u in result.plan.units]
+        assert "CompiledCopy" in kinds
+        assert kinds.index("CompiledCopy") < kinds.index("CompiledLoop")
+
+    def test_amortization_flows_into_copies(self):
+        result = compile_layout(ARRAY_CASE, layout_amortization=4.0)
+        copies = [
+            u for u in result.plan.units if isinstance(u, CompiledCopy)
+        ]
+        assert copies and all(c.amortization == 4.0 for c in copies)
+
+    def test_replica_contents_match_mapping(self):
+        result = compile_layout(ARRAY_CASE)
+        report, memory = simulate(result)
+        copies = [
+            u for u in result.plan.units if isinstance(u, CompiledCopy)
+        ]
+        rep = copies[0].replication
+        source = memory.arrays[rep.source]
+        replica = memory.arrays[rep.new_name]
+        for dst, src in rep.copy_pairs():
+            assert replica[dst] == source[src]
+
+    def test_semantics_with_multiple_replicas(self):
+        src = """
+        double F[4096]; double G[4096]; double R[512];
+        for (i = 0; i < 128; i += 1) {
+            R[i] = F[9*i] / G[5*i + 2];
+        }
+        """
+        base = compile_program(
+            parse_program(src), Variant.SCALAR, intel_dunnington()
+        )
+        _, base_memory = simulate(base)
+        result = compile_layout(src)
+        assert result.stats.replications >= 2
+        _, memory = simulate(result)
+        assert memory.state_equal(base_memory)
+
+
+class TestGating:
+    def test_zero_budget_means_no_replicas(self):
+        result = compile_layout(ARRAY_CASE, layout_budget_elements=0)
+        assert result.stats.replications == 0
+
+    def test_layout_never_below_global(self):
+        for src in (SCALAR_CASE, ARRAY_CASE):
+            layout = compile_layout(src)
+            plain = compile_program(
+                parse_program(src), Variant.GLOBAL, intel_dunnington()
+            )
+            layout_report, _ = simulate(layout)
+            plain_report, _ = simulate(plain)
+            assert layout_report.cycles <= plain_report.cycles + 1e-9
+
+    def test_stats_count_replications(self):
+        result = compile_layout(ARRAY_CASE)
+        copies = sum(
+            1 for u in result.plan.units if isinstance(u, CompiledCopy)
+        )
+        assert result.stats.replications == copies

@@ -1,0 +1,125 @@
+"""Scalar superword layout: occurrence-ranked offset assignment."""
+
+import pytest
+
+from repro.analysis import DependenceGraph
+from repro.ir import parse_program
+from repro.layout import (
+    default_scalar_layout,
+    optimized_scalar_layout,
+    pack_is_contiguous,
+    scalar_packs_of,
+)
+from repro.slp import Schedule, SuperwordStatement, holistic_slp_schedule
+
+DECLS = """
+float A[512]; float B[512];
+float w, x, y, z;
+"""
+
+
+def program_and_schedule(src):
+    program = parse_program(DECLS + src)
+    block = next(iter(program.blocks()))
+    deps = DependenceGraph(block)
+    schedule = holistic_slp_schedule(block, deps, 64)
+    return program, schedule
+
+
+class TestDefaultLayout:
+    def test_declaration_order_slots(self):
+        program = parse_program(DECLS)
+        arenas = default_scalar_layout(program)
+        arena = arenas["float"]
+        assert arena.slot("w") == 0
+        assert arena.slot("x") == 1
+        assert arena.slot("z") == 3
+
+    def test_types_get_separate_arenas(self):
+        program = parse_program("float a; double b;")
+        arenas = default_scalar_layout(program)
+        assert set(arenas) == {"float", "double"}
+        assert arenas["float"].slot("a") == 0
+        assert arenas["double"].slot("b") == 0
+
+
+class TestScalarPackExtraction:
+    def test_collects_all_scalar_packs(self):
+        program, schedule = program_and_schedule(
+            "x = A[0]; w = A[7]; B[0] = x * y; B[1] = w * y;"
+        )
+        packs = scalar_packs_of(schedule)
+        datas = {tuple(sorted(p)) for p in packs}
+        assert (("var", "w"), ("var", "x")) in datas
+
+
+class TestOptimizedLayout:
+    def test_most_frequent_pack_gets_contiguous_slots(self):
+        program, schedule = program_and_schedule(
+            "x = A[0]; w = A[7]; B[0] = x * y; B[1] = w * y;"
+        )
+        arenas = optimized_scalar_layout(program, [schedule])
+        arena = arenas["float"]
+        # <x, w> (in schedule lane order) must be adjacent and aligned.
+        slots = sorted((arena.slot("x"), arena.slot("w")))
+        assert slots[1] - slots[0] == 1
+        assert slots[0] % 2 == 0
+
+    def test_conflicting_pack_is_skipped(self):
+        # Two packs sharing a variable cannot both be contiguous.
+        program = parse_program(DECLS)
+        block_src = (
+            "x = A[0]; w = A[7];"
+            "B[0] = x * y; B[1] = w * y;"
+            "B[2] = x * z; B[3] = y * z;"
+        )
+        program = parse_program(DECLS + block_src)
+        block = next(iter(program.blocks()))
+        deps = DependenceGraph(block)
+        schedule = holistic_slp_schedule(block, deps, 64)
+        arenas = optimized_scalar_layout(program, [schedule])
+        # Every scalar still gets exactly one slot.
+        arena = arenas["float"]
+        slots = [arena.slot(n) for n in ("w", "x", "y", "z")]
+        assert len(set(slots)) == 4
+
+    def test_every_declared_scalar_is_placed(self):
+        program, schedule = program_and_schedule("x = A[0]; w = A[7];")
+        arenas = optimized_scalar_layout(program, [schedule])
+        placed = set()
+        for arena in arenas.values():
+            placed |= set(arena.slots)
+        assert placed == set(program.scalars)
+
+    def test_splat_pack_not_placed_contiguously(self):
+        program = parse_program(DECLS)
+        arenas = optimized_scalar_layout(program, [])
+        # Falls back to declaration order without packs.
+        assert arenas["float"].slot("w") == 0
+
+
+class TestContiguityPredicate:
+    def test_contiguous_aligned_pack(self):
+        program, schedule = program_and_schedule(
+            "x = A[0]; w = A[7]; B[0] = x * y; B[1] = w * y;"
+        )
+        arenas = optimized_scalar_layout(program, [schedule])
+        elem = program.scalars["x"].type
+        sw = next(
+            sw
+            for sw in schedule.superwords()
+            if all(k[0] == "var" for k in sw.target_pack())
+        )
+        assert pack_is_contiguous(sw.target_pack(), arenas, elem)
+
+    def test_default_layout_pack_usually_not_contiguous(self):
+        program, schedule = program_and_schedule(
+            "x = A[0]; w = A[7]; B[0] = x * y; B[1] = w * y;"
+        )
+        arenas = default_scalar_layout(program)
+        elem = program.scalars["x"].type
+        # <x, w> sits at default slots 1 and 0: reversed, and the lane
+        # order from scheduling is (x, w) -> offsets (1, 0): not
+        # ascending-contiguous.
+        pack = (("var", "x"), ("var", "w"))
+        assert not pack_is_contiguous(pack, arenas, elem)

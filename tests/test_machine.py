@@ -1,0 +1,152 @@
+"""Machine models, reports, and the builder front end."""
+
+import pytest
+
+from repro.ir import (
+    FLOAT32,
+    FLOAT64,
+    BlockBuilder,
+    ProgramBuilder,
+    format_program,
+)
+from repro.vm import (
+    ExecutionReport,
+    OP_COSTS,
+    amd_phenom_ii,
+    intel_dunnington,
+    reduction,
+)
+
+
+class TestMachineModels:
+    def test_table1_intel(self):
+        m = intel_dunnington()
+        assert m.datapath_bits == 128
+        assert m.l1.size_bytes == 32 * 1024
+        assert m.l1.ways == 8
+        assert m.l1.line_bytes == 64
+        assert m.cores == 12
+
+    def test_table2_amd(self):
+        m = amd_phenom_ii()
+        assert m.l1.size_bytes == 64 * 1024
+        assert m.l1.ways == 2
+        assert m.cores == 4
+
+    def test_amd_pack_costs_exceed_intel(self):
+        intel, amd = intel_dunnington(), amd_phenom_ii()
+        assert amd.lane_insert > intel.lane_insert
+        assert amd.lane_extract > intel.lane_extract
+        assert amd.shuffle > intel.shuffle
+
+    def test_lanes_for(self):
+        m = intel_dunnington()
+        assert m.lanes_for(32) == 4
+        assert m.lanes_for(64) == 2
+        assert m.with_datapath(512).lanes_for(64) == 8
+
+    def test_with_datapath_preserves_everything_else(self):
+        m = intel_dunnington()
+        wide = m.with_datapath(1024)
+        assert wide.datapath_bits == 1024
+        assert wide.l1 == m.l1 and wide.cores == m.cores
+
+    def test_op_costs_cover_all_ir_operators(self):
+        from repro.ir import BINARY_OPS, UNARY_OPS
+
+        for op in list(BINARY_OPS) + list(UNARY_OPS):
+            assert op in OP_COSTS
+
+    def test_expensive_ops_cost_more(self):
+        assert OP_COSTS["/"] > OP_COSTS["*"] > OP_COSTS["+"]
+
+
+class TestReports:
+    def test_charge_accumulates_cycles_and_counts(self):
+        report = ExecutionReport()
+        report.charge("scalar_op", 3, 2.0)
+        assert report.counts["scalar_op"] == 3
+        assert report.cycles == 6.0
+
+    def test_reduction_helper(self):
+        assert reduction(100.0, 80.0) == pytest.approx(0.2)
+        assert reduction(0.0, 10.0) == 0.0
+
+    def test_pack_unpack_partition(self):
+        report = ExecutionReport()
+        report.charge("vector_op", 5, 1.0)
+        report.charge("lane_insert", 3, 1.0)
+        report.charge("shuffle", 2, 1.0)
+        assert report.pack_unpack_ops == 5
+        assert report.dynamic_instructions == 5
+        assert report.total_instructions == 10
+
+
+class TestBuilder:
+    def test_nested_loop_builder(self):
+        b = ProgramBuilder("nest")
+        M = b.array("M", (8, 8), FLOAT64)
+        with b.loop("i", 0, 8):
+            with b.loop("j", 0, 8) as j:
+                pass
+        program = b.build()
+        loop = next(iter(program.loops()))
+        assert loop.index == "i" and loop.inner.index == "j"
+
+    def test_two_loops_in_one_body_rejected(self):
+        b = ProgramBuilder("bad")
+        with pytest.raises(ValueError):
+            with b.loop("i", 0, 8):
+                with b.loop("j", 0, 4):
+                    pass
+                with b.loop("k", 0, 4):
+                    pass
+
+    def test_build_inside_loop_rejected(self):
+        b = ProgramBuilder("bad")
+        with pytest.raises(RuntimeError):
+            with b.loop("i", 0, 8):
+                b.build()
+
+    def test_operator_overloads(self):
+        b = BlockBuilder()
+        pb = ProgramBuilder()
+        A = pb.array("A", (16,), FLOAT32)
+        x = pb.scalar("x", FLOAT32)
+        stmt = b.assign(x, (2.0 - A[3]) / x + (-x).abs())
+        text = str(stmt.expr)
+        assert "2.0 - A[3]" in text and "abs(neg(x))" in text
+
+    def test_subscript_arithmetic(self):
+        pb = ProgramBuilder()
+        A = pb.array("A", (64,), FLOAT32)
+        with pb.loop("i", 0, 8) as i:
+            pb.assign(A[4 * i + 3], A[3 - i] + 1.0)
+        program = pb.build()
+        stmt = next(iter(program.loops())).body.statements[0]
+        assert str(stmt.target) == "A[4*i + 3]"
+        assert "A[3 - i]" in str(stmt.expr) or "A[-i + 3]" in str(stmt.expr)
+
+    def test_mixed_statements_and_loops(self):
+        b = ProgramBuilder()
+        x = b.scalar("x", FLOAT32)
+        y = b.scalar("y", FLOAT32)
+        b.assign(x, 1.0)
+        with b.loop("i", 0, 4):
+            b.assign(y, x + 1.0)
+        b.assign(x, 2.0)
+        program = b.build()
+        # straight block, loop, straight block
+        assert len(program.body) == 3
+
+    def test_printer_round_trip_via_builder(self):
+        b = ProgramBuilder()
+        A = b.array("A", (32,), FLOAT64)
+        s = b.scalar("s", FLOAT64)
+        with b.loop("i", 1, 31) as i:
+            b.assign(s, A[i - 1].max(A[i + 1]))
+            b.assign(A[i], s * 0.5)
+        text = format_program(b.build())
+        from repro.ir import parse_program
+
+        assert format_program(parse_program(text)) == text

@@ -1,0 +1,153 @@
+"""The tiny C-like DSL front end."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    BasicBlock,
+    Const,
+    FLOAT32,
+    FLOAT64,
+    Loop,
+    ParseError,
+    Var,
+    format_program,
+    parse_block,
+    parse_program,
+)
+
+
+class TestDeclarations:
+    def test_array_and_scalar_declarations(self):
+        program = parse_program("float A[16]; double x, y;")
+        assert program.arrays["A"].shape == (16,)
+        assert program.arrays["A"].type == FLOAT32
+        assert program.scalars["x"].type == FLOAT64
+        assert set(program.scalars) == {"x", "y"}
+
+    def test_multidimensional_array(self):
+        program = parse_program("float M[4][8];")
+        assert program.arrays["M"].shape == (4, 8)
+        assert program.arrays["M"].size == 32
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("float a; int a;")
+
+
+class TestStatements:
+    def test_simple_assignment(self):
+        block = parse_block("a = b * 2.0;", "float a, b;")
+        stmt = block.statements[0]
+        assert isinstance(stmt.target, Var)
+        assert "2.0" in str(stmt.expr)
+
+    def test_precedence(self):
+        block = parse_block("a = b + c * d;", "float a, b, c, d;")
+        assert str(block.statements[0].expr) == "(b + (c * d))"
+
+    def test_parentheses(self):
+        block = parse_block("a = (b + c) * d;", "float a, b, c, d;")
+        assert str(block.statements[0].expr) == "((b + c) * d)"
+
+    def test_min_max_sqrt(self):
+        block = parse_block(
+            "a = min(b, c) + sqrt(d);", "float a, b, c, d;"
+        )
+        text = str(block.statements[0].expr)
+        assert "min(b, c)" in text and "sqrt(d)" in text
+
+    def test_unary_minus(self):
+        block = parse_block("a = -b;", "float a, b;")
+        assert str(block.statements[0].expr) == "neg(b)"
+
+    def test_constant_folding_of_literals(self):
+        block = parse_block("a = b + 2 * 3;", "float a, b;")
+        expr = block.statements[0].expr
+        # 2*3 folds before typing against b.
+        assert "6" in str(expr)
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_block("a = zz;", "float a;")
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(ParseError):
+            parse_block("zz = 1.0;", "float a;")
+
+
+class TestLoops:
+    SRC = """
+    float A[64]; float B[64];
+    for (i = 0; i < 16; i += 1) {
+        A[2*i] = B[i] + 1.0;
+    }
+    """
+
+    def test_loop_bounds(self):
+        program = parse_program(self.SRC)
+        loop = next(iter(program.loops()))
+        assert (loop.start, loop.stop, loop.step) == (0, 16, 1)
+        assert len(loop.body) == 1
+
+    def test_affine_subscripts(self):
+        program = parse_program(self.SRC)
+        loop = next(iter(program.loops()))
+        target = loop.body.statements[0].target
+        assert isinstance(target, ArrayRef)
+        assert target.subscripts[0].coeff("i") == 2
+
+    def test_nested_loops(self):
+        program = parse_program(
+            """
+            float M[8][8];
+            for (i = 0; i < 8; i += 1) {
+                for (j = 0; j < 8; j += 1) {
+                    M[i][j] = M[i][j] * 2.0;
+                }
+            }
+            """
+        )
+        loop = next(iter(program.loops()))
+        assert loop.index == "i"
+        assert loop.inner is not None and loop.inner.index == "j"
+
+    def test_two_nested_loops_in_one_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+                float A[8];
+                for (i = 0; i < 8; i += 1) {
+                    for (j = 0; j < 2; j += 1) { A[j] = 1.0; }
+                    for (k = 0; k < 2; k += 1) { A[k] = 2.0; }
+                }
+                """
+            )
+
+    def test_subscript_requires_enclosing_index(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "float A[8]; for (i = 0; i < 4; i += 1) { A[j] = 1.0; }"
+            )
+
+
+class TestRoundTrip:
+    def test_print_then_reparse(self):
+        src = """
+        float A[64]; float B[64];
+        float s;
+        for (i = 1; i < 15; i += 1) {
+            s = A[i - 1] + A[i + 1];
+            B[2*i] = s * 0.5;
+        }
+        """
+        program = parse_program(src)
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert format_program(reparsed) == printed
+
+    def test_parse_block_rejects_loops(self):
+        with pytest.raises(ParseError):
+            parse_block(
+                "for (i = 0; i < 4; i += 1) { a = 1.0; }", "float a;"
+            )

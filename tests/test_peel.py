@@ -1,0 +1,138 @@
+"""Loop peeling for alignment (pre-processing extension)."""
+
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    simulate,
+)
+from repro.ir import parse_program
+from repro.transform import choose_peel_count, peel_loop, peel_program
+
+MISALIGNED = """
+double U[4096]; double V[4096];
+for (i = 1; i < 1023; i += 1) {
+    V[i] = U[i] * 2.0;
+}
+"""
+
+
+def loop_of(src):
+    program = parse_program(src)
+    return program, next(iter(program.loops()))
+
+
+class TestPeelChoice:
+    def test_misaligned_stream_wants_one_peel(self):
+        program, loop = loop_of(MISALIGNED)
+        # Lanes = 2 (double at 128 bits); start = 1 -> residue 1 -> peel 1.
+        assert choose_peel_count(loop, program, 2) == 1
+
+    def test_aligned_stream_wants_none(self):
+        program, loop = loop_of(
+            "double U[64]; double V[64];"
+            "for (i = 0; i < 64; i += 1) { V[i] = U[i] * 2.0; }"
+        )
+        assert choose_peel_count(loop, program, 2) == 0
+
+    def test_majority_vote_across_streams(self):
+        program, loop = loop_of(
+            "double U[64]; double V[64]; double W[64];"
+            "for (i = 1; i < 63; i += 1) {"
+            "  V[i] = U[i] * 2.0; W[i] = U[i] + 1.0; }"
+        )
+        assert choose_peel_count(loop, program, 2) == 1
+
+    def test_fixed_residue_refs_do_not_vote(self):
+        # Stride-2 subscript with 2 lanes: residue never changes.
+        program, loop = loop_of(
+            "double U[256]; double V[256];"
+            "for (i = 1; i < 63; i += 1) { V[2*i] = U[2*i] + 1.0; }"
+        )
+        assert choose_peel_count(loop, program, 2) == 0
+
+    def test_nested_loops_not_peeled(self):
+        program = parse_program(
+            "double M[64];"
+            "for (i = 0; i < 4; i += 1) {"
+            "  for (j = 1; j < 9; j += 1) { M[8*i + j] = 1.0; } }"
+        )
+        loop = next(iter(program.loops()))
+        assert choose_peel_count(loop, program, 2) == 0
+
+
+class TestPeelMechanics:
+    def test_split_bounds(self):
+        program, loop = loop_of(MISALIGNED)
+        prologue, main = peel_loop(loop, 1)
+        assert prologue is not None
+        assert (prologue.start, prologue.stop) == (1, 2)
+        assert (main.start, main.stop) == (2, 1023)
+
+    def test_zero_peel_is_identity(self):
+        program, loop = loop_of(MISALIGNED)
+        prologue, main = peel_loop(loop, 0)
+        assert prologue is None and main is loop
+
+    def test_peel_program_counts(self):
+        program, _ = loop_of(MISALIGNED)
+        peeled_program, count = peel_program(program, 2)
+        assert count == 1
+        loops = list(peeled_program.loops())
+        assert len(loops) == 2
+
+
+class TestEndToEnd:
+    def test_peeling_preserves_semantics(self):
+        program = parse_program(MISALIGNED)
+        base = compile_program(program, Variant.SCALAR, intel_dunnington())
+        _, base_memory = simulate(base)
+        peeled = compile_program(
+            parse_program(MISALIGNED),
+            Variant.GLOBAL,
+            intel_dunnington(),
+            CompilerOptions(peel_for_alignment=True),
+        )
+        _, memory = simulate(peeled)
+        assert memory.state_equal(base_memory)
+
+    def test_peeling_aligns_the_main_loop(self):
+        from repro.vm import PackMode, VPack
+
+        def modes(options):
+            result = compile_program(
+                parse_program(MISALIGNED),
+                Variant.GLOBAL,
+                intel_dunnington(),
+                options,
+            )
+            out = []
+            for unit in result.plan.units:
+                body = getattr(unit, "body", [])
+                out.extend(
+                    i.mode for i in body if isinstance(i, VPack)
+                )
+            return out
+
+        without = modes(CompilerOptions())
+        with_peel = modes(CompilerOptions(peel_for_alignment=True))
+        assert PackMode.CONTIG_UNALIGNED in without
+        assert PackMode.CONTIG_ALIGNED in with_peel
+        assert PackMode.CONTIG_UNALIGNED not in with_peel
+
+    def test_peeling_not_slower(self):
+        plain = compile_program(
+            parse_program(MISALIGNED), Variant.GLOBAL, intel_dunnington()
+        )
+        plain_report, _ = simulate(plain)
+        peeled = compile_program(
+            parse_program(MISALIGNED),
+            Variant.GLOBAL,
+            intel_dunnington(),
+            CompilerOptions(peel_for_alignment=True),
+        )
+        peeled_report, _ = simulate(peeled)
+        assert peeled_report.cycles <= plain_report.cycles

@@ -1,0 +1,139 @@
+"""Plan disassembly and the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro import Variant, compile_program, intel_dunnington
+from repro.cli import build_parser, main
+from repro.ir import parse_program
+from repro.vm.pretty import (
+    disassemble_plan,
+    format_instruction,
+    format_ref,
+    instruction_histogram,
+)
+from repro.vm.isa import ImmRef, MemRef, PackMode, ScalarRef, VPack
+from repro.ir import Affine
+
+SRC = """
+double X[64]; double Y[64];
+double a;
+for (i = 0; i < 32; i += 1) {
+    Y[i] = a * X[i] + Y[i];
+}
+"""
+
+
+@pytest.fixture()
+def plan():
+    return compile_program(
+        parse_program(SRC), Variant.GLOBAL, intel_dunnington()
+    ).plan
+
+
+class TestFormatting:
+    def test_format_refs(self):
+        assert format_ref(ScalarRef("a")) == "$a"
+        assert format_ref(ImmRef(2.0)) == "#2.0"
+        assert format_ref(MemRef("X", Affine.of(3, i=1))) == "X[i + 3]"
+
+    def test_format_vpack(self):
+        instr = VPack(
+            3, (ScalarRef("a"), ScalarRef("a")), PackMode.BROADCAST
+        )
+        text = format_instruction(instr)
+        assert "v3" in text and "broadcast" in text
+
+    def test_disassemble_plan_structure(self, plan):
+        text = disassemble_plan(plan)
+        assert "arena double" in text
+        assert "loop i = 0..32 step 2" in text
+        assert "preheader:" in text
+        assert "vop.*" in text and "vstore" in text
+
+    def test_histogram_counts_static_instructions(self, plan):
+        histogram = instruction_histogram(plan)
+        assert histogram.get("VOp", 0) >= 2
+        assert histogram.get("VStore", 0) >= 1
+
+
+class TestCli:
+    def _write(self, tmp_path: pathlib.Path) -> str:
+        path = tmp_path / "kernel.slp"
+        path.write_text(SRC)
+        return str(path)
+
+    def test_compile_runs_and_reports(self, tmp_path, capsys):
+        assert main(["compile", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_compile_emit_plan(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    self._write(tmp_path),
+                    "--emit-plan",
+                    "--variant",
+                    "global",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "vpack" in out
+
+    def test_compile_emit_schedule(self, tmp_path, capsys):
+        assert (
+            main(
+                ["compile", self._write(tmp_path), "--emit-schedule"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "<S0, S1>" in out
+
+    def test_compare_all_variants(self, tmp_path, capsys):
+        assert main(["compare", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for name in ("scalar", "native", "slp", "global"):
+            assert name in out
+        assert "MISMATCH" not in out
+
+    def test_kernels_listing(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "cactusADM" in out and "NAS" in out
+
+    def test_explain_shows_weights_and_decisions(self, tmp_path, capsys):
+        assert main(["explain", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "candidate groups" in out
+        assert "weight" in out and "score" in out
+        assert "decisions:" in out
+        assert "superword statements" in out
+
+    def test_machine_and_datapath_flags(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    self._write(tmp_path),
+                    "--machine",
+                    "amd",
+                    "--datapath",
+                    "256",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_unknown_variant_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compile", "x.slp", "--variant", "bogus"]
+            )

@@ -1,0 +1,78 @@
+"""The C-like pretty printer."""
+
+from repro.ir import (
+    FLOAT32,
+    FLOAT64,
+    ProgramBuilder,
+    format_block,
+    format_loop,
+    format_program,
+    parse_program,
+)
+
+
+def sample_program():
+    b = ProgramBuilder("sample")
+    A = b.array("A", (64,), FLOAT32)
+    M = b.array("M", (4, 8), FLOAT64)
+    s = b.scalar("s", FLOAT32)
+    b.assign(s, 1.5)
+    with b.loop("i", 0, 32, 2) as i:
+        b.assign(A[i], A[i + 1] * s)
+    return b.build()
+
+
+class TestFormatting:
+    def test_declarations_rendered(self):
+        text = format_program(sample_program())
+        assert "float A[64];" in text
+        assert "double M[4][8];" in text
+        assert "float s;" in text
+
+    def test_loop_header_syntax(self):
+        text = format_program(sample_program())
+        assert "for (i = 0; i < 32; i += 2) {" in text
+
+    def test_statement_indentation(self):
+        program = sample_program()
+        loop = next(iter(program.loops()))
+        text = format_loop(loop, indent=1)
+        assert text.startswith("    for (")
+        assert "\n        A[i] =" in text
+
+    def test_block_without_indent(self):
+        program = sample_program()
+        blocks = [b for b in program.body if not hasattr(b, "index")]
+        text = format_block(blocks[0])
+        assert text == "s = 1.5;"
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        original = format_program(sample_program())
+        reparsed = format_program(parse_program(original))
+        assert reparsed == original
+
+    def test_nested_loop_round_trip(self):
+        src = format_program(
+            parse_program(
+                """
+                double M[8][8];
+                for (i = 0; i < 8; i += 1) {
+                    for (j = 0; j < 8; j += 1) {
+                        M[i][j] = M[i][j] + 1.0;
+                    }
+                }
+                """
+            )
+        )
+        assert format_program(parse_program(src)) == src
+
+    def test_min_max_round_trip(self):
+        src = format_program(
+            parse_program(
+                "float a, b, c; a = min(b, c) + max(b, 2.0);"
+            )
+        )
+        assert "min(b, c)" in src
+        assert format_program(parse_program(src)) == src

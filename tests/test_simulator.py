@@ -1,0 +1,136 @@
+"""The virtual SIMD machine: functional semantics and cost accounting."""
+
+import math
+
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    simulate,
+)
+from repro.ir import parse_program
+from repro.vm import Memory, Simulator
+
+SRC = """
+float A[64]; float B[64];
+float s;
+for (i = 0; i < 16; i += 1) {
+    s = A[i] * 2.0;
+    B[i] = s + A[i];
+}
+"""
+
+
+def run(variant, src=SRC, seed=0, **options):
+    program = parse_program(src)
+    result = compile_program(
+        program, variant, intel_dunnington(), CompilerOptions(**options)
+    )
+    return simulate(result, seed=seed)
+
+
+class TestFunctionalSemantics:
+    def test_scalar_execution_matches_numpy(self):
+        report, memory = run(Variant.SCALAR)
+        reference = Memory(parse_program(SRC))
+        expected = reference.arrays["A"][:16] * 2.0 + reference.arrays["A"][:16]
+        assert list(memory.arrays["B"][:16]) == list(expected)
+
+    def test_all_variants_agree_exactly(self):
+        _, base = run(Variant.SCALAR)
+        for variant in (
+            Variant.NATIVE,
+            Variant.SLP,
+            Variant.GLOBAL,
+            Variant.GLOBAL_LAYOUT,
+        ):
+            _, memory = run(variant)
+            assert memory.state_equal(base), variant
+
+    def test_division_and_sqrt(self):
+        src = """
+        double X[16]; double Y[16];
+        for (i = 0; i < 8; i += 1) {
+            Y[i] = sqrt(X[i]) / (X[i] + 1.0);
+        }
+        """
+        _, base = run(Variant.SCALAR, src)
+        _, vec = run(Variant.GLOBAL, src)
+        assert vec.state_equal(base)
+
+    def test_seed_controls_initial_state(self):
+        _, m1 = run(Variant.SCALAR, seed=1)
+        _, m2 = run(Variant.SCALAR, seed=2)
+        assert not m1.state_equal(m2)
+
+    def test_initial_state_independent_of_extra_declarations(self):
+        small = parse_program("float A[16]; float x;")
+        big = parse_program("float A[16]; float Z[99]; float x;")
+        m_small = Memory(small)
+        m_big = Memory(big)
+        assert list(m_small.arrays["A"]) == list(m_big.arrays["A"])
+        assert m_small.scalars["x"] == m_big.scalars["x"]
+
+
+class TestCostAccounting:
+    def test_scalar_counts(self):
+        report, _ = run(Variant.SCALAR)
+        # 16 iterations x (1 mem load + 1 scalar move + 1 op + 1 move)
+        # for S0 and (1 move + 1 mem load + 1 op + 1 mem store) for S1.
+        assert report.counts["scalar_op"] == 32
+        assert report.counts["scalar_load"] == 32
+        assert report.counts["scalar_store"] == 16
+
+    def test_vector_variant_reduces_ops(self):
+        scalar, _ = run(Variant.SCALAR)
+        vector, _ = run(Variant.GLOBAL)
+        assert vector.counts.get("vector_op", 0) > 0
+        assert vector.counts.get("scalar_op", 0) < scalar.counts["scalar_op"]
+        assert vector.cycles < scalar.cycles
+
+    def test_cache_stats_populated(self):
+        report, _ = run(Variant.SCALAR)
+        assert report.cache_hits + report.cache_misses > 0
+        assert report.cache_misses >= 2  # cold misses on A and B
+
+    def test_cycles_include_miss_penalty(self):
+        src = """
+        double X[32768]; double Y[32768];
+        for (i = 0; i < 32768; i += 1) {
+            Y[i] = X[i] + 1.0;
+        }
+        """
+        report, _ = run(Variant.SCALAR, src)
+        machine = intel_dunnington()
+        base = report.total_instructions  # lower bound without misses
+        assert report.cycles > base  # misses add real cycles
+
+    def test_pack_unpack_metric(self):
+        src = """
+        double F[4096]; double R[512];
+        for (i = 0; i < 128; i += 1) {
+            R[i] = F[9*i] / F[9*i + 1];
+        }
+        """
+        report, _ = run(Variant.GLOBAL, src, cost_gate=False)
+        assert report.pack_unpack_ops > 0
+        assert report.dynamic_instructions == (
+            report.total_instructions - report.pack_unpack_ops
+        )
+
+
+class TestReportMerge:
+    def test_merge_accumulates(self):
+        r1, _ = run(Variant.SCALAR)
+        r2, _ = run(Variant.SCALAR)
+        total = r1.total_instructions + r2.total_instructions
+        r1.merge(r2)
+        assert r1.total_instructions == total
+
+    def test_summary_renders(self):
+        report, _ = run(Variant.GLOBAL)
+        text = report.summary()
+        assert "cycles" in text and "cache" in text

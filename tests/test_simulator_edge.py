@@ -1,0 +1,182 @@
+"""Simulator and memory edge cases: addressing, hoisting semantics,
+loop-invariant correctness, remainder handling, and nested execution."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    simulate,
+)
+from repro.ir import parse_program
+from repro.vm import Memory, Simulator
+
+
+def run(src, variant=Variant.GLOBAL, **options):
+    program = parse_program(src)
+    result = compile_program(
+        program, variant, intel_dunnington(), CompilerOptions(**options)
+    )
+    return simulate(result)
+
+
+class TestMemoryAddressing:
+    def test_arrays_get_disjoint_address_ranges(self):
+        memory = Memory(parse_program("double A[16]; double B[16];"))
+        a_end = memory.address("A", 15) + memory.elem_bytes("A")
+        assert memory.address("B", 0) >= a_end
+
+    def test_addresses_are_line_aligned_at_base(self):
+        memory = Memory(parse_program("double A[16]; float B[16];"))
+        assert memory.address("A", 0) % 64 == 0
+        assert memory.address("B", 0) % 64 == 0
+
+    def test_elem_bytes_follow_type(self):
+        memory = Memory(parse_program("double A[4]; float B[4];"))
+        assert memory.elem_bytes("A") == 8
+        assert memory.elem_bytes("B") == 4
+
+    def test_int_arrays_initialized_integral(self):
+        memory = Memory(parse_program("int K[8];"))
+        values = memory.arrays["K"]
+        assert np.array_equal(values, values.astype(np.int64))
+
+
+class TestHoistingSemantics:
+    def test_hoisted_constant_sees_preloop_scalar_value(self):
+        """A loop-invariant scalar pack must read the value the scalar
+        has when the loop is entered."""
+        src = """
+        double A[64]; double B[64];
+        double k;
+        k = 3.0;
+        for (i = 0; i < 16; i += 1) {
+            B[i] = A[i] * k;
+        }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src, Variant.GLOBAL)
+        assert mem.state_equal(base)
+
+    def test_scalar_written_in_loop_not_hoisted(self):
+        src = """
+        double A[64]; double B[64];
+        double k;
+        for (i = 0; i < 16; i += 1) {
+            k = A[i] * 2.0;
+            B[i] = k + A[i];
+        }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src, Variant.GLOBAL)
+        assert mem.state_equal(base)
+
+    def test_array_written_in_loop_blocks_hoisting(self):
+        # A[0] is loop-invariant as an address but the loop writes A.
+        src = """
+        double A[64]; double B[64];
+        for (i = 1; i < 16; i += 1) {
+            B[i] = A[0] + B[i];
+            A[0] = A[0] + 1.0;
+        }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src, Variant.GLOBAL)
+        assert mem.state_equal(base)
+
+
+class TestLoopShapes:
+    def test_empty_loop_body_is_noop(self):
+        src = "double A[8]; for (i = 0; i < 0; i += 1) { A[0] = 1.0; }"
+        report, mem = run(src, Variant.SCALAR)
+        assert report.total_instructions == 0
+
+    def test_single_iteration_loop(self):
+        src = "double A[8]; for (i = 3; i < 4; i += 1) { A[i] = 7.0; }"
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+        assert mem.arrays["A"][3] == 7.0
+
+    def test_loop_with_step(self):
+        src = """
+        double A[64];
+        for (i = 0; i < 32; i += 4) { A[i] = 1.0; }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+    def test_remainder_iterations_execute(self):
+        src = """
+        double A[64];
+        for (i = 0; i < 13; i += 1) { A[i] = A[i] + 1.0; }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+    def test_three_level_nest(self):
+        src = """
+        double T[512];
+        for (i = 0; i < 4; i += 1) {
+            for (j = 0; j < 4; j += 1) {
+                for (k = 0; k < 8; k += 1) {
+                    T[128*i + 32*j + k] = T[128*i + 32*j + k] * 2.0;
+                }
+            }
+        }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+
+class TestRMWAndAliasing:
+    def test_read_modify_write_superword(self):
+        src = """
+        double A[64];
+        for (i = 0; i < 16; i += 1) { A[i] = A[i] * 1.5; }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+    def test_loop_carried_flow_stays_correct(self):
+        # A[i+1] reads what the previous iteration wrote.
+        src = """
+        double A[64];
+        for (i = 0; i < 30; i += 1) {
+            A[i + 1] = A[i] * 0.5 + A[i + 1];
+        }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+    def test_scalar_reduction_not_broken(self):
+        src = """
+        double A[64]; double s;
+        for (i = 0; i < 32; i += 1) { s = s + A[i]; }
+        """
+        _, base = run(src, Variant.SCALAR)
+        _, mem = run(src)
+        assert mem.state_equal(base)
+
+
+class TestStateEqual:
+    def test_tolerant_comparison(self):
+        m1 = Memory(parse_program("double A[4];"))
+        m2 = Memory(parse_program("double A[4];"))
+        m2.arrays["A"][0] *= 1.0 + 1e-12
+        assert not m1.state_equal(m2)
+        assert m1.state_equal(m2, rtol=1e-9)
+
+    def test_scalar_differences_detected(self):
+        m1 = Memory(parse_program("double x;"))
+        m2 = Memory(parse_program("double x;"))
+        m2.scalars["x"] += 1.0
+        assert not m1.state_equal(m2)

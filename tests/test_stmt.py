@@ -1,0 +1,116 @@
+"""Statements: operand views, isomorphism, rewriting."""
+
+import pytest
+
+from repro.ir import (
+    Affine,
+    ArrayRef,
+    BinOp,
+    Const,
+    FLOAT32,
+    INT32,
+    Statement,
+    Var,
+)
+
+
+def ref(array, **coeffs):
+    const = coeffs.pop("const", 0)
+    return ArrayRef(array, (Affine.of(const, **coeffs),), FLOAT32)
+
+
+def stmt(sid, target, expr):
+    return Statement(sid, target, expr)
+
+
+@pytest.fixture()
+def mac():
+    # a = b * A[4i] + c
+    return stmt(
+        0,
+        Var("a", FLOAT32),
+        BinOp(
+            "+",
+            BinOp("*", Var("b", FLOAT32), ref("A", i=4)),
+            Var("c", FLOAT32),
+        ),
+    )
+
+
+class TestOperandViews:
+    def test_uses_excludes_constants(self, mac):
+        with_const = stmt(
+            1,
+            Var("x", FLOAT32),
+            BinOp("+", Var("y", FLOAT32), Const(1.0, FLOAT32)),
+        )
+        assert [str(u) for u in with_const.uses()] == ["y"]
+
+    def test_operand_positions_start_with_target(self, mac):
+        positions = mac.operand_positions()
+        assert str(positions[0]) == "a"
+        assert [str(p) for p in positions[1:]] == ["b", "A[4*i]", "c"]
+
+    def test_array_refs_include_target(self):
+        s = stmt(0, ref("C", i=2), BinOp("+", ref("A", i=1), ref("B", i=1)))
+        assert sorted(r.array for r in s.array_refs()) == ["A", "B", "C"]
+
+    def test_count_ops(self, mac):
+        assert mac.count_ops() == 2
+
+
+class TestIsomorphism:
+    def test_isomorphic_same_shape(self, mac):
+        other = stmt(
+            5,
+            Var("d", FLOAT32),
+            BinOp(
+                "+",
+                BinOp("*", Var("q", FLOAT32), ref("B", i=4, const=2)),
+                Var("r", FLOAT32),
+            ),
+        )
+        assert mac.is_isomorphic_to(other)
+
+    def test_not_isomorphic_different_ops(self, mac):
+        other = stmt(
+            5,
+            Var("d", FLOAT32),
+            BinOp(
+                "-",
+                BinOp("*", Var("q", FLOAT32), ref("B", i=4)),
+                Var("r", FLOAT32),
+            ),
+        )
+        assert not mac.is_isomorphic_to(other)
+
+    def test_not_isomorphic_different_types(self, mac):
+        other = stmt(
+            5,
+            Var("d", INT32),
+            BinOp(
+                "+",
+                BinOp("*", Var("q", INT32), ArrayRef("K", (Affine.var("i"),), INT32)),
+                Var("r", INT32),
+            ),
+        )
+        assert not mac.is_isomorphic_to(other)
+
+    def test_target_kind_matters(self):
+        to_scalar = stmt(0, Var("a", FLOAT32), Var("b", FLOAT32))
+        to_memory = stmt(1, ref("A", i=1), Var("b", FLOAT32))
+        assert not to_scalar.is_isomorphic_to(to_memory)
+
+
+class TestRewriting:
+    def test_substitute_indices_hits_target_and_sources(self):
+        s = stmt(0, ref("A", i=2), BinOp("+", ref("B", i=1), ref("B", i=1, const=1)))
+        shifted = s.substitute_indices({"i": Affine.var("i") + 3})
+        assert str(shifted.target) == "A[2*i + 6]"
+        assert "B[i + 3]" in str(shifted.expr)
+
+    def test_with_sid_preserves_content(self, mac):
+        renumbered = mac.with_sid(9)
+        assert renumbered.sid == 9
+        assert renumbered.expr == mac.expr
+        assert renumbered.target == mac.target

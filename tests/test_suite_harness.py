@@ -1,0 +1,100 @@
+"""The bench harness: KernelResult metrics, run_kernel/run_suite/
+run_multicore, table rendering."""
+
+import pytest
+
+from repro import Variant
+from repro.bench import (
+    DEFAULT_VARIANTS,
+    KERNELS,
+    ascii_table,
+    intel_dunnington,
+    percent,
+    run_kernel,
+    run_multicore,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def soplex_result():
+    return run_kernel(KERNELS["soplex"], intel_dunnington(), n=16)
+
+
+class TestKernelResult:
+    def test_runs_all_default_variants(self, soplex_result):
+        assert set(soplex_result.runs) == set(DEFAULT_VARIANTS)
+
+    def test_time_reduction_of_scalar_is_zero(self, soplex_result):
+        assert soplex_result.time_reduction(Variant.SCALAR) == 0.0
+
+    def test_time_reduction_consistent_with_cycles(self, soplex_result):
+        scalar = soplex_result.cycles(Variant.SCALAR)
+        glob = soplex_result.cycles(Variant.GLOBAL)
+        assert soplex_result.time_reduction(Variant.GLOBAL) == pytest.approx(
+            1 - glob / scalar
+        )
+
+    def test_semantics_preserved(self, soplex_result):
+        assert soplex_result.semantics_preserved()
+
+    def test_dyn_instr_elimination_positive_when_vectorized(
+        self, soplex_result
+    ):
+        assert soplex_result.dyn_instr_elimination(Variant.GLOBAL) > 0
+
+    def test_reduction_metrics_between_variants(self, soplex_result):
+        value = soplex_result.dyn_instr_reduction_over(
+            Variant.GLOBAL, Variant.SLP
+        )
+        assert -1.0 <= value <= 1.0
+
+
+class TestRunSuite:
+    def test_subset_of_kernels(self):
+        subset = [KERNELS["cg"], KERNELS["wrf"]]
+        results = run_suite(
+            intel_dunnington(),
+            kernels=subset,
+            variants=(Variant.SCALAR, Variant.GLOBAL),
+            n=8,
+        )
+        assert set(results) == {"cg", "wrf"}
+        for result in results.values():
+            assert set(result.runs) == {Variant.SCALAR, Variant.GLOBAL}
+
+
+class TestRunMulticore:
+    def test_slice_scales_with_cores(self):
+        machine = intel_dunnington()
+        one = run_multicore(
+            KERNELS["cg"], machine, Variant.GLOBAL, cores=1, n=256
+        )
+        four = run_multicore(
+            KERNELS["cg"], machine, Variant.GLOBAL, cores=4, n=256
+        )
+        # A 4-core slice simulates a quarter of the iterations; the
+        # added sync/contention overhead must not swamp that.
+        assert four.scalar_cycles < one.scalar_cycles
+        assert one.cores == 1 and four.cores == 4
+
+    def test_reduction_sign_matches_single_core(self):
+        machine = intel_dunnington()
+        point = run_multicore(
+            KERNELS["cg"], machine, Variant.GLOBAL, cores=2, n=64
+        )
+        assert point.reduction > 0
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(
+            ("name", "value"), [("a", "1"), ("long-name", "2")]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_percent_formatting(self):
+        assert percent(0.152).strip() == "15.2%"
+        assert percent(-0.05).strip() == "-5.0%"

@@ -1,0 +1,119 @@
+"""Loop unrolling with scalar renaming."""
+
+import pytest
+
+from repro.ir import Var, parse_program
+from repro.transform import choose_unroll_factor, unroll_loop, unroll_program
+
+SRC = """
+float A[64]; float B[64];
+float t;
+for (i = 0; i < 16; i += 1) {
+    t = A[i] * 2.0;
+    B[i] = t + 1.0;
+}
+"""
+
+
+def loop_of(program):
+    return next(iter(program.loops()))
+
+
+class TestFactorSelection:
+    def test_factor_fills_datapath_float32(self):
+        loop = loop_of(parse_program(SRC))
+        assert choose_unroll_factor(loop, 128) == 4
+        assert choose_unroll_factor(loop, 256) == 8
+
+    def test_factor_for_float64(self):
+        program = parse_program(
+            "double X[8]; for (i = 0; i < 8; i += 1) { X[i] = X[i] + 1.0; }"
+        )
+        assert choose_unroll_factor(loop_of(program), 128) == 2
+
+
+class TestUnrollLoop:
+    def test_body_replication_and_index_shift(self):
+        loop = loop_of(parse_program(SRC))
+        result = unroll_loop(loop, 4, {"t"})
+        assert result.main.step == 4
+        assert len(result.main.body) == 8
+        subs = [str(s) for s in result.main.body]
+        assert any("A[i + 3]" in s for s in subs)
+
+    def test_scalar_renaming_last_copy_keeps_name(self):
+        loop = loop_of(parse_program(SRC))
+        result = unroll_loop(loop, 4, {"t"})
+        defs = [
+            s.target.name
+            for s in result.main.body
+            if isinstance(s.target, Var)
+        ]
+        assert defs == ["t__0", "t__1", "t__2", "t"]
+        assert dict(result.new_scalars) == {
+            "t__0": "t", "t__1": "t", "t__2": "t",
+        }
+
+    def test_renamed_uses_follow_their_copy(self):
+        loop = loop_of(parse_program(SRC))
+        result = unroll_loop(loop, 2, {"t"})
+        statements = list(result.main.body)
+        # copy 0: t__0 = ...; B[i] = t__0 + 1.0
+        assert "t__0" in str(statements[1].expr)
+        # copy 1 (last): t = ...; B[i+1] = t + 1.0
+        assert "t__0" not in str(statements[3].expr)
+
+    def test_remainder_loop_for_nondivisible_trips(self):
+        program = parse_program(
+            "float A[32]; for (i = 0; i < 10; i += 1) { A[i] = A[i] + 1.0; }"
+        )
+        result = unroll_loop(loop_of(program), 4, set())
+        assert result.main.stop == 8
+        assert result.remainder is not None
+        assert (result.remainder.start, result.remainder.stop) == (8, 10)
+
+    def test_factor_one_is_identity(self):
+        loop = loop_of(parse_program(SRC))
+        result = unroll_loop(loop, 1, set())
+        assert result.main is loop
+        assert result.remainder is None
+
+    def test_reduction_stays_serialized(self):
+        program = parse_program(
+            "float A[16]; float s;"
+            "for (i = 0; i < 16; i += 1) { s = s + A[i]; }"
+        )
+        result = unroll_loop(loop_of(program), 2, {"s"})
+        first, second = list(result.main.body)
+        # Copy 1 reads copy 0's renamed value: the chain is preserved.
+        assert "s__0" in str(second.expr)
+        assert first.target.name == "s__0"
+        assert second.target.name == "s"
+
+
+class TestUnrollProgram:
+    def test_program_level_declares_renamed_scalars(self):
+        program = parse_program(SRC)
+        unrolled = unroll_program(program, 128)
+        assert "t__0" in unrolled.scalars
+        assert unrolled.scalars["t__0"].type == program.scalars["t"].type
+
+    def test_rejects_nested_remainders(self):
+        program = parse_program(
+            """
+            float A[32];
+            for (i = 0; i < 4; i += 1) {
+                for (j = 0; j < 7; j += 1) {
+                    A[j] = A[j] + 1.0;
+                }
+            }
+            """
+        )
+        with pytest.raises(ValueError):
+            unroll_program(program, 128)
+
+    def test_straight_blocks_pass_through(self):
+        program = parse_program("float a, b; a = b + 1.0;")
+        unrolled = unroll_program(program, 128)
+        blocks = list(unrolled.blocks())
+        assert len(blocks) == 1 and len(blocks[0]) == 1
