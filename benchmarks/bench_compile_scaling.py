@@ -1,0 +1,327 @@
+"""Compile-time scaling of the grouping engines.
+
+The holistic grouping loop is the compiler's asymptotic hot spot: the
+reference engine re-derives every active candidate's auxiliary-graph
+score on every decision iteration (candidates x iterations exact
+evaluations), which blows up on heavily unrolled blocks at wide
+datapaths — exactly Figure 18's regime. The incremental engine memoizes
+scores, invalidates only the committed group's dirty neighborhood, and
+keeps a lazily-refined bound heap, so its exact evaluations track the
+number of *decisions*, not candidates x iterations.
+
+This harness measures both engines over
+
+* the 16-kernel Table 3 suite across unroll factor (2/4/8) x datapath
+  (128 -> 1024) — the fixed-size workloads, where blocks are small and
+  the advantage is bounded;
+* a block-size scaling series (``G`` independent stencil chains in one
+  loop body, the shape aggressive unrolling/inlining produces) at the
+  unroll-8 x 1024-bit configuration, where the reference engine's
+  quadratic recomputation shows and the incremental engine's speedup
+  grows without bound (measured: ~1.3x at G=1, >10x at G=2, >40x at
+  G=3 — too slow to time routinely, so the series stops at G=2);
+* the parallel suite runner (``run_suite(jobs=4)`` vs ``jobs=1``).
+
+Every measured compile is differentially checked: both engines must
+produce byte-identical disassembled plans. Results land in
+``results/compile_scaling.txt`` and machine-readable
+``results/BENCH_compile.json``. Set ``REPRO_BENCH_SMOKE=1`` (CI) for a
+reduced grid that still enforces the no-regression and asymptotic-count
+assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from conftest import write_result
+
+from repro import CompilerOptions, Variant, compile_program
+from repro.bench import ALL_KERNELS, KERNELS, ascii_table, intel_dunnington
+from repro.bench.suite import run_suite
+from repro.ir import ProgramBuilder
+from repro.ir.types import FLOAT64
+from repro.perf import PERF
+from repro.vm.pretty import disassemble_plan
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+ENGINES = ("incremental", "reference")
+UNROLLS = (2, 8) if SMOKE else (2, 4, 8)
+DATAPATHS = (128, 1024) if SMOKE else (128, 256, 512, 1024)
+SUITE_KERNELS = (
+    [KERNELS[n] for n in ("cactusADM", "ua", "mg", "cg")]
+    if SMOKE
+    else ALL_KERNELS
+)
+REPEATS = 1 if SMOKE else 2
+N = 16
+
+
+def _timed_compile(program, machine, options):
+    """Best-of-``REPEATS`` wall time plus the perf snapshot and plan
+    fingerprint of the final run (counters are deterministic across
+    repeats; timings take the minimum to shed scheduler noise)."""
+    best = math.inf
+    for _ in range(REPEATS):
+        PERF.reset()
+        PERF.enable()
+        started = time.perf_counter()
+        result = compile_program(program, Variant.GLOBAL, machine, options)
+        best = min(best, time.perf_counter() - started)
+        PERF.disable()
+    snapshot = PERF.snapshot()
+    PERF.reset()
+    return best, snapshot, disassemble_plan(result.plan)
+
+
+def _grouping_seconds(snapshot):
+    return snapshot["sections"].get("grouping", (0.0, 0))[0]
+
+
+def _exact_scores(snapshot):
+    return snapshot["counters"].get("grouping.scores_recomputed", 0)
+
+
+def _measure_config(programs, unroll, datapath):
+    """Both engines over a set of named programs at one configuration;
+    asserts plan identity pairwise."""
+    machine = intel_dunnington().with_datapath(datapath)
+    rows = []
+    for name, program in programs:
+        per_engine = {}
+        for engine in ENGINES:
+            options = CompilerOptions(
+                unroll_factor=unroll, grouping_engine=engine
+            )
+            seconds, snapshot, plan = _timed_compile(
+                program, machine, options
+            )
+            per_engine[engine] = {
+                "seconds": seconds,
+                "grouping_seconds": _grouping_seconds(snapshot),
+                "exact_scores": _exact_scores(snapshot),
+                "score_bounds": snapshot["counters"].get(
+                    "grouping.score_bounds", 0
+                ),
+                "decisions": snapshot["counters"].get(
+                    "grouping.decisions", 0
+                ),
+                "plan": plan,
+            }
+        assert (
+            per_engine["incremental"]["plan"]
+            == per_engine["reference"]["plan"]
+        ), f"engines diverged on {name} (unroll={unroll}, dp={datapath})"
+        for record in per_engine.values():
+            del record["plan"]
+        rows.append(
+            {
+                "kernel": name,
+                "unroll": unroll,
+                "datapath": datapath,
+                **{
+                    f"{engine}_{field}": value
+                    for engine, record in per_engine.items()
+                    for field, value in record.items()
+                },
+            }
+        )
+    return rows
+
+
+def _stencil_chains(groups, n=N):
+    """``groups`` independent 3-point stencil chains sharing one loop
+    body — a realistic big-block shape (unrolled/inlined code) whose
+    candidate count grows linearly while the chains stay independent."""
+    b = ProgramBuilder(f"chains{groups}")
+    chains = []
+    for g in range(groups):
+        a = b.array(f"A{g}", (16 * n + 16,), FLOAT64)
+        out = b.array(f"B{g}", (16 * n + 16,), FLOAT64)
+        tl, tr = b.scalars(f"tl{g} tr{g}", FLOAT64)
+        chains.append((a, out, tl, tr))
+    with b.loop("i", 1, n + 1) as i:
+        for a, out, tl, tr in chains:
+            b.assign(tl, a[i - 1] + a[i])
+            b.assign(tr, a[i] + a[i + 1])
+            b.assign(out[i], out[i] + (tr - tl) * 0.5)
+    return b.build()
+
+
+def test_compile_scaling(results_dir):
+    payload = {
+        "smoke": SMOKE,
+        "n": N,
+        "repeats": REPEATS,
+        "suite": [],
+        "scaling": [],
+        "parallel_runner": None,
+        "summary": {},
+    }
+
+    # -- 1. the fixed-size suite across the unroll x datapath grid ---------
+    programs = [(k.name, k.build(N)) for k in SUITE_KERNELS]
+    for unroll in UNROLLS:
+        for datapath in DATAPATHS:
+            payload["suite"].extend(
+                _measure_config(programs, unroll, datapath)
+            )
+
+    # No-regression guard: at every configuration the incremental engine
+    # must stay within 2x of the reference in aggregate (it is expected
+    # to *win*; 2x is the hard failure line for CI smoke).
+    for unroll in UNROLLS:
+        for datapath in DATAPATHS:
+            rows = [
+                r
+                for r in payload["suite"]
+                if r["unroll"] == unroll and r["datapath"] == datapath
+            ]
+            inc = sum(r["incremental_seconds"] for r in rows)
+            ref = sum(r["reference_seconds"] for r in rows)
+            assert inc <= 2.0 * ref, (
+                f"incremental engine regressed >2x at unroll={unroll}, "
+                f"datapath={datapath}: {inc:.3f}s vs {ref:.3f}s"
+            )
+
+    # -- 2. block-size scaling at unroll-8 x 1024-bit ----------------------
+    scale_programs = [
+        (f"chains{g}", _stencil_chains(g)) for g in (1, 2)
+    ]
+    payload["scaling"] = _measure_config(scale_programs, 8, 1024)
+    by_name = {r["kernel"]: r for r in payload["scaling"]}
+
+    speedups = {
+        name: r["reference_seconds"] / r["incremental_seconds"]
+        for name, r in by_name.items()
+    }
+    exact_ratio = {
+        name: r["reference_exact_scores"]
+        / max(r["incremental_exact_scores"], 1)
+        for name, r in by_name.items()
+    }
+
+    # The headline claim: on big blocks at the unroll-8 x 1024-bit
+    # configuration the incremental engine is >= 3x faster end to end
+    # (measured ~10x; 3x leaves headroom for noisy CI boxes).
+    assert speedups["chains2"] >= 3.0, (
+        f"expected >=3x compile-time speedup on chains2 at unroll-8 x "
+        f"1024-bit, got {speedups['chains2']:.2f}x"
+    )
+
+    # The asymptotic claim behind it: exact score recomputations stay
+    # far below the reference engine's candidates x iterations, and the
+    # gap *widens* as the block grows.
+    assert exact_ratio["chains2"] >= 3.0
+    assert exact_ratio["chains2"] > exact_ratio["chains1"]
+
+    # Growing the unrolled block (unroll 2 -> 8) must also grow the
+    # advantage on the suite's most grouping-bound kernel.
+    def suite_seconds(engine, unroll, name="cactusADM"):
+        (row,) = [
+            r
+            for r in payload["suite"]
+            if r["kernel"] == name
+            and r["unroll"] == unroll
+            and r["datapath"] == max(DATAPATHS)
+        ]
+        return row[f"{engine}_seconds"]
+
+    low, high = UNROLLS[0], UNROLLS[-1]
+    speedup_low = suite_seconds("reference", low) / suite_seconds(
+        "incremental", low
+    )
+    speedup_high = suite_seconds("reference", high) / suite_seconds(
+        "incremental", high
+    )
+    payload["summary"]["cactusADM_speedup_by_unroll"] = {
+        low: speedup_low,
+        high: speedup_high,
+    }
+    assert speedup_high > speedup_low
+
+    # -- 3. the parallel suite runner --------------------------------------
+    # The full 16-kernel suite at a compile-heavy configuration: each
+    # kernel is several hundred milliseconds of work, so four workers
+    # amortize their startup. Wall-clock superiority is only asserted
+    # where the hardware can deliver it (a single-core box serializes
+    # the workers by definition); the measurement is recorded either way.
+    runner_kernels = SUITE_KERNELS if SMOKE else ALL_KERNELS
+    runner_options = CompilerOptions(unroll_factor=4, datapath_bits=512)
+    walls = {}
+    for jobs in (1, 4):
+        started = time.perf_counter()
+        run_suite(
+            intel_dunnington(),
+            kernels=runner_kernels,
+            options=runner_options,
+            n=64,
+            jobs=jobs,
+        )
+        walls[jobs] = time.perf_counter() - started
+    cores = len(os.sched_getaffinity(0))
+    payload["parallel_runner"] = {
+        "kernels": len(runner_kernels),
+        "cores": cores,
+        "jobs1_seconds": walls[1],
+        "jobs4_seconds": walls[4],
+        "speedup": walls[1] / walls[4],
+    }
+    if not SMOKE and cores >= 2:
+        assert walls[4] < walls[1], (
+            f"run_suite(jobs=4) ({walls[4]:.2f}s) did not beat jobs=1 "
+            f"({walls[1]:.2f}s) on {cores} cores"
+        )
+
+    payload["summary"]["scaling_speedups"] = speedups
+    payload["summary"]["scaling_exact_ratios"] = exact_ratio
+
+    # -- artifacts ---------------------------------------------------------
+    (results_dir / "BENCH_compile.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    table_rows = []
+    for r in payload["suite"] + payload["scaling"]:
+        table_rows.append(
+            (
+                r["kernel"],
+                str(r["unroll"]),
+                str(r["datapath"]),
+                f"{r['reference_seconds'] * 1e3:8.1f} ms",
+                f"{r['incremental_seconds'] * 1e3:8.1f} ms",
+                f"{r['reference_seconds'] / r['incremental_seconds']:5.2f}x",
+                f"{r['reference_exact_scores']:6d}",
+                f"{r['incremental_exact_scores']:6d}",
+            )
+        )
+    body = ascii_table(
+        (
+            "kernel",
+            "unroll",
+            "datapath",
+            "reference",
+            "incremental",
+            "speedup",
+            "ref exact",
+            "inc exact",
+        ),
+        table_rows,
+    )
+    body += (
+        f"\n\nchains2 @ unroll-8 x 1024-bit: "
+        f"{speedups['chains2']:.2f}x compile-time speedup, "
+        f"{exact_ratio['chains2']:.1f}x fewer exact score evaluations"
+        f"\nrun_suite jobs=4 vs jobs=1: "
+        f"{payload['parallel_runner']['speedup']:.2f}x "
+        f"({walls[1]:.2f}s -> {walls[4]:.2f}s)"
+    )
+    write_result(
+        results_dir / "compile_scaling.txt",
+        "Compile-time scaling: incremental vs reference grouping engine",
+        body,
+    )

@@ -11,6 +11,7 @@ from .kernels import (
 )
 from .suite import (
     DEFAULT_VARIANTS,
+    CompileCache,
     KernelResult,
     VariantRun,
     ascii_table,
@@ -22,6 +23,7 @@ from .suite import (
 
 __all__ = [
     "ALL_KERNELS",
+    "CompileCache",
     "DEFAULT_VARIANTS",
     "KERNELS",
     "Kernel",

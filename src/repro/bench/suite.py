@@ -10,15 +10,24 @@ private L1, plus a synchronization overhead shared by both versions).
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from ..compiler import (
+    CompileResult,
     CompilerOptions,
     CompileStats,
     Variant,
     compile_program,
 )
+from ..ir.printer import format_program
+from ..perf import PERF, count
 from ..vm import (
     ExecutionReport,
     MachineModel,
@@ -95,6 +104,73 @@ class KernelResult:
         )
 
 
+class CompileCache:
+    """On-disk memo of :func:`compile_program` results.
+
+    The key covers the *entire* compile input — printed program text,
+    variant, machine parameters, and compiler options — so a hit is
+    guaranteed to reproduce the exact compile it replaces (the printer
+    is a faithful round-trippable rendering of the IR, and both
+    ``MachineModel`` and ``CompilerOptions`` are plain dataclasses whose
+    reprs enumerate every field). Values are pickled ``CompileResult``
+    objects; writes go through a temp file + rename so concurrent
+    workers sharing one cache directory never observe a torn entry.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def key(
+        program,
+        variant: Variant,
+        machine: MachineModel,
+        options: Optional[CompilerOptions],
+    ) -> str:
+        blob = "\x00".join(
+            (
+                format_program(program),
+                variant.value,
+                repr(machine),
+                repr(options or CompilerOptions()),
+            )
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CompileResult]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            count("compile_cache.misses")
+            return None
+        except Exception:
+            # A torn, truncated, or otherwise corrupt entry must never
+            # kill the run — unpickling garbage raises whatever opcode
+            # it trips on (ValueError, KeyError, ...), so treat any
+            # failure as a miss and recompile over it.
+            count("compile_cache.misses")
+            return None
+        count("compile_cache.hits")
+        return result
+
+    def put(self, key: str, result: CompileResult) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, self._path(key))
+        except OSError:  # pragma: no cover - cache is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
 def run_kernel(
     kernel: Kernel,
     machine: MachineModel,
@@ -102,13 +178,25 @@ def run_kernel(
     options: Optional[CompilerOptions] = None,
     n: int = 0,
     seed: int = 0,
+    cache: Optional[CompileCache] = None,
 ) -> KernelResult:
     result = KernelResult(kernel)
-    program_factory = lambda: kernel.build(n)  # noqa: E731
+    # One program serves every variant: the compiler never mutates its
+    # input IR, so rebuilding (and re-elaborating) the kernel per
+    # variant was pure waste. The scalar run doubles as the semantics
+    # reference — its memory is kept on the result and compared against
+    # by ``semantics_preserved`` instead of being re-simulated.
+    program = kernel.build(n)
     for variant in variants:
-        compiled = compile_program(
-            program_factory(), variant, machine, options
-        )
+        compiled = None
+        key = ""
+        if cache is not None:
+            key = cache.key(program, variant, machine, options)
+            compiled = cache.get(key)
+        if compiled is None:
+            compiled = compile_program(program, variant, machine, options)
+            if cache is not None:
+                cache.put(key, compiled)
         report, memory = Simulator(compiled.machine).run(
             compiled.plan, seed=seed
         )
@@ -118,18 +206,73 @@ def run_kernel(
     return result
 
 
+def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
+    """Worker-process entry for the parallel suite runner.
+
+    Kernels from the registry travel by name (their builders may be
+    lambdas or locally-defined closures that do not pickle); ad-hoc
+    kernels are pickled whole. The worker mirrors the parent's perf
+    state and ships its measurements back as a snapshot for merging.
+    """
+    (kernel_ref, machine, variants, options, n, cache_dir, perf_on) = payload
+    kernel = (
+        KERNELS[kernel_ref] if isinstance(kernel_ref, str) else kernel_ref
+    )
+    PERF.reset()
+    if perf_on:
+        PERF.enable()
+    cache = CompileCache(cache_dir) if cache_dir else None
+    result = run_kernel(
+        kernel, machine, variants, options, n=n, cache=cache
+    )
+    snapshot = PERF.snapshot() if perf_on else None
+    return kernel.name, result, snapshot
+
+
 def run_suite(
     machine: MachineModel,
     kernels: Optional[Iterable[Kernel]] = None,
     variants: Sequence[Variant] = DEFAULT_VARIANTS,
     options: Optional[CompilerOptions] = None,
     n: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, KernelResult]:
+    """Sweep the suite; ``jobs > 1`` fans kernels out over worker
+    processes. Each kernel is an independent compile+simulate pipeline,
+    so the fan-out is embarrassingly parallel; results are merged in
+    input order, making the output identical to a sequential run
+    regardless of worker scheduling. ``cache_dir`` enables the on-disk
+    compile cache (shared by all workers)."""
+    kernel_list = list(kernels or ALL_KERNELS)
     out: Dict[str, KernelResult] = {}
-    for kernel in kernels or ALL_KERNELS:
-        out[kernel.name] = run_kernel(
-            kernel, machine, variants, options, n=n
+    if jobs <= 1:
+        cache = CompileCache(cache_dir) if cache_dir else None
+        for kernel in kernel_list:
+            out[kernel.name] = run_kernel(
+                kernel, machine, variants, options, n=n, cache=cache
+            )
+        return out
+
+    payloads = [
+        (
+            kernel.name
+            if KERNELS.get(kernel.name) is kernel
+            else kernel,
+            machine,
+            tuple(variants),
+            options,
+            n,
+            str(cache_dir) if cache_dir else None,
+            PERF.enabled,
         )
+        for kernel in kernel_list
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for name, result, snapshot in pool.map(_run_kernel_task, payloads):
+            out[name] = result
+            if snapshot is not None:
+                PERF.merge(snapshot)
     return out
 
 

@@ -167,8 +167,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import PERF
+
     machine = _machine(args.machine, args.datapath)
-    results = run_suite(machine, n=args.n)
+    if args.timings:
+        PERF.reset()
+        PERF.enable()
+    results = run_suite(
+        machine, n=args.n, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     rows = []
     for result in sorted(
         results.values(),
@@ -189,6 +196,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.timings:
+        print(PERF.report(), file=sys.stderr)
     return 0
 
 
@@ -243,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run the Table 3 suite")
     p_bench.add_argument("--n", type=int, default=64)
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the kernel sweep (default: 1)",
+    )
+    p_bench.add_argument(
+        "--timings", action="store_true",
+        help="collect compile/simulate stage timings and counters, "
+        "printed to stderr after the table",
+    )
+    p_bench.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk compile cache: repeated bench invocations "
+        "skip recompilation",
+    )
     common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 

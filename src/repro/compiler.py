@@ -36,6 +36,7 @@ from .layout import (
     plan_array_layout,
 )
 from .layout.scalar import ScalarArena
+from .perf import section as perf_section
 from .slp import (
     PenaltyContext,
     Schedule,
@@ -88,6 +89,12 @@ class CompilerOptions:
     #: paper-literal "weight-only" grouping ranking.
     indirect_reuse: Optional[bool] = None
     decision_mode: str = "cost-aware"
+    #: Grouping decision-loop implementation: "incremental" (memoized
+    #: dirty-set engine, default) or "reference" (from-scratch
+    #: recomputation every iteration). Both produce identical schedules;
+    #: the reference engine exists for differential testing and
+    #: compile-time benchmarking.
+    grouping_engine: str = "incremental"
 
 
 @dataclass
@@ -135,6 +142,7 @@ def _schedule_block(
     program: Program,
     datapath_bits: int,
     decision_mode: str = "cost-aware",
+    grouping_engine: str = "incremental",
 ) -> Schedule:
     deps = DependenceGraph(block)
     decl_of = lambda name: program.arrays[name]  # noqa: E731
@@ -160,7 +168,8 @@ def _schedule_block(
             )
         )
     return holistic_slp_schedule(
-        block, deps, datapath_bits, decl_of, penalty_context, decision_mode
+        block, deps, datapath_bits, decl_of, penalty_context,
+        decision_mode, grouping_engine,
     )
 
 
@@ -196,83 +205,96 @@ def compile_program(
         return CompileResult(plan, variant, machine, stats)
 
     pre = program
-    if options.peel_for_alignment:
-        from .transform import choose_unroll_factor, peel_program
+    with perf_section("compile.preprocess"):
+        if options.peel_for_alignment:
+            from .transform import choose_unroll_factor, peel_program
 
-        pre, _peeled = peel_program(
-            pre, lambda loop: choose_unroll_factor(loop, datapath)
-        )
-    if options.unroll:
-        pre = unroll_program(pre, datapath, options.unroll_factor)
+            pre, _peeled = peel_program(
+                pre, lambda loop: choose_unroll_factor(loop, datapath)
+            )
+        if options.unroll:
+            pre = unroll_program(pre, datapath, options.unroll_factor)
+    if pre is program and variant.uses_layout:
+        # The layout phase declares replicated arrays on `pre`; when no
+        # preprocessing made a copy, work on a shallow twin so the
+        # caller's program object is never mutated (the bench harness
+        # reuses one program across all variants).
+        pre = program.clone_shell()
+        pre.body = list(program.body)
 
     # Phase 1: superword statement generation per optimizable block.
     scheduled: List[Tuple[object, Optional[Schedule], Optional[LoopContext]]] = []
-    for item in pre.body:
-        if isinstance(item, BasicBlock):
-            schedule = _schedule_block(
-                item, variant, pre, datapath, options.decision_mode
-            )
-            scheduled.append((item, schedule, None))
-        else:
-            chain = _loop_chain(item)
-            innermost = chain[-1]
-            schedule = _schedule_block(
-                innermost.body, variant, pre, datapath, options.decision_mode
-            )
-            ctx = LoopContext(
-                innermost.index,
-                innermost.start,
-                innermost.stop,
-                innermost.step,
-            )
-            scheduled.append((item, schedule, ctx))
+    with perf_section("compile.schedule"):
+        for item in pre.body:
+            if isinstance(item, BasicBlock):
+                schedule = _schedule_block(
+                    item, variant, pre, datapath, options.decision_mode,
+                    options.grouping_engine,
+                )
+                scheduled.append((item, schedule, None))
+            else:
+                chain = _loop_chain(item)
+                innermost = chain[-1]
+                schedule = _schedule_block(
+                    innermost.body, variant, pre, datapath,
+                    options.decision_mode, options.grouping_engine,
+                )
+                ctx = LoopContext(
+                    innermost.index,
+                    innermost.start,
+                    innermost.stop,
+                    innermost.step,
+                )
+                scheduled.append((item, schedule, ctx))
 
     # Phase 2 (Global+Layout only): data layout optimization.
-    arenas = default_scalar_layout(pre)
-    layout_plans: Dict[int, ArrayLayoutPlan] = {}
-    if variant.uses_layout:
-        schedules_only = [s for _, s, _ in scheduled if s is not None]
-        candidate_arenas = optimized_scalar_layout(pre, schedules_only)
-        arenas = candidate_arenas
-        budget = options.layout_budget_elements
-        for index, (item, schedule, ctx) in enumerate(scheduled):
-            if schedule is None or ctx is None:
-                continue
-            plan = plan_array_layout(pre, schedule, ctx, budget)
-            if not plan.replications:
-                continue
-            budget -= plan.total_elements
-            for replication in plan.replications:
-                pre.declare_array(
-                    replication.new_name,
-                    (replication.elements,),
-                    pre.arrays[replication.source].type,
-                )
-            layout_plans[index] = plan
+    with perf_section("compile.layout"):
+        arenas = default_scalar_layout(pre)
+        layout_plans: Dict[int, ArrayLayoutPlan] = {}
+        if variant.uses_layout:
+            schedules_only = [s for _, s, _ in scheduled if s is not None]
+            candidate_arenas = optimized_scalar_layout(pre, schedules_only)
+            arenas = candidate_arenas
+            budget = options.layout_budget_elements
+            for index, (item, schedule, ctx) in enumerate(scheduled):
+                if schedule is None or ctx is None:
+                    continue
+                plan = plan_array_layout(pre, schedule, ctx, budget)
+                if not plan.replications:
+                    continue
+                budget -= plan.total_elements
+                for replication in plan.replications:
+                    pre.declare_array(
+                        replication.new_name,
+                        (replication.elements,),
+                        pre.arrays[replication.source].type,
+                    )
+                layout_plans[index] = plan
 
     # Phase 3: code generation with the per-block cost gate.
     result_plan = ExecutablePlan(pre, arenas)
     used_schedules: List[Schedule] = []
-    for index, (item, schedule, ctx) in enumerate(scheduled):
-        layout_plan = layout_plans.get(index)
-        unit, copies, used_schedule = _emit_item(
-            item, schedule, ctx, layout_plan, pre, machine, arenas,
-            options, stats, variant,
-        )
-        for copy in copies:
-            # Replicated arrays are declared in `pre`, so the plan's
-            # memory image allocates them like any other array; the copy
-            # unit fills them before the kernel runs.
-            result_plan.units.append(copy)
-        result_plan.units.append(unit)
-        if used_schedule is not None:
-            used_schedules.append(used_schedule)
-            stats.superword_statements += sum(
-                1 for _ in used_schedule.superwords()
+    with perf_section("compile.codegen"):
+        for index, (item, schedule, ctx) in enumerate(scheduled):
+            layout_plan = layout_plans.get(index)
+            unit, copies, used_schedule = _emit_item(
+                item, schedule, ctx, layout_plan, pre, machine, arenas,
+                options, stats, variant,
             )
-            stats.grouped_statements += sum(
-                sw.size for sw in used_schedule.superwords()
-            )
+            for copy in copies:
+                # Replicated arrays are declared in `pre`, so the plan's
+                # memory image allocates them like any other array; the
+                # copy unit fills them before the kernel runs.
+                result_plan.units.append(copy)
+            result_plan.units.append(unit)
+            if used_schedule is not None:
+                used_schedules.append(used_schedule)
+                stats.superword_statements += sum(
+                    1 for _ in used_schedule.superwords()
+                )
+                stats.grouped_statements += sum(
+                    sw.size for sw in used_schedule.superwords()
+                )
     stats.blocks_total = len(scheduled)
     stats.total_statements = sum(
         len(s.block) for _, s, _ in scheduled if s is not None

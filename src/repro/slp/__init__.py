@@ -44,15 +44,19 @@ def holistic_slp_schedule(
     decl_of=None,
     penalty_context=None,
     decision_mode: str = "cost-aware",
+    engine: str = "incremental",
 ) -> Schedule:
     """The paper's "Global" algorithm for one basic block: iterative
     global grouping (Section 4.2) followed by reuse-driven scheduling
     (Section 4.3). ``penalty_context`` tells the grouping cost model
     whether the data layout stage will run afterwards; ``decision_mode``
     selects between the cost-aware decision score (default) and the
-    paper-literal weight-only ranking (for ablations)."""
+    paper-literal weight-only ranking (for ablations); ``engine``
+    selects the incremental or from-scratch decision loop (identical
+    results, see :mod:`repro.slp.grouping`)."""
     units, _traces = iterative_grouping(
-        block, deps, datapath_bits, decl_of, penalty_context, decision_mode
+        block, deps, datapath_bits, decl_of, penalty_context,
+        decision_mode, engine,
     )
     return Scheduler(block, deps, units).run()
 

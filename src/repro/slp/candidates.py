@@ -12,6 +12,7 @@ import itertools
 from typing import Dict, List, Sequence, Tuple
 
 from ..analysis import DependenceGraph
+from ..perf import count, section
 from .model import CandidateGroup, GroupNode
 
 
@@ -24,16 +25,26 @@ def find_candidates(
     ordered by their canonical key.
 
     Units are bucketed by isomorphism signature first, so the pass is
-    quadratic only within each isomorphism class.
+    quadratic only within each isomorphism class. Degenerate single-unit
+    buckets — the common case on blocks with little isomorphism — are
+    skipped before any pairing work, and the final sort only runs when
+    something was actually found.
     """
-    by_signature: Dict[Tuple, List[GroupNode]] = {}
-    for unit in units:
-        by_signature.setdefault(unit.signature, []).append(unit)
+    with section("grouping.candidates"):
+        by_signature: Dict[Tuple, List[GroupNode]] = {}
+        for unit in units:
+            by_signature.setdefault(unit.signature, []).append(unit)
 
-    candidates: List[CandidateGroup] = []
-    for bucket in by_signature.values():
-        for a, b in itertools.combinations(bucket, 2):
-            if a.can_merge_with(b, deps, datapath_bits):
-                candidates.append(CandidateGroup(a, b))
-    candidates.sort(key=lambda c: c.key())
-    return candidates
+        candidates: List[CandidateGroup] = []
+        pairs_examined = 0
+        for bucket in by_signature.values():
+            if len(bucket) < 2:
+                continue
+            for a, b in itertools.combinations(bucket, 2):
+                pairs_examined += 1
+                if a.can_merge_with(b, deps, datapath_bits):
+                    candidates.append(CandidateGroup(a, b))
+        count("candidates.pairs_examined", pairs_examined)
+        if candidates:
+            candidates.sort(key=lambda c: c.key())
+        return candidates

@@ -7,6 +7,13 @@ groups. Multiple nodes may carry the same pack data — when such nodes
 are *not* connected, the corresponding superwords can coexist in the
 transformed code, and their count is exactly the reuse opportunity of
 that superword.
+
+Because every edge is induced by a *candidate-level* conflict, the graph
+never materializes per-node adjacency sets: it stores one conflict
+bitset per candidate (bit ``j`` of ``conflict_bits(i)`` says candidates
+``i`` and ``j`` conflict) and derives node neighborhoods on demand. On
+unrolled blocks at wide datapaths the old explicit edge lists held
+hundreds of thousands of entries and dominated graph construction time.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Sequence, Set
 
 from ..analysis import DependenceGraph
+from ..perf import count, section
 from .model import CandidateGroup, PackData
 
 
@@ -44,8 +52,22 @@ class PackNode:
     __str__ = __repr__
 
 
+def _iter_bits(mask: int):
+    """Yield the set bit positions of a non-negative int, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class VariablePackGraph:
-    """VP = (V, T): pack nodes with conflict edges."""
+    """VP = (V, T): pack nodes with conflict edges.
+
+    Edges are represented implicitly by per-candidate conflict bitsets;
+    ``edge_count`` tracks what the explicit edge set's size would be
+    (each conflicting candidate pair contributes |packs_i| x |packs_j|
+    node edges), so the public accounting is unchanged.
+    """
 
     def __init__(
         self,
@@ -56,17 +78,26 @@ class VariablePackGraph:
         self.deps = deps
         self.nodes: Set[PackNode] = set()
         self.edge_count = 0
-        self._adjacency: Dict[PackNode, Set[PackNode]] = {}
         self._nodes_of_candidate: Dict[int, List[PackNode]] = {}
         self._nodes_by_data: Dict[PackData, List[PackNode]] = {}
-        self.conflict_pairs: Set[FrozenSet[int]] = set()
-        self._build()
+        self._conflict_bits: List[int] = []
+        with section("grouping.vp_build"):
+            self._build()
 
     def _build(self) -> None:
-        # Conflict relation between candidates, computed once. Two
-        # candidates conflict when they share a statement or form a
-        # group-level dependence cycle; both tests reduce to set
-        # intersections over precomputed member/successor sets.
+        # Conflict relation between candidates, computed once as
+        # bitsets. Two candidates conflict when they share a statement
+        # or form a group-level dependence cycle. Instead of testing all
+        # O(n^2) pairs with set intersections, index candidates by the
+        # statements they contain (`member_of`) and the statements their
+        # members reach (`succ_of`); a candidate's conflict partners are
+        # then unions of those buckets:
+        #
+        # * shared statement: any candidate indexed under one of my sids;
+        # * dependence cycle: (succ_i & mem_j) and (succ_j & mem_i),
+        #   i.e. the intersection of "candidates whose members I reach"
+        #   with "candidates whose successors reach my members".
+        n = len(self.candidates)
         members = [c.sid_set for c in self.candidates]
         successors = [
             frozenset().union(
@@ -76,14 +107,34 @@ class VariablePackGraph:
             else frozenset()
             for sids in members
         ]
-        for i in range(len(self.candidates)):
-            for j in range(i + 1, len(self.candidates)):
-                if members[i] & members[j]:
-                    self.conflict_pairs.add(frozenset((i, j)))
-                elif (successors[i] & members[j]) and (
-                    successors[j] & members[i]
-                ):
-                    self.conflict_pairs.add(frozenset((i, j)))
+        member_of: Dict[int, int] = {}   # sid -> bitmask of candidates
+        succ_of: Dict[int, int] = {}     # sid -> bitmask of candidates
+        for index in range(n):
+            bit = 1 << index
+            for sid in members[index]:
+                member_of[sid] = member_of.get(sid, 0) | bit
+            for sid in successors[index]:
+                succ_of[sid] = succ_of.get(sid, 0) | bit
+
+        bits = [0] * n
+        for i in range(n):
+            self_bit = 1 << i
+            shared = 0
+            for sid in members[i]:
+                shared |= member_of[sid]
+            # succ_i & mem_j != 0  for candidates j in `forward`;
+            # succ_j & mem_i != 0  for candidates j in `backward`.
+            forward = 0
+            for sid in successors[i]:
+                forward |= member_of.get(sid, 0)
+            backward = 0
+            for sid in members[i]:
+                backward |= succ_of.get(sid, 0)
+            # Both the shared-statement relation and forward&backward
+            # are symmetric by construction, so no symmetrize pass is
+            # needed.
+            bits[i] |= (shared | (forward & backward)) & ~self_bit
+        self._conflict_bits = bits
 
         for index, candidate in enumerate(self.candidates):
             new_nodes = [
@@ -93,41 +144,68 @@ class VariablePackGraph:
             self._nodes_of_candidate[index] = new_nodes
             for node in new_nodes:
                 self.nodes.add(node)
-                self._adjacency[node] = set()
                 self._nodes_by_data.setdefault(node.data, []).append(node)
-            # Edges to packs of already-inserted conflicting candidates.
-            for earlier in range(index):
-                if frozenset((earlier, index)) not in self.conflict_pairs:
-                    continue
-                for mine in new_nodes:
-                    for theirs in self._nodes_of_candidate[earlier]:
-                        self._connect(mine, theirs)
-
-    def _connect(self, a: PackNode, b: PackNode) -> None:
-        self.edge_count += 1
-        self._adjacency[a].add(b)
-        self._adjacency[b].add(a)
+        # Canonical integer rank of every node, consistent with
+        # ``PackNode.sort_key`` ordering. One sort here lets every
+        # downstream tie-break compare small ints instead of whole pack
+        # tuples (which hold Affine subscripts and compare slowly).
+        self.node_rank: Dict[PackNode, int] = {
+            node: position
+            for position, node in enumerate(
+                sorted(self.nodes, key=PackNode.sort_key)
+            )
+        }
+        for i in range(n):
+            size_i = len(self._nodes_of_candidate[i])
+            for j in _iter_bits(bits[i] >> (i + 1)):
+                self.edge_count += size_i * len(
+                    self._nodes_of_candidate[i + 1 + j]
+                )
+        count("grouping.vp_nodes", len(self.nodes))
+        count("grouping.vp_edges", self.edge_count)
 
     # -- queries -----------------------------------------------------------------
 
     def candidates_conflict(self, i: int, j: int) -> bool:
-        return frozenset((i, j)) in self.conflict_pairs
+        return bool((self._conflict_bits[i] >> j) & 1)
+
+    def conflict_bits(self, index: int) -> int:
+        """Bitmask of candidates conflicting with ``index`` (including
+        candidates already removed from the graph — callers intersect
+        with whatever universe they care about)."""
+        return self._conflict_bits[index]
 
     def nodes_of_candidate(self, index: int) -> List[PackNode]:
         return list(self._nodes_of_candidate.get(index, ()))
 
     def neighbors(self, node: PackNode) -> Set[PackNode]:
-        return set(self._adjacency.get(node, ()))
+        """All live nodes of candidates conflicting with the node's
+        candidate — exactly the explicit edge set of the old
+        representation, derived on demand."""
+        out: Set[PackNode] = set()
+        for j in _iter_bits(self._conflict_bits[node.candidate_index]):
+            out.update(self._nodes_of_candidate.get(j, ()))
+        return out
 
     def nodes_with_data(self, data: PackData) -> List[PackNode]:
         return list(self._nodes_by_data.get(data, ()))
 
+    def iter_nodes_with_data(self, data: PackData) -> Sequence[PackNode]:
+        """Like :meth:`nodes_with_data` but without the defensive copy —
+        for hot read-only loops. Callers must not mutate the graph while
+        iterating."""
+        return self._nodes_by_data.get(data, ())
+
     def remove_candidate(self, index: int) -> None:
         """Drop all pack nodes of one candidate (Figure 10 line 41)."""
-        for node in self._nodes_of_candidate.pop(index, ()):  # type: ignore[arg-type]
-            for neighbor in self._adjacency.pop(node, set()):
-                self._adjacency[neighbor].discard(node)
-                self.edge_count -= 1
+        removed = self._nodes_of_candidate.pop(index, None)
+        if removed is None:
+            return
+        for j in _iter_bits(self._conflict_bits[index]):
+            other = self._nodes_of_candidate.get(j)
+            if other is not None:
+                self.edge_count -= len(removed) * len(other)
+        for node in removed:
             self.nodes.discard(node)
             bucket = self._nodes_by_data.get(node.data)
             if bucket and node in bucket:
@@ -138,10 +216,15 @@ class VariablePackGraph:
         an upper bound on its reuse (informational; the weight machinery
         uses the auxiliary graph instead)."""
         matching = self.nodes_with_data(data)
-        count = 0
+        count_ = 0
         kept: List[PackNode] = []
         for node in matching:
-            if all(node not in self._adjacency.get(k, set()) for k in kept):
+            if all(
+                not self.candidates_conflict(
+                    node.candidate_index, k.candidate_index
+                )
+                for k in kept
+            ):
                 kept.append(node)
-                count += 1
-        return count
+                count_ += 1
+        return count_

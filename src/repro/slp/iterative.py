@@ -14,7 +14,8 @@ from typing import List, Tuple
 
 from ..analysis import DependenceGraph
 from ..ir import BasicBlock
-from .grouping import BasicGrouping, GroupingTrace
+from ..perf import count, section
+from .grouping import BasicGrouping, GroupingTrace, PackCostModel
 from .model import GroupNode
 
 
@@ -25,26 +26,35 @@ def iterative_grouping(
     decl_of=None,
     penalty_context=None,
     decision_mode: str = "cost-aware",
+    engine: str = "incremental",
 ) -> Tuple[List[GroupNode], List[GroupingTrace]]:
     """Run grouping rounds to fixpoint.
 
     Returns the final unit list (groups of size >= 2 become superword
     statements; size-1 units stay scalar) and the per-round traces.
     ``decl_of`` (array name -> declaration) enables exact memory
-    adjacency tie-breaking for multi-dimensional arrays.
+    adjacency tie-breaking for multi-dimensional arrays. ``engine``
+    selects the decision-loop implementation (see
+    :mod:`repro.slp.grouping`); both produce identical results.
     """
     units: List[GroupNode] = [GroupNode.of_statement(s) for s in block]
     traces: List[GroupingTrace] = []
-    while True:
-        round_pass = BasicGrouping(
-            units, deps, datapath_bits, decl_of, penalty_context,
-            decision_mode,
-        )
-        decided, leftovers, trace = round_pass.run()
-        traces.append(trace)
-        if not decided:
-            return units, traces
-        units = decided + leftovers
-        # Every unit is as wide as the datapath allows: nothing more to do.
-        if all(u.width_bits * 2 > datapath_bits for u in units):
-            return units, traces
+    # One pack-cost cache serves every round: later rounds re-derive
+    # wider packs, but everything they share with earlier rounds (and
+    # every repeated query within a round) is a hit.
+    cost_model = PackCostModel(decl_of, penalty_context)
+    with section("grouping"):
+        while True:
+            count("grouping.rounds")
+            round_pass = BasicGrouping(
+                units, deps, datapath_bits, decl_of, penalty_context,
+                decision_mode, engine, cost_model,
+            )
+            decided, leftovers, trace = round_pass.run()
+            traces.append(trace)
+            if not decided:
+                return units, traces
+            units = decided + leftovers
+            # Every unit is as wide as the datapath allows: nothing more to do.
+            if all(u.width_bits * 2 > datapath_bits for u in units):
+                return units, traces

@@ -34,7 +34,7 @@ def pack_data(keys: Sequence[OperandKey]) -> PackData:
     return tuple(sorted(keys))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupNode:
     """An atomic unit during (iterative) grouping.
 
@@ -112,7 +112,7 @@ class GroupNode:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CandidateGroup:
     """A potential SIMD group: an unordered pair of group nodes."""
 
@@ -145,7 +145,7 @@ class CandidateGroup:
             deps.group_depends(other.sid_set, self.sid_set)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SuperwordStatement:
     """A SIMD group with fixed lane order — one lane per member."""
 
@@ -211,7 +211,7 @@ class SuperwordStatement:
         return f"<{inner}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledSingle:
     """A statement left scalar in the final schedule."""
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..ir import ArrayRef, Const, Expr, Var
+from ..perf import section as perf_section
 from .cache import Cache
 from .codegen import (
     CompiledCopy,
@@ -192,16 +193,17 @@ class Simulator:
         memory: Optional[Memory] = None,
         seed: int = 0,
     ) -> Tuple[ExecutionReport, Memory]:
-        memory = memory or Memory(plan, seed=seed)
-        report = ExecutionReport()
-        cache = Cache(self.machine.l1)
-        state = _RunState(self.machine, memory, report, cache)
-        env: Dict[str, int] = {}
-        for unit in plan.units:
-            self._run_unit(unit, env, state)
-        report.cache_hits = cache.hits
-        report.cache_misses = cache.misses
-        return report, memory
+        with perf_section("simulate"):
+            memory = memory or Memory(plan, seed=seed)
+            report = ExecutionReport()
+            cache = Cache(self.machine.l1)
+            state = _RunState(self.machine, memory, report, cache)
+            env: Dict[str, int] = {}
+            for unit in plan.units:
+                self._run_unit(unit, env, state)
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            return report, memory
 
     # -- unit execution -------------------------------------------------------------
 

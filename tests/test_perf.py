@@ -1,0 +1,111 @@
+"""The compile-time observability registry (`repro.perf`)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.perf import PERF, PerfRegistry, count, section
+
+
+def test_disabled_registry_records_nothing():
+    reg = PerfRegistry()
+    with reg.section("anything"):
+        pass
+    reg.count("events", 5)
+    assert reg.sections == {}
+    assert reg.counters == {}
+
+
+def test_sections_accumulate_time_and_calls():
+    reg = PerfRegistry()
+    reg.enable()
+    for _ in range(3):
+        with reg.section("stage"):
+            time.sleep(0.001)
+    stat = reg.sections["stage"]
+    assert stat.calls == 3
+    assert stat.seconds >= 0.003
+
+
+def test_nested_sections_record_the_path():
+    reg = PerfRegistry()
+    reg.enable()
+    with reg.section("outer"):
+        with reg.section("inner"):
+            pass
+    assert set(reg.sections) == {"outer", "inner", "outer;inner"}
+    # The flat report hides the nesting paths; the nested one shows them.
+    assert "outer;inner" not in reg.report()
+    assert "outer;inner" in reg.report(nested=True)
+
+
+def test_counters_accumulate():
+    reg = PerfRegistry()
+    reg.enable()
+    reg.count("scores")
+    reg.count("scores", 4)
+    assert reg.counters == {"scores": 5}
+
+
+def test_snapshot_merge_and_json():
+    worker = PerfRegistry()
+    worker.enable()
+    with worker.section("compile"):
+        pass
+    worker.count("kernels", 2)
+
+    parent = PerfRegistry()
+    parent.enable()
+    with parent.section("compile"):
+        pass
+    parent.count("kernels", 1)
+    parent.merge(worker.snapshot())
+    assert parent.counters["kernels"] == 3
+    assert parent.sections["compile"].calls == 2
+
+    decoded = json.loads(parent.to_json())
+    assert decoded["counters"]["kernels"] == 3
+
+
+def test_reset_clears_everything():
+    reg = PerfRegistry()
+    reg.enable()
+    with reg.section("s"):
+        reg.count("c")
+    reg.reset()
+    assert reg.sections == {} and reg.counters == {}
+
+
+def test_module_level_shorthands_hit_the_global_registry():
+    PERF.reset()
+    PERF.enable()
+    try:
+        with section("global-stage"):
+            count("global-counter")
+    finally:
+        PERF.disable()
+    assert PERF.sections["global-stage"].calls == 1
+    assert PERF.counters["global-counter"] == 1
+    PERF.reset()
+
+
+def test_compile_populates_registry():
+    from repro import CompilerOptions, Variant, compile_program
+    from repro.bench import KERNELS, intel_dunnington
+
+    PERF.reset()
+    PERF.enable()
+    try:
+        compile_program(
+            KERNELS["mg"].build(8),
+            Variant.GLOBAL,
+            intel_dunnington(),
+            CompilerOptions(),
+        )
+    finally:
+        PERF.disable()
+    assert "compile.schedule" in PERF.sections
+    assert "grouping" in PERF.sections
+    assert PERF.counters.get("grouping.rounds", 0) > 0
+    PERF.reset()
