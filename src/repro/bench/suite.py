@@ -28,6 +28,7 @@ from ..compiler import (
 )
 from ..ir.printer import format_program
 from ..perf import PERF, count
+from ..trace import TRACE, fold_report, summarize, to_jsonl
 from ..vm import (
     ExecutionReport,
     MachineModel,
@@ -62,6 +63,10 @@ class KernelResult:
 
     kernel: Kernel
     runs: Dict[Variant, VariantRun] = field(default_factory=dict)
+    # Per-variant ``repro.trace.summarize`` dicts, filled only when the
+    # suite runs with a trace directory. Plain dicts so results pickle
+    # across the worker-pool boundary.
+    trace_summaries: Dict[Variant, dict] = field(default_factory=dict)
 
     def cycles(self, variant: Variant) -> float:
         return self.runs[variant].report.cycles
@@ -179,6 +184,7 @@ def run_kernel(
     n: int = 0,
     seed: int = 0,
     cache: Optional[CompileCache] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> KernelResult:
     result = KernelResult(kernel)
     # One program serves every variant: the compiler never mutates its
@@ -188,6 +194,13 @@ def run_kernel(
     # by ``semantics_preserved`` instead of being re-simulated.
     program = kernel.build(n)
     for variant in variants:
+        if trace_dir is not None:
+            run, summary = _traced_run(
+                kernel, program, variant, machine, options, seed, trace_dir
+            )
+            result.runs[variant] = run
+            result.trace_summaries[variant] = summary
+            continue
         compiled = None
         key = ""
         if cache is not None:
@@ -206,6 +219,43 @@ def run_kernel(
     return result
 
 
+def _traced_run(
+    kernel: Kernel,
+    program,
+    variant: Variant,
+    machine: MachineModel,
+    options: Optional[CompilerOptions],
+    seed: int,
+    trace_dir: Union[str, Path],
+) -> Tuple[VariantRun, dict]:
+    """Compile and simulate one variant with tracing enabled, writing
+    the JSONL trace into ``trace_dir``. Deliberately bypasses the
+    compile cache: a cache hit replays a stored plan without running
+    the compiler, which would leave the trace with no compile-time
+    decisions to attribute runtime costs to.
+    """
+    root = Path(trace_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    TRACE.reset()
+    TRACE.enable(kernel=kernel.name, variant=variant.value)
+    try:
+        compiled = compile_program(program, variant, machine, options)
+        report, memory = Simulator(compiled.machine).run(
+            compiled.plan, seed=seed
+        )
+        fold_report(report)
+        records = TRACE.records()
+    finally:
+        TRACE.disable()
+        TRACE.reset()
+    stem = f"{kernel.name}__{variant.value.replace('+', '_')}"
+    (root / f"{stem}.jsonl").write_text(
+        to_jsonl(records), encoding="utf-8"
+    )
+    run = VariantRun(variant, report, compiled.stats, memory)
+    return run, summarize(records)
+
+
 def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
     """Worker-process entry for the parallel suite runner.
 
@@ -214,7 +264,10 @@ def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
     kernels are pickled whole. The worker mirrors the parent's perf
     state and ships its measurements back as a snapshot for merging.
     """
-    (kernel_ref, machine, variants, options, n, cache_dir, perf_on) = payload
+    (
+        kernel_ref, machine, variants, options, n, cache_dir, perf_on,
+        trace_dir,
+    ) = payload
     kernel = (
         KERNELS[kernel_ref] if isinstance(kernel_ref, str) else kernel_ref
     )
@@ -223,7 +276,8 @@ def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
         PERF.enable()
     cache = CompileCache(cache_dir) if cache_dir else None
     result = run_kernel(
-        kernel, machine, variants, options, n=n, cache=cache
+        kernel, machine, variants, options, n=n, cache=cache,
+        trace_dir=trace_dir,
     )
     snapshot = PERF.snapshot() if perf_on else None
     return kernel.name, result, snapshot
@@ -237,6 +291,7 @@ def run_suite(
     n: int = 0,
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, KernelResult]:
     """Sweep the suite; ``jobs > 1`` fans kernels out over worker
     processes. Each kernel is an independent compile+simulate pipeline,
@@ -250,7 +305,8 @@ def run_suite(
         cache = CompileCache(cache_dir) if cache_dir else None
         for kernel in kernel_list:
             out[kernel.name] = run_kernel(
-                kernel, machine, variants, options, n=n, cache=cache
+                kernel, machine, variants, options, n=n, cache=cache,
+                trace_dir=trace_dir,
             )
         return out
 
@@ -265,6 +321,7 @@ def run_suite(
             n,
             str(cache_dir) if cache_dir else None,
             PERF.enabled,
+            str(trace_dir) if trace_dir else None,
         )
         for kernel in kernel_list
     ]

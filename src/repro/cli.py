@@ -10,6 +10,9 @@ Commands:
 * ``explain FILE`` — show the holistic grouping decisions (candidate
   groups with their SG-edge reuse weights and cost-aware scores) for
   every optimizable block of a source file.
+* ``trace FILE`` — compile (and simulate) with the structured tracer
+  enabled and show the decision/cost tree; diff two variants or two
+  saved traces with ``--diff``.
 * ``bench`` — run the Table 3 suite on a machine model and print the
   Figure 16/19-style table.
 * ``kernels`` — list the benchmark kernels (Table 3).
@@ -18,12 +21,14 @@ Examples::
 
     python -m repro compile saxpy.slp --variant global --emit-plan
     python -m repro compare saxpy.slp --machine amd
+    python -m repro trace saxpy.slp --diff global:baseline
     python -m repro bench --n 64
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -49,30 +54,151 @@ def _read_program(path: str):
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    from .perf import PERF
+
     program = _read_program(args.file)
     machine = _machine(args.machine, args.datapath)
     variant = VARIANTS[args.variant]
-    result = compile_program(
-        program, variant, machine, CompilerOptions()
-    )
-    if args.emit_schedule:
-        for schedule in result.schedules:
-            print(schedule)
-            print()
-    if args.emit_plan:
-        print(disassemble_plan(result.plan), end="")
-    if args.run or not (args.emit_schedule or args.emit_plan):
-        report, _memory = Simulator(result.machine).run(result.plan)
-        print(report.summary())
-    stats = result.stats
-    print(
-        f"[{variant.value}] {stats.superword_statements} superword "
-        f"statements, {stats.grouped_fraction:.0%} of statements grouped, "
-        f"{stats.replications} replications, compiled in "
-        f"{stats.compile_seconds * 1e3:.1f} ms",
-        file=sys.stderr,
-    )
+    if args.perf:
+        PERF.reset()
+        PERF.enable()
+    try:
+        result = compile_program(
+            program, variant, machine, CompilerOptions()
+        )
+        if args.emit_schedule:
+            for schedule in result.schedules:
+                print(schedule)
+                print()
+        if args.emit_plan:
+            print(disassemble_plan(result.plan), end="")
+        if args.run or not (args.emit_schedule or args.emit_plan):
+            report, _memory = Simulator(result.machine).run(result.plan)
+            print(report.summary())
+    finally:
+        if args.perf:
+            print(PERF.report(), file=sys.stderr)
+            PERF.disable()
+    if not args.quiet:
+        stats = result.stats
+        print(
+            f"[{variant.value}] {stats.superword_statements} superword "
+            f"statements, {stats.grouped_fraction:.0%} of statements "
+            f"grouped, {stats.replications} replications, compiled in "
+            f"{stats.compile_seconds * 1e3:.1f} ms",
+            file=sys.stderr,
+        )
     return 0
+
+
+# Friendlier spellings accepted by ``trace --diff`` (and anywhere a
+# variant name is resolved through :func:`_resolve_variant`).
+VARIANT_ALIASES = {
+    "baseline": "slp",
+    "layout": "global+layout",
+}
+
+
+def _resolve_variant(name: str) -> Variant:
+    resolved = VARIANT_ALIASES.get(name, name)
+    if resolved not in VARIANTS:
+        choices = sorted(VARIANTS) + sorted(VARIANT_ALIASES)
+        raise SystemExit(
+            f"repro trace: unknown variant {name!r}"
+            f" (choose from {', '.join(choices)})"
+        )
+    return VARIANTS[resolved]
+
+
+def _traced_compile(path: str, variant: Variant, machine) -> list:
+    """Compile+simulate one source file with tracing on; returns the
+    trace records (runtime costs folded in)."""
+    from .trace import TRACE, fold_report
+
+    program = _read_program(path)
+    TRACE.reset()
+    TRACE.enable(file=os.path.basename(path), variant=variant.value)
+    try:
+        result = compile_program(
+            program, variant, machine, CompilerOptions()
+        )
+        report, _memory = Simulator(result.machine).run(result.plan)
+        fold_report(report)
+        return TRACE.records()
+    finally:
+        TRACE.disable()
+        TRACE.reset()
+
+
+def _load_trace_file(path: str) -> list:
+    from .trace import load_jsonl
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_jsonl(handle.read())
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import (
+        diff_records,
+        render_tree,
+        to_jsonl,
+        validate_records,
+    )
+
+    machine = _machine(args.machine, args.datapath)
+    is_trace_file = args.file.endswith(".jsonl")
+
+    if args.diff:
+        spec = args.diff
+        if ":" in spec and not os.path.exists(spec):
+            if is_trace_file:
+                raise SystemExit(
+                    "repro trace: --diff A:B needs a DSL source file"
+                    " to compile, not a saved .jsonl trace"
+                )
+            name_a, name_b = spec.split(":", 1)
+            variant_a = _resolve_variant(name_a)
+            variant_b = _resolve_variant(name_b)
+            records_a = _traced_compile(args.file, variant_a, machine)
+            records_b = _traced_compile(args.file, variant_b, machine)
+            label_a, label_b = variant_a.value, variant_b.value
+        else:
+            if is_trace_file:
+                records_a = _load_trace_file(args.file)
+                label_a = os.path.basename(args.file)
+            else:
+                variant_a = _resolve_variant(args.variant)
+                records_a = _traced_compile(args.file, variant_a, machine)
+                label_a = variant_a.value
+            records_b = _load_trace_file(spec)
+            label_b = os.path.basename(spec)
+        print(diff_records(records_a, records_b, label_a, label_b))
+        return 0
+
+    if is_trace_file:
+        records = _load_trace_file(args.file)
+    else:
+        records = _traced_compile(
+            args.file, _resolve_variant(args.variant), machine
+        )
+
+    status = 0
+    if args.validate:
+        errors = validate_records(records)
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        if errors:
+            status = 1
+        else:
+            print(f"valid: {len(records) - 1} events", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_jsonl(records))
+    if args.json:
+        sys.stdout.write(to_jsonl(records))
+    elif not (args.validate or args.out):
+        print(render_tree(records))
+    return status
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -174,7 +300,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         PERF.reset()
         PERF.enable()
     results = run_suite(
-        machine, n=args.n, jobs=args.jobs, cache_dir=args.cache_dir
+        machine, n=args.n, jobs=args.jobs, cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
     )
     rows = []
     for result in sorted(
@@ -196,6 +323,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.trace_dir:
+        print(f"\ntraces written to {args.trace_dir}:")
+        for name in sorted(results):
+            result = results[name]
+            for variant in sorted(
+                result.trace_summaries, key=lambda v: v.value
+            ):
+                summary = result.trace_summaries[variant]
+                runtime = summary.get("runtime") or {}
+                print(
+                    f"  {name} [{variant.value}]: "
+                    f"{summary['events']} events, "
+                    f"{summary['decisions']} decisions, "
+                    f"{summary['reuse_hits']} reuse hits / "
+                    f"{summary['reuse_misses']} misses, "
+                    f"{summary['replications']} replications, "
+                    f"{runtime.get('cycles', '?')} cycles"
+                )
     if args.timings:
         print(PERF.report(), file=sys.stderr)
     return 0
@@ -233,8 +378,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--run", action="store_true", help="simulate and print the report"
     )
+    p_compile.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the one-line compile stats on stderr",
+    )
+    p_compile.add_argument(
+        "--perf", action="store_true",
+        help="collect stage timings/counters, printed to stderr",
+    )
     common(p_compile)
     p_compile.set_defaults(func=cmd_compile)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace the compile pipeline's decisions and runtime costs",
+    )
+    p_trace.add_argument(
+        "file",
+        help="a DSL source file to compile, or a saved .jsonl trace",
+    )
+    p_trace.add_argument(
+        "--variant", default="global",
+        help="variant to compile (accepts aliases 'baseline', 'layout')",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="emit the raw JSONL trace instead of the tree view",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSONL trace to a file",
+    )
+    p_trace.add_argument(
+        "--validate", action="store_true",
+        help="check the trace against the schema; nonzero exit on errors",
+    )
+    p_trace.add_argument(
+        "--diff", default=None, metavar="SPEC",
+        help="diff decisions+costs: 'A:B' compiles two variants of FILE;"
+        " a path diffs FILE's trace against a saved .jsonl trace",
+    )
+    common(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_compare = sub.add_parser(
         "compare", help="all variants on one DSL file"
@@ -265,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="on-disk compile cache: repeated bench invocations "
         "skip recompilation",
+    )
+    p_bench.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a JSONL decision/cost trace per kernel+variant and "
+        "fold per-kernel trace summaries into the report "
+        "(bypasses the compile cache)",
     )
     common(p_bench)
     p_bench.set_defaults(func=cmd_bench)

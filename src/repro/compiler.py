@@ -45,6 +45,7 @@ from .slp import (
     holistic_slp_schedule,
     native_schedule,
 )
+from .trace import TRACE
 from .transform import unroll_program
 from .vm import (
     CompiledCopy,
@@ -193,6 +194,17 @@ def compile_program(
     """Run the full framework on a program for one variant."""
     options = options or CompilerOptions()
     datapath = options.datapath_bits or machine.datapath_bits
+    with TRACE.span("compile", variant=variant.value, datapath=datapath):
+        return _compile(program, variant, machine, options, datapath)
+
+
+def _compile(
+    program: Program,
+    variant: Variant,
+    machine: MachineModel,
+    options: CompilerOptions,
+    datapath: int,
+) -> CompileResult:
     machine = machine.with_datapath(datapath)
     started = time.perf_counter()
     stats = CompileStats()
@@ -205,7 +217,7 @@ def compile_program(
         return CompileResult(plan, variant, machine, stats)
 
     pre = program
-    with perf_section("compile.preprocess"):
+    with perf_section("compile.preprocess"), TRACE.span("preprocess"):
         if options.peel_for_alignment:
             from .transform import choose_unroll_factor, peel_program
 
@@ -224,21 +236,29 @@ def compile_program(
 
     # Phase 1: superword statement generation per optimizable block.
     scheduled: List[Tuple[object, Optional[Schedule], Optional[LoopContext]]] = []
-    with perf_section("compile.schedule"):
-        for item in pre.body:
+    with perf_section("compile.schedule"), TRACE.span("schedule"):
+        # Blocks are identified by their position in the program body;
+        # the ``b<position>`` label qualifies provenance IDs because
+        # statement IDs restart at zero in every block.
+        for position, item in enumerate(pre.body):
+            label = f"b{position}"
             if isinstance(item, BasicBlock):
-                schedule = _schedule_block(
-                    item, variant, pre, datapath, options.decision_mode,
-                    options.grouping_engine,
-                )
+                with TRACE.span("block", block=label, kind="straight"):
+                    schedule = _schedule_block(
+                        item, variant, pre, datapath, options.decision_mode,
+                        options.grouping_engine,
+                    )
                 scheduled.append((item, schedule, None))
             else:
                 chain = _loop_chain(item)
                 innermost = chain[-1]
-                schedule = _schedule_block(
-                    innermost.body, variant, pre, datapath,
-                    options.decision_mode, options.grouping_engine,
-                )
+                with TRACE.span(
+                    "block", block=label, kind="loop", index=innermost.index
+                ):
+                    schedule = _schedule_block(
+                        innermost.body, variant, pre, datapath,
+                        options.decision_mode, options.grouping_engine,
+                    )
                 ctx = LoopContext(
                     innermost.index,
                     innermost.start,
@@ -248,7 +268,7 @@ def compile_program(
                 scheduled.append((item, schedule, ctx))
 
     # Phase 2 (Global+Layout only): data layout optimization.
-    with perf_section("compile.layout"):
+    with perf_section("compile.layout"), TRACE.span("layout"):
         arenas = default_scalar_layout(pre)
         layout_plans: Dict[int, ArrayLayoutPlan] = {}
         if variant.uses_layout:
@@ -259,7 +279,8 @@ def compile_program(
             for index, (item, schedule, ctx) in enumerate(scheduled):
                 if schedule is None or ctx is None:
                     continue
-                plan = plan_array_layout(pre, schedule, ctx, budget)
+                with TRACE.span("block", block=f"b{index}"):
+                    plan = plan_array_layout(pre, schedule, ctx, budget)
                 if not plan.replications:
                     continue
                 budget -= plan.total_elements
@@ -274,13 +295,14 @@ def compile_program(
     # Phase 3: code generation with the per-block cost gate.
     result_plan = ExecutablePlan(pre, arenas)
     used_schedules: List[Schedule] = []
-    with perf_section("compile.codegen"):
+    with perf_section("compile.codegen"), TRACE.span("codegen"):
         for index, (item, schedule, ctx) in enumerate(scheduled):
             layout_plan = layout_plans.get(index)
-            unit, copies, used_schedule = _emit_item(
-                item, schedule, ctx, layout_plan, pre, machine, arenas,
-                options, stats, variant,
-            )
+            with TRACE.span("block", block=f"b{index}"):
+                unit, copies, used_schedule = _emit_item(
+                    item, schedule, ctx, layout_plan, pre, machine, arenas,
+                    options, stats, variant, block_label=f"b{index}",
+                )
             for copy in copies:
                 # Replicated arrays are declared in `pre`, so the plan's
                 # memory image allocates them like any other array; the
@@ -338,6 +360,7 @@ def _emit_item(
     options: CompilerOptions,
     stats: CompileStats,
     variant: Variant,
+    block_label: Optional[str] = None,
 ):
     """Compile one top-level item; returns (unit, copies, schedule_used)."""
     copies: List[CompiledCopy] = []
@@ -355,14 +378,24 @@ def _emit_item(
         codegen = VectorCodegen(
             program, machine, arenas, None,
             allow_shuffle_reuse=shuffle_reuse,
+            prov_block=block_label,
         )
         _pre, body = codegen.compile(schedule)
         vector_unit = CompiledStraight(_pre + body)
         scalar_unit = CompiledStraight(scalar_instrs)
-        if options.cost_gate and _unit_cycles(
-            vector_unit, machine
-        ) >= _unit_cycles(scalar_unit, machine):
-            return scalar_unit, copies, None
+        if options.cost_gate:
+            vector_cost = _unit_cycles(vector_unit, machine)
+            scalar_cost = _unit_cycles(scalar_unit, machine)
+            if TRACE.enabled:
+                TRACE.event(
+                    "codegen.gate",
+                    block=block_label,
+                    vector_cycles=round(vector_cost, 3),
+                    scalar_cycles=round(scalar_cost, 3),
+                    vectorized=vector_cost < scalar_cost,
+                )
+            if vector_cost >= scalar_cost:
+                return scalar_unit, copies, None
         stats.blocks_vectorized += 1
         return vector_unit, copies, schedule
 
@@ -387,6 +420,7 @@ def _emit_item(
         program, machine, arenas, innermost.index,
         allow_shuffle_reuse=shuffle_reuse,
         loop=_spec(innermost),
+        prov_block=block_label,
     )
     preheader, body = codegen.compile(used_schedule)
     vector_inner = CompiledLoop(_spec(innermost), preheader, body)
@@ -398,7 +432,16 @@ def _emit_item(
         vector_cost = _unit_cycles(vector_inner, machine) + sum(
             _copy_cycles(c, machine) for c in copies
         )
-        if vector_cost >= _unit_cycles(scalar_inner, machine):
+        scalar_cost = _unit_cycles(scalar_inner, machine)
+        if TRACE.enabled:
+            TRACE.event(
+                "codegen.gate",
+                block=block_label,
+                vector_cycles=round(vector_cost, 3),
+                scalar_cycles=round(scalar_cost, 3),
+                vectorized=vector_cost < scalar_cost,
+            )
+        if vector_cost >= scalar_cost:
             copies = []
             vector_inner = scalar_inner
             used_schedule = None

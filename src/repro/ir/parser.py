@@ -35,8 +35,10 @@ _TOKEN_RE = re.compile(
     r"\s*(?:"
     r"(?P<num>\d+\.\d+|\d+)"
     r"|(?P<ident>[A-Za-z_]\w*)"
-    r"|(?P<op>\+=|<=|>=|==|[-+*/=;,<>(){}\[\]])"
+    # Comments must precede `op`: otherwise the single-char `/` operator
+    # consumes the first slash of `//` and the comment never matches.
     r"|(?P<comment>//[^\n]*|/\*.*?\*/)"
+    r"|(?P<op>\+=|<=|>=|==|[-+*/=;,<>(){}\[\]])"
     r")",
     re.DOTALL,
 )

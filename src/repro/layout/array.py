@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.alignment import flat_affine
+from ..trace import TRACE
 from ..ir import (
     Affine,
     ArrayRef,
@@ -139,6 +140,13 @@ def plan_array_layout(
             existing = by_pack.get(key)
             if existing is None:
                 if spent + replication.elements > budget_elements:
+                    if TRACE.enabled:
+                        TRACE.event(
+                            "layout.skip",
+                            source=replication.source,
+                            reason="budget",
+                            elements=replication.elements,
+                        )
                     continue  # over budget: keep the original layout
                 new_name = f"{name_prefix}{len(by_pack)}"
                 while new_name in taken:
@@ -154,6 +162,14 @@ def plan_array_layout(
                 by_pack[key] = replication
                 plan.replications.append(replication)
                 spent += replication.elements
+                if TRACE.enabled:
+                    TRACE.event(
+                        "layout.replicate",
+                        array=replication.new_name,
+                        source=replication.source,
+                        lanes=replication.lanes,
+                        elements=replication.elements,
+                    )
                 existing = replication
             elem = program.arrays[existing.source].type
             for lane, member in enumerate(sw.members):

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from ..analysis.operands import KIND_VAR
 from ..ir import Program, ScalarType
+from ..trace import TRACE
 from ..slp.model import OrderedPack, Schedule
 
 
@@ -86,6 +87,12 @@ def optimized_scalar_layout(
             continue
         arena = arenas.setdefault(elem.name, ScalarArena(elem))
         arena.place(names, align=len(names))
+        if TRACE.enabled:
+            TRACE.event(
+                "layout.scalars",
+                names=list(names),
+                base=arena.slot(names[0]),
+            )
         placed.update(names)
 
     # Everything not covered by a placed superword keeps declaration order.

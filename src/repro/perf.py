@@ -64,27 +64,42 @@ class _Section:
     """One live timer; records on exit under both the flat name and the
     ``;``-joined nesting path."""
 
-    __slots__ = ("registry", "name", "path", "started")
+    __slots__ = ("registry", "name", "path", "started", "_generation")
 
     def __init__(self, registry: "PerfRegistry", name: str):
         self.registry = registry
         self.name = name
         self.path = ""
         self.started = 0.0
+        self._generation = -1
 
     def __enter__(self) -> "_Section":
-        stack = self.registry._stack
+        registry = self.registry
+        stack = registry._stack
         self.path = (
             f"{stack[-1]};{self.name}" if stack else self.name
         )
         stack.append(self.path)
+        self._generation = registry._generation
         self.started = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         elapsed = time.perf_counter() - self.started
         registry = self.registry
-        registry._stack.pop()
+        stack = registry._stack
+        # A reset() while this section was open cleared the stack (and
+        # bumped the generation); unwinding must not pop frames that
+        # belong to the new epoch or record against the stale path.
+        if (
+            registry._generation != self._generation
+            or not stack
+            or stack[-1] != self.path
+        ):
+            return
+        stack.pop()
+        if not registry.enabled:
+            return  # disabled mid-section: drop the partial timing
         registry._record(self.name, elapsed)
         if self.path != self.name:
             registry._record(self.path, elapsed)
@@ -98,6 +113,7 @@ class PerfRegistry:
         self.sections: Dict[str, SectionStat] = {}
         self.counters: Dict[str, int] = {}
         self._stack: List[str] = []
+        self._generation = 0
 
     # -- control ---------------------------------------------------------------
 
@@ -108,9 +124,12 @@ class PerfRegistry:
         self.enabled = False
 
     def reset(self) -> None:
+        """Clear all measurements. Safe while sections are open: the
+        generation bump invalidates their pending ``__exit__``."""
         self.sections.clear()
         self.counters.clear()
         self._stack.clear()
+        self._generation += 1
 
     # -- recording -------------------------------------------------------------
 

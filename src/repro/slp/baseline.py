@@ -33,6 +33,7 @@ from ..analysis import (
 )
 from ..analysis.alignment import flat_affine
 from ..ir import ArrayDecl, ArrayRef, BasicBlock, Const, Statement
+from ..trace import TRACE, provenance_id
 from .model import (
     Schedule,
     ScheduledSingle,
@@ -158,11 +159,19 @@ class GreedySLP:
             order = self._adjacency(a, b)
             if order is None:
                 continue
-            self._commit(order)
+            self._commit(order, "seed")
 
-    def _commit(self, lanes: Tuple[Statement, ...]) -> None:
+    def _commit(self, lanes: Tuple[Statement, ...], reason: str) -> None:
         self.packs.append(lanes)
         self.packed.update(s.sid for s in lanes)
+        if TRACE.enabled:
+            sids = sorted(s.sid for s in lanes)
+            TRACE.event(
+                "baseline.pack",
+                prov=provenance_id(sids, TRACE.current("block")),
+                sids=sids,
+                reason=reason,
+            )
 
     # -- phase 2: chain extension ---------------------------------------------------
 
@@ -196,7 +205,7 @@ class GreedySLP:
                     continue
                 if not self._chain_pair_allowed(a, b):
                     continue
-                self._commit((a, b))
+                self._commit((a, b), "def-use")
                 return True
         return False
 
@@ -215,7 +224,7 @@ class GreedySLP:
                 continue
             if not self._chain_pair_allowed(def_left, def_right):
                 continue
-            self._commit((def_left, def_right))
+            self._commit((def_left, def_right), "use-def")
             return True
         return False
 
@@ -245,6 +254,16 @@ class GreedySLP:
                         continue
                     self.packs[i] = first + second
                     del self.packs[j]
+                    if TRACE.enabled:
+                        sids = sorted(s.sid for s in self.packs[i])
+                        TRACE.event(
+                            "baseline.pack",
+                            prov=provenance_id(
+                                sids, TRACE.current("block")
+                            ),
+                            sids=sids,
+                            reason="combine",
+                        )
                     changed = True
                     break
                 if changed:

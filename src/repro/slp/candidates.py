@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..analysis import DependenceGraph
 from ..perf import count, section
+from ..trace import TRACE
 from .model import CandidateGroup, GroupNode
 
 
@@ -47,4 +48,11 @@ def find_candidates(
         count("candidates.pairs_examined", pairs_examined)
         if candidates:
             candidates.sort(key=lambda c: c.key())
+        if TRACE.enabled:
+            TRACE.event(
+                "candidates.search",
+                units=len(units),
+                pairs_examined=pairs_examined,
+                found=len(candidates),
+            )
         return candidates

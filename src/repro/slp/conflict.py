@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Sequence, Set
 
 from ..analysis import DependenceGraph
 from ..perf import count, section
+from ..trace import TRACE
 from .model import CandidateGroup, PackData
 
 
@@ -163,6 +164,13 @@ class VariablePackGraph:
                 )
         count("grouping.vp_nodes", len(self.nodes))
         count("grouping.vp_edges", self.edge_count)
+        if TRACE.enabled:
+            TRACE.event(
+                "vp.build",
+                candidates=len(self.candidates),
+                nodes=len(self.nodes),
+                edges=self.edge_count,
+            )
 
     # -- queries -----------------------------------------------------------------
 

@@ -57,6 +57,7 @@ from ..ir import Affine
 from ..ir.expr import OP_WEIGHTS
 from ..perf import count, section
 from .candidates import find_candidates
+from ..trace import TRACE, provenance_id
 from .conflict import PackNode, VariablePackGraph
 from .model import CandidateGroup, GroupNode, PackData
 
@@ -857,7 +858,15 @@ class BasicGrouping:
         leftovers = [u for u in self.units if not (u.sid_set & taken)]
         return decided_groups, leftovers, trace
 
-    def _commit(self, best: int, trace: GroupingTrace, weight: Fraction):
+    def _commit(
+        self,
+        best: int,
+        trace: GroupingTrace,
+        weight: Fraction,
+        score: Optional[Fraction] = None,
+        picked_by: str = "score",
+        runners: Sequence[dict] = (),
+    ):
         """Record a decision and remove the chosen candidate plus
         everything conflicting with it from both graphs. Returns the
         touched pack-type set and the indices removed."""
@@ -878,7 +887,50 @@ class BasicGrouping:
                 touched_data.update(self._packs[index])
                 self.vp.remove_candidate(index)
                 removed.append(index)
+        if TRACE.enabled:
+            block = TRACE.current("block")
+            TRACE.event(
+                "grouping.commit",
+                prov=provenance_id(candidate.sid_set, block),
+                sids=sorted(candidate.sid_set),
+                weight=weight,
+                score=score,
+                picked_by=picked_by,
+                runners_up=runners,
+                removed=[
+                    provenance_id(self.candidates[r].sid_set, block)
+                    for r in removed
+                    if r != best
+                ],
+            )
         return touched_data, removed
+
+    def _trace_runners(self, best: int, weight_of, score_of) -> List[dict]:
+        """The top-2 losing SG edges at commit time, for the trace.
+
+        Uses the same accessors the engines rank with, so for the
+        incremental engine this only fills memo caches with values the
+        reference loop would have computed anyway — decisions are
+        unaffected by tracing.
+        """
+        block = TRACE.current("block")
+        others = sorted(
+            (i for i in self.active if i != best),
+            key=lambda i: (
+                score_of(i),
+                self.adjacency[i],
+                _neg_key(self.candidates[i]),
+            ),
+            reverse=True,
+        )[:2]
+        return [
+            {
+                "prov": provenance_id(self.candidates[i].sid_set, block),
+                "weight": weight_of(i),
+                "score": score_of(i),
+            }
+            for i in others
+        ]
 
     def _run_incremental(self) -> GroupingTrace:
         """The memoizing decision loop (see module docstring)."""
@@ -996,6 +1048,7 @@ class BasicGrouping:
             else:  # pragma: no cover - every active candidate has an entry
                 break
             best = index
+            picked_by = "score"
             if cost_aware and score_of(best) < 0:
                 # Packing looks like a net loss everywhere. Candidates
                 # with genuine superword reuse (the paper's criterion)
@@ -1017,7 +1070,20 @@ class BasicGrouping:
                         _neg_key(self.candidates[i]),
                     ),
                 )
-            _touched, removed = self._commit(best, trace, weight_of(best))
+                picked_by = "reuse"
+            runners = (
+                self._trace_runners(best, weight_of, score_of)
+                if TRACE.enabled
+                else []
+            )
+            _touched, removed = self._commit(
+                best,
+                trace,
+                weight_of(best),
+                score=score_of(best),
+                picked_by=picked_by,
+                runners=runners,
+            )
             for index in removed:
                 results.pop(index, None)
                 previous.pop(index, None)
@@ -1077,6 +1143,7 @@ class BasicGrouping:
                     _neg_key(self.candidates[i]),
                 ),
             )
+            picked_by = "score"
             if cost_aware and scores[best] < 0:
                 with_reuse = [
                     i for i in self.active if weights[i] > 0
@@ -1092,7 +1159,22 @@ class BasicGrouping:
                         _neg_key(self.candidates[i]),
                     ),
                 )
-            self._commit(best, trace, weights[best])
+                picked_by = "reuse"
+            runners = (
+                self._trace_runners(
+                    best, weights.__getitem__, scores.__getitem__
+                )
+                if TRACE.enabled
+                else []
+            )
+            self._commit(
+                best,
+                trace,
+                weights[best],
+                score=scores[best],
+                picked_by=picked_by,
+                runners=runners,
+            )
         return trace
 
 

@@ -15,6 +15,7 @@ from typing import List, Tuple
 from ..analysis import DependenceGraph
 from ..ir import BasicBlock
 from ..perf import count, section
+from ..trace import TRACE
 from .grouping import BasicGrouping, GroupingTrace, PackCostModel
 from .model import GroupNode
 
@@ -44,14 +45,25 @@ def iterative_grouping(
     # every repeated query within a round) is a hit.
     cost_model = PackCostModel(decl_of, penalty_context)
     with section("grouping"):
+        round_index = 0
         while True:
             count("grouping.rounds")
-            round_pass = BasicGrouping(
-                units, deps, datapath_bits, decl_of, penalty_context,
-                decision_mode, engine, cost_model,
-            )
-            decided, leftovers, trace = round_pass.run()
+            with TRACE.span("round", round=round_index):
+                round_pass = BasicGrouping(
+                    units, deps, datapath_bits, decl_of, penalty_context,
+                    decision_mode, engine, cost_model,
+                )
+                decided, leftovers, trace = round_pass.run()
             traces.append(trace)
+            if TRACE.enabled:
+                TRACE.event(
+                    "grouping.round",
+                    round=round_index,
+                    units=len(units),
+                    decided=len(decided),
+                    leftovers=len(leftovers),
+                )
+            round_index += 1
             if not decided:
                 return units, traces
             units = decided + leftovers

@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from ..analysis import DependenceGraph, OperandKey
 from ..analysis.operands import KIND_REF, KIND_VAR
 from ..ir import BasicBlock, Statement
+from ..trace import TRACE, provenance_id
 from .model import (
     GroupNode,
     OrderedPack,
@@ -198,6 +199,18 @@ class Scheduler:
             group_ready = [i for i in ready if self.units[i].size > 1]
             if group_ready:
                 index = self._best_group(group_ready)
+                if TRACE.enabled:
+                    unit = self.units[index]
+                    hits = self._reuse_count(unit)
+                    TRACE.event(
+                        "schedule.pick",
+                        prov=provenance_id(
+                            unit.sids, TRACE.current("block")
+                        ),
+                        reuse_hits=hits,
+                        reuse_misses=len(unit.positions) - hits,
+                        ready_groups=len(group_ready),
+                    )
                 item = self._order_group(self.units[index])
                 self._retire_superword(item)
                 schedule.items.append(item)
@@ -244,6 +257,14 @@ class Scheduler:
                 i,
             ),
         )
+        if TRACE.enabled:
+            TRACE.event(
+                "schedule.order",
+                prov=provenance_id(base.sids, TRACE.current("block")),
+                orderings_tried=len(orderings),
+                permutations=self._permutation_count(base, orderings[best]),
+                order=orderings[best],
+            )
         return base.reordered(orderings[best])
 
     def _candidate_orderings(

@@ -10,7 +10,7 @@ behavior") show up in the measured cycle counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)
@@ -61,10 +61,19 @@ class Cache:
 
     def access(self, address: int, size_bytes: int) -> int:
         """Access a byte range; returns the number of line misses."""
+        return self.access_stats(address, size_bytes)[1]
+
+    def access_stats(self, address: int, size_bytes: int) -> Tuple[int, int]:
+        """Access a byte range; returns ``(lines_touched, misses)``.
+
+        Counting accesses in line units keeps per-array hit/miss
+        accounting consistent: a wide access spanning two lines is two
+        line accesses, so hits = accesses - misses never goes negative.
+        """
         first = address // self.config.line_bytes
         last = (address + size_bytes - 1) // self.config.line_bytes
         misses = 0
         for line in range(first, last + 1):
             if not self.touch_line(line):
                 misses += 1
-        return misses
+        return last - first + 1, misses

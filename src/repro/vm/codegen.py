@@ -45,6 +45,7 @@ from ..layout.array import ArrayReplication
 from ..layout.scalar import ScalarArena
 from ..slp.model import Schedule, ScheduledSingle, SuperwordStatement
 from ..slp.scheduling import keys_may_alias
+from ..trace import TRACE, provenance_id
 from .isa import (
     ImmRef,
     Instruction,
@@ -188,6 +189,7 @@ class VectorCodegen:
         innermost_index: Optional[str] = None,
         allow_shuffle_reuse: bool = True,
         loop: Optional[LoopSpec] = None,
+        prov_block: Optional[str] = None,
     ):
         """``allow_shuffle_reuse`` models the difference the paper
         highlights in Section 4.3: the original SLP algorithm "neglects"
@@ -204,6 +206,13 @@ class VectorCodegen:
         self.innermost_index = innermost_index
         self.allow_shuffle_reuse = allow_shuffle_reuse
         self.loop = loop
+        # Provenance tagging is active only when tracing is on at
+        # compile time: ``prov_block`` qualifies statement IDs (they
+        # restart per block) and ``_prov`` is the ID of the schedule
+        # item currently being emitted.
+        self.prov_block = prov_block
+        self._tagging = TRACE.enabled
+        self._prov: Optional[str] = None
         self.preheader: List[Instruction] = []
         self.body: List[Instruction] = []
         self._live: Dict[OrderedKey, int] = {}
@@ -234,21 +243,38 @@ class VectorCodegen:
                 self._emit_single(item.statement)
         return self.preheader, self.body
 
+    def _emit(self, instr: Instruction) -> None:
+        """Append to the body, stamping the current provenance ID on
+        the instruction (frozen dataclass, hence the object.__setattr__;
+        the field is compare=False so tagged plans stay interchangeable
+        with untagged ones)."""
+        if self._prov is not None:
+            object.__setattr__(instr, "prov", self._prov)
+        self.body.append(instr)
+
     # -- singles -----------------------------------------------------------------------
 
     def _emit_single(self, stmt: Statement) -> None:
-        self.body.append(compile_scalar_statement(stmt, self.program))
+        self._prov = (
+            provenance_id((stmt.sid,), self.prov_block)
+            if self._tagging
+            else None
+        )
+        self._emit(compile_scalar_statement(stmt, self.program))
         self._invalidate([operand_key(stmt.target)])
 
     # -- superword statements -------------------------------------------------------------
 
     def _emit_superword(self, sw: SuperwordStatement) -> None:
+        self._prov = (
+            provenance_id(sw.sids, self.prov_block) if self._tagging else None
+        )
         root = self._walk(tuple(m.expr for m in sw.members))
         targets = tuple(
             value_ref(m.target, self.program) for m in sw.members
         )
         mode = self._store_mode(targets, sw.element_bits)
-        self.body.append(VStore(targets, root, mode))
+        self._emit(VStore(targets, root, mode))
         target_keys = sw.target_pack()
         self._invalidate(list(target_keys))
         self._register(target_keys, root)
@@ -266,7 +292,7 @@ class VectorCodegen:
                 self._walk(tuple(n.children()[position] for n in nodes))
             )
         dst = self._fresh()
-        self.body.append(
+        self._emit(
             VOp(getattr(first, "op"), dst, tuple(child_regs), len(nodes))
         )
         return dst
@@ -282,6 +308,8 @@ class VectorCodegen:
         existing = self._live.get(keys)
         if existing is not None:
             self.reuse_hits += 1
+            if self._prov is not None:
+                TRACE.event("codegen.reuse", prov=self._prov, kind="direct")
             self._touch(keys)
             return existing
 
@@ -293,8 +321,15 @@ class VectorCodegen:
                     continue
                 perm = _permutation(order, keys)
                 dst = self._fresh()
-                self.body.append(VShuffle(dst, src, perm))
+                self._emit(VShuffle(dst, src, perm))
                 self.shuffle_reuses += 1
+                if self._prov is not None:
+                    TRACE.event(
+                        "codegen.reuse",
+                        prov=self._prov,
+                        kind="shuffle",
+                        perm=perm,
+                    )
                 self._touch(order)
                 self._register(keys, dst)
                 return dst
@@ -302,7 +337,16 @@ class VectorCodegen:
         mode = self._pack_mode(refs, element_bits)
         dst = self._fresh()
         instr = VPack(dst, refs, mode)
-        if self._is_invariant(refs):
+        hoisted = self._is_invariant(refs)
+        if self._prov is not None:
+            object.__setattr__(instr, "prov", self._prov)
+            TRACE.event(
+                "codegen.pack",
+                prov=self._prov,
+                mode=mode.value,
+                hoisted=hoisted,
+            )
+        if hoisted:
             self.preheader.append(instr)
             self._register(keys, dst, pinned=True)
         else:

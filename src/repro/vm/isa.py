@@ -14,9 +14,9 @@ model (it exposes its instruction-class breakdown).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..ir import Affine, Statement
 
@@ -91,6 +91,11 @@ class ScalarExec:
     loads: Tuple[ValueRef, ...]
     ops: Tuple[str, ...]
     store: ValueRef
+    #: Provenance ID of the compile-time decision that emitted this
+    #: instruction (set only when tracing was on at compile time).
+    #: Excluded from equality/hash so traced and untraced compiles of
+    #: the same program produce interchangeable plans.
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -100,6 +105,7 @@ class VPack:
     dst: int
     sources: Tuple[ValueRef, ...]
     mode: PackMode
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -110,6 +116,7 @@ class VOp:
     dst: int
     srcs: Tuple[int, ...]
     lanes: int
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -124,6 +131,7 @@ class VShuffle:
     dst: int
     src: int
     perm: Tuple[int, ...]
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,7 @@ class VStore:
     targets: Tuple[ValueRef, ...]
     src: int
     mode: StoreMode
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
 
 
 Instruction = Union[ScalarExec, VPack, VOp, VShuffle, VStore]

@@ -15,6 +15,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+
+@dataclass
+class ProvenanceCost:
+    """Runtime cost accumulated against one compile-time decision.
+
+    Keys are provenance IDs stamped on instructions by codegen (see
+    ``repro.trace.provenance_id``); the simulator fills one of these per
+    distinct ID it executes instructions for.
+    """
+
+    cycles: float = 0.0
+    instructions: int = 0
+    shuffles: int = 0
+    cache_misses: int = 0
+
+    def add(self, other: "ProvenanceCost") -> None:
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.shuffles += other.shuffles
+        self.cache_misses += other.cache_misses
+
 #: Instruction categories that exist only to assemble or disassemble
 #: superwords. A contiguous aligned wide load/store is *not* overhead —
 #: it is the natural memory access SLP replaces several scalar accesses
@@ -44,6 +65,13 @@ class ExecutionReport:
     cache_hits: int = 0
     cache_misses: int = 0
     max_live_vregs: int = 0
+    #: Per-decision runtime attribution, keyed by provenance ID. Only
+    #: populated when the executed plan carries provenance tags (i.e.
+    #: tracing was enabled when it was compiled).
+    provenance: Dict[str, ProvenanceCost] = field(default_factory=dict)
+    #: Per-array cache traffic, in line-access units.
+    array_accesses: Dict[str, int] = field(default_factory=dict)
+    array_misses: Dict[str, int] = field(default_factory=dict)
 
     def bump(self, category: str, count: int = 1) -> None:
         self.counts[category] = self.counts.get(category, 0) + count
@@ -59,6 +87,17 @@ class ExecutionReport:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.max_live_vregs = max(self.max_live_vregs, other.max_live_vregs)
+        for prov, cost in other.provenance.items():
+            mine = self.provenance.get(prov)
+            if mine is None:
+                mine = self.provenance[prov] = ProvenanceCost()
+            mine.add(cost)
+        for array, count in other.array_accesses.items():
+            self.array_accesses[array] = (
+                self.array_accesses.get(array, 0) + count
+            )
+        for array, count in other.array_misses.items():
+            self.array_misses[array] = self.array_misses.get(array, 0) + count
 
     # -- derived metrics ----------------------------------------------------------
 

@@ -40,7 +40,7 @@ from .isa import (
     VStore,
 )
 from .machine import MachineModel
-from .report import ExecutionReport
+from .report import ExecutionReport, ProvenanceCost
 
 _OP_FUNCS: Dict[str, Callable] = {
     "+": lambda a, b: a + b,
@@ -248,9 +248,16 @@ class _RunState:
 
     def _touch(self, array: str, flat: int, size_bytes: int) -> None:
         address = self.memory.address(array, flat)
-        misses = self.cache.access(address, size_bytes)
+        lines, misses = self.cache.access_stats(address, size_bytes)
+        report = self.report
+        report.array_accesses[array] = (
+            report.array_accesses.get(array, 0) + lines
+        )
         if misses:
-            self.report.cycles += misses * self.machine.l1.miss_penalty
+            report.array_misses[array] = (
+                report.array_misses.get(array, 0) + misses
+            )
+            report.cycles += misses * self.machine.l1.miss_penalty
 
     def read_ref(self, ref: ValueRef, env: Dict[str, int]) -> float:
         if isinstance(ref, ImmRef):
@@ -272,6 +279,12 @@ class _RunState:
     # -- dispatch ----------------------------------------------------------------------
 
     def execute(self, instr: Instruction, env: Dict[str, int]) -> None:
+        # getattr with default: plans unpickled from pre-provenance
+        # cache entries lack the attribute entirely.
+        prov = getattr(instr, "prov", None)
+        if prov is not None:
+            cycles_before = self.report.cycles
+            misses_before = self.cache.misses
         if isinstance(instr, ScalarExec):
             self._exec_scalar(instr, env)
         elif isinstance(instr, VPack):
@@ -284,6 +297,15 @@ class _RunState:
             self._exec_store(instr, env)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown instruction {instr!r}")
+        if prov is not None:
+            cost = self.report.provenance.get(prov)
+            if cost is None:
+                cost = self.report.provenance[prov] = ProvenanceCost()
+            cost.instructions += 1
+            cost.cycles += self.report.cycles - cycles_before
+            cost.cache_misses += self.cache.misses - misses_before
+            if isinstance(instr, VShuffle):
+                cost.shuffles += 1
 
     def _exec_scalar(self, instr: ScalarExec, env: Dict[str, int]) -> None:
         machine, report = self.machine, self.report

@@ -34,6 +34,24 @@ class TestDeclarations:
         with pytest.raises(ValueError):
             parse_program("float a; int a;")
 
+    def test_line_and_block_comments_are_skipped(self):
+        # Regression: the `/` operator used to eat the first slash of
+        # `//`, so the comment alternative never matched.
+        program = parse_program(
+            """
+            // leading line comment (with / * punctuation ; inside)
+            float A[8]; /* block
+            comment spanning lines */ float b;
+            for (i = 0; i < 4; i += 1) {
+                A[2*i] = A[2*i] / 2.0;  // trailing comment
+            }
+            """
+        )
+        assert set(program.arrays) == {"A"}
+        assert set(program.scalars) == {"b"}
+        loop = next(iter(program.loops()))
+        assert len(loop.body.statements) == 1
+
 
 class TestStatements:
     def test_simple_assignment(self):

@@ -77,6 +77,47 @@ def test_reset_clears_everything():
     assert reg.sections == {} and reg.counters == {}
 
 
+def test_reset_while_section_open_does_not_desync_the_stack():
+    reg = PerfRegistry()
+    reg.enable()
+    outer = reg.section("outer")
+    outer.__enter__()
+    reg.reset()  # stack cleared, generation bumped — outer is now stale
+    outer.__exit__(None, None, None)  # must not pop or record anything
+    assert reg.sections == {}
+    assert reg._stack == []
+    # The registry still works: fresh sections nest and record cleanly.
+    with reg.section("a"):
+        with reg.section("b"):
+            pass
+    assert set(reg.sections) == {"a", "b", "a;b"}
+    assert reg._stack == []
+
+
+def test_reset_inside_open_section_leaves_new_epoch_intact():
+    reg = PerfRegistry()
+    reg.enable()
+    with reg.section("old"):
+        reg.reset()
+        # A section of the new epoch opened before the stale exit runs.
+        inner = reg.section("new")
+        inner.__enter__()
+    # "old"'s exit ran while "new" held the stack top: nothing popped.
+    assert reg._stack == ["new"]
+    inner.__exit__(None, None, None)
+    assert reg._stack == []
+    assert set(reg.sections) == {"new"}
+
+
+def test_disable_while_section_open_drops_partial_timing():
+    reg = PerfRegistry()
+    reg.enable()
+    with reg.section("timed"):
+        reg.disable()
+    assert reg.sections == {}
+    assert reg._stack == []
+
+
 def test_module_level_shorthands_hit_the_global_registry():
     PERF.reset()
     PERF.enable()
