@@ -1,0 +1,195 @@
+"""Simulate-phase speed of the batched execution engine.
+
+The reference interpreter dispatches every instruction of every loop
+iteration through Python, so simulation wall-time — not compilation —
+dominates the figure sweeps as the iteration count grows. The batched
+engine decodes each affine loop body once into closed-form NumPy
+address/value streams, replays the cache over the precomputed
+chronological line stream, and aggregates cycle charges per slot x
+iteration count. Its contract is exactness: identical
+``ExecutionReport`` (cycles, counts, cache and per-array stats,
+provenance) and identical final ``Memory`` on every run, falling back
+to the interpreter per-unit where the closed form does not apply.
+
+This harness sweeps the fig16 kernel set across every compiler variant
+on both machine models (AMD's fractional op costs are the stress test
+for order-independent cycle accounting), times the simulate phase of
+both engines on the same compiled plan, and asserts
+
+* report + memory equality on every measured combination, and
+* a >= 5x aggregate simulate-phase speedup at n=256 (measured ~6-7x;
+  the paper-figure regime the engine was built for).
+
+Results land in ``results/sim_engine.txt`` and machine-readable
+``results/BENCH_sim_engine.json``. Set ``REPRO_BENCH_SMOKE=1`` (CI) for
+a reduced grid that still enforces the equality contract and checks
+that the batched path is actually taken.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from conftest import write_result
+
+from repro import Variant, compile_program
+from repro.bench import (
+    ALL_KERNELS,
+    KERNELS,
+    amd_phenom_ii,
+    ascii_table,
+    intel_dunnington,
+)
+from repro.bench.suite import DEFAULT_VARIANTS
+from repro.perf import PERF
+from repro.vm import Simulator
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N = 64 if SMOKE else 256
+SUITE_KERNELS = (
+    [KERNELS[n] for n in ("milc", "lbm", "namd", "cg")]
+    if SMOKE
+    else ALL_KERNELS
+)
+VARIANTS = (
+    (Variant.SCALAR, Variant.GLOBAL, Variant.GLOBAL_LAYOUT)
+    if SMOKE
+    else DEFAULT_VARIANTS
+)
+MACHINES = (("intel", intel_dunnington), ("amd", amd_phenom_ii))
+REPEATS = 1 if SMOKE else 3
+
+
+def _timed_run(machine, engine, plan):
+    """Best-of-``REPEATS`` simulate wall time plus the results of the
+    final run (simulation is deterministic; the minimum sheds scheduler
+    noise)."""
+    best = math.inf
+    for _ in range(REPEATS):
+        simulator = Simulator(machine, engine=engine)
+        started = time.perf_counter()
+        report, memory = simulator.run(plan)
+        best = min(best, time.perf_counter() - started)
+    return best, report, memory
+
+
+def test_sim_engine(results_dir):
+    payload = {
+        "smoke": SMOKE,
+        "n": N,
+        "repeats": REPEATS,
+        "runs": [],
+        "summary": {},
+    }
+
+    totals = {"reference": 0.0, "batched": 0.0}
+    per_machine = {name: {"reference": 0.0, "batched": 0.0} for name, _ in MACHINES}
+
+    PERF.reset()
+    PERF.enable()
+    for machine_name, factory in MACHINES:
+        machine = factory()
+        for kernel in SUITE_KERNELS:
+            program = kernel.build(N)
+            for variant in VARIANTS:
+                compiled = compile_program(program, variant, machine)
+                ref_s, ref_report, ref_mem = _timed_run(
+                    compiled.machine, "reference", compiled.plan
+                )
+                bat_s, bat_report, bat_mem = _timed_run(
+                    compiled.machine, "batched", compiled.plan
+                )
+                # The contract: not approximately equal — equal.
+                assert bat_report == ref_report, (
+                    f"reports diverged: {kernel.name}/{variant.value}/"
+                    f"{machine_name}"
+                )
+                assert bat_report.cycles == ref_report.cycles
+                assert bat_mem.state_equal(ref_mem), (
+                    f"memory diverged: {kernel.name}/{variant.value}/"
+                    f"{machine_name}"
+                )
+                totals["reference"] += ref_s
+                totals["batched"] += bat_s
+                per_machine[machine_name]["reference"] += ref_s
+                per_machine[machine_name]["batched"] += bat_s
+                payload["runs"].append(
+                    {
+                        "kernel": kernel.name,
+                        "variant": variant.value,
+                        "machine": machine_name,
+                        "reference_seconds": ref_s,
+                        "batched_seconds": bat_s,
+                        "speedup": ref_s / bat_s,
+                        "cycles": ref_report.cycles,
+                    }
+                )
+    PERF.disable()
+
+    batched_loops = PERF.counters.get("simulate.batched_loops", 0)
+    fallbacks = PERF.counters.get("simulate.batched_fallbacks", 0)
+    PERF.reset()
+
+    aggregate = totals["reference"] / totals["batched"]
+    payload["summary"] = {
+        "aggregate_speedup": aggregate,
+        "per_machine_speedup": {
+            name: t["reference"] / t["batched"]
+            for name, t in per_machine.items()
+        },
+        "batched_loops": batched_loops,
+        "batched_fallbacks": fallbacks,
+        "reference_seconds": totals["reference"],
+        "batched_seconds": totals["batched"],
+    }
+
+    # The batched path must actually run: a silent always-fallback
+    # engine would pass every equality assertion while measuring
+    # nothing.
+    assert batched_loops > 0
+    if not SMOKE:
+        # The headline claim at the figure-sweep iteration count.
+        assert aggregate >= 5.0, (
+            f"expected >=5x aggregate simulate-phase speedup at n={N}, "
+            f"got {aggregate:.2f}x"
+        )
+
+    # -- artifacts ---------------------------------------------------------
+    (results_dir / "BENCH_sim_engine.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    table_rows = [
+        (
+            r["kernel"],
+            r["variant"],
+            r["machine"],
+            f"{r['reference_seconds'] * 1e3:8.1f} ms",
+            f"{r['batched_seconds'] * 1e3:8.1f} ms",
+            f"{r['speedup']:5.2f}x",
+        )
+        for r in payload["runs"]
+    ]
+    body = ascii_table(
+        ("kernel", "variant", "machine", "reference", "batched", "speedup"),
+        table_rows,
+    )
+    body += (
+        f"\n\naggregate at n={N}: {aggregate:.2f}x simulate-phase speedup "
+        f"({totals['reference']:.2f}s -> {totals['batched']:.2f}s)"
+        f"\nbatched loops: {batched_loops}, fallbacks: {fallbacks}"
+        f"\nper-machine: "
+        + ", ".join(
+            f"{name} {t['reference'] / t['batched']:.2f}x"
+            for name, t in per_machine.items()
+        )
+    )
+    write_result(
+        results_dir / "sim_engine.txt",
+        "Simulate-phase speed: batched vs reference execution engine",
+        body,
+    )

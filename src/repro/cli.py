@@ -73,7 +73,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
         if args.emit_plan:
             print(disassemble_plan(result.plan), end="")
         if args.run or not (args.emit_schedule or args.emit_plan):
-            report, _memory = Simulator(result.machine).run(result.plan)
+            report, _memory = Simulator(
+                result.machine, engine=args.engine
+            ).run(result.plan)
             print(report.summary())
     finally:
         if args.perf:
@@ -110,7 +112,9 @@ def _resolve_variant(name: str) -> Variant:
     return VARIANTS[resolved]
 
 
-def _traced_compile(path: str, variant: Variant, machine) -> list:
+def _traced_compile(
+    path: str, variant: Variant, machine, engine: Optional[str] = None
+) -> list:
     """Compile+simulate one source file with tracing on; returns the
     trace records (runtime costs folded in)."""
     from .trace import TRACE, fold_report
@@ -122,7 +126,9 @@ def _traced_compile(path: str, variant: Variant, machine) -> list:
         result = compile_program(
             program, variant, machine, CompilerOptions()
         )
-        report, _memory = Simulator(result.machine).run(result.plan)
+        report, _memory = Simulator(result.machine, engine=engine).run(
+            result.plan
+        )
         fold_report(report)
         return TRACE.records()
     finally:
@@ -159,8 +165,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
             name_a, name_b = spec.split(":", 1)
             variant_a = _resolve_variant(name_a)
             variant_b = _resolve_variant(name_b)
-            records_a = _traced_compile(args.file, variant_a, machine)
-            records_b = _traced_compile(args.file, variant_b, machine)
+            records_a = _traced_compile(
+                args.file, variant_a, machine, args.engine
+            )
+            records_b = _traced_compile(
+                args.file, variant_b, machine, args.engine
+            )
             label_a, label_b = variant_a.value, variant_b.value
         else:
             if is_trace_file:
@@ -168,7 +178,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 label_a = os.path.basename(args.file)
             else:
                 variant_a = _resolve_variant(args.variant)
-                records_a = _traced_compile(args.file, variant_a, machine)
+                records_a = _traced_compile(
+                    args.file, variant_a, machine, args.engine
+                )
                 label_a = variant_a.value
             records_b = _load_trace_file(spec)
             label_b = os.path.basename(spec)
@@ -179,7 +191,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         records = _load_trace_file(args.file)
     else:
         records = _traced_compile(
-            args.file, _resolve_variant(args.variant), machine
+            args.file, _resolve_variant(args.variant), machine, args.engine
         )
 
     status = 0
@@ -269,7 +281,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for variant in Variant:
         program = _read_program(args.file)
         result = compile_program(program, variant, machine)
-        report, memory = Simulator(result.machine).run(result.plan)
+        report, memory = Simulator(result.machine, engine=args.engine).run(
+            result.plan
+        )
         if variant is Variant.SCALAR:
             baseline = report
             base_memory = memory
@@ -299,9 +313,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.timings:
         PERF.reset()
         PERF.enable()
+    options = (
+        CompilerOptions(engine=args.engine) if args.engine else None
+    )
     results = run_suite(
-        machine, n=args.n, jobs=args.jobs, cache_dir=args.cache_dir,
-        trace_dir=args.trace_dir,
+        machine, options=options, n=args.n, jobs=args.jobs,
+        cache_dir=args.cache_dir, trace_dir=args.trace_dir,
     )
     rows = []
     for result in sorted(
@@ -366,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--datapath", type=int, default=None,
             help="SIMD width in bits (default: the machine's)",
+        )
+        p.add_argument(
+            "--engine", choices=("reference", "batched"), default=None,
+            help="simulation engine (default: $REPRO_SIM_ENGINE, then"
+            " the reference interpreter); both produce identical"
+            " reports",
         )
 
     p_compile = sub.add_parser("compile", help="compile one DSL file")

@@ -96,6 +96,12 @@ class CompilerOptions:
     #: the reference engine exists for differential testing and
     #: compile-time benchmarking.
     grouping_engine: str = "incremental"
+    #: Simulation engine for runs driven by these options: "reference"
+    #: (per-instruction interpreter) or "batched" (vectorized loop
+    #: engine, report-identical — see ``repro.vm.batched``). ``None``
+    #: defers to the ``REPRO_SIM_ENGINE`` environment variable, then to
+    #: "reference". Compilation itself is engine-independent.
+    engine: Optional[str] = None
 
 
 @dataclass

@@ -5,12 +5,20 @@ parameters; the simulator routes every array-element access through this
 cache so effects like the extra footprint of replicated arrays (Section
 7.2: "data replication ... has a negative impact on the cache
 behavior") show up in the measured cycle counts.
+
+Each set is a dict used as an ordered set (insertion order == LRU
+order, oldest first): a hit deletes and re-inserts the line to move it
+to the MRU end, a fill past capacity evicts the first key. This is
+O(1) per access where the previous list representation paid an
+O(ways) scan plus an O(ways) ``list.remove`` shuffle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -33,30 +41,35 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
-        self._sets: List[List[int]] = [[] for _ in range(config.sets)]
+        self._sets: List[dict] = [{} for _ in range(config.sets)]
         self.hits = 0
         self.misses = 0
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss counters; cache contents are untouched."""
         self.hits = 0
         self.misses = 0
 
     def flush(self) -> None:
-        self._sets = [[] for _ in range(self.config.sets)]
+        """Drop every cached line; hit/miss counters are untouched."""
+        self._sets = [{} for _ in range(self.config.sets)]
+
+    def lines(self) -> List[List[int]]:
+        """Per-set resident lines in LRU order (oldest first)."""
+        return [list(ways) for ways in self._sets]
 
     def touch_line(self, line: int) -> bool:
         """Access one line; returns True on hit."""
-        index = line % self.config.sets
-        ways = self._sets[index]
+        ways = self._sets[line % self.config.sets]
         if line in ways:
-            ways.remove(line)
-            ways.append(line)
+            del ways[line]
+            ways[line] = None
             self.hits += 1
             return True
         self.misses += 1
-        ways.append(line)
+        ways[line] = None
         if len(ways) > self.config.ways:
-            ways.pop(0)
+            del ways[next(iter(ways))]
         return False
 
     def access(self, address: int, size_bytes: int) -> int:
@@ -77,3 +90,47 @@ class Cache:
             if not self.touch_line(line):
                 misses += 1
         return last - first + 1, misses
+
+    def replay_lines(
+        self, lines: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Replay a chronological line-ID stream through the LRU state
+        machine; returns a boolean hit mask, one entry per element.
+
+        Equivalent to ``[self.touch_line(l) for l in lines]`` — same
+        final cache state, same hit/miss totals — but amortizes the
+        per-call overhead across the whole stream and takes a fast path
+        for repeated-line streaks: a line that was touched by the
+        immediately preceding access is already MRU, so the access is a
+        hit and moving it to the back is a no-op.
+        """
+        seq = lines.tolist() if isinstance(lines, np.ndarray) else lines
+        mask = []
+        append = mask.append
+        sets = self._sets
+        nsets = self.config.sets
+        capacity = self.config.ways
+        hits = 0
+        misses = 0
+        prev = None
+        for line in seq:
+            if line == prev:
+                hits += 1
+                append(True)
+                continue
+            prev = line
+            ways = sets[line % nsets]
+            if line in ways:
+                del ways[line]
+                ways[line] = None
+                hits += 1
+                append(True)
+            else:
+                misses += 1
+                ways[line] = None
+                if len(ways) > capacity:
+                    del ways[next(iter(ways))]
+                append(False)
+        self.hits += hits
+        self.misses += misses
+        return np.asarray(mask, dtype=bool)

@@ -517,6 +517,31 @@ def _const_delta(a: Affine, b: Affine) -> Optional[int]:
     return None
 
 
+def affine_stream(
+    flat: Affine, index: str, env: Dict[str, int]
+) -> Optional[Tuple[int, int]]:
+    """Closed form of a ``MemRef.flat`` over one loop: ``(base, stride)``
+    such that the flat element index at iteration value ``i`` is
+    ``base + stride * i``.
+
+    ``env`` binds every loop variable other than ``index`` (outer loop
+    indices for nested plans). Returns ``None`` when some variable is
+    unbound — the batched engine treats that as "not affine in this
+    loop" and falls back to the interpreter.
+    """
+    base = flat.const
+    stride = 0
+    for name, coeff in flat.coeffs:
+        if name == index:
+            stride = coeff
+        else:
+            bound = env.get(name)
+            if bound is None:
+                return None
+            base += coeff * bound
+    return base, stride
+
+
 def _permutation(source: OrderedKey, wanted: OrderedKey) -> Tuple[int, ...]:
     """perm with wanted[l] == source[perm[l]], handling duplicate keys."""
     used: Set[int] = set()

@@ -8,12 +8,36 @@ The categories are chosen so the paper's metrics fall out directly:
   :meth:`ExecutionReport.pack_unpack_ops`.
 * Figures 16/19/20/21 report execution-time reductions —
   :attr:`ExecutionReport.cycles`.
+
+Cycle accounting is *bucketed*: every charge lands in an integer
+counter keyed by ``(category, unit_cost)`` and ``cycles`` is derived by
+summing ``count * unit_cost`` over the buckets in sorted key order.
+This makes the total independent of the order charges arrive in, which
+is what lets the batched execution engine (``repro.vm.batched``) —
+which aggregates whole loops per slot × trip-count instead of walking
+iterations — produce *bit-identical* cycle totals to the reference
+interpreter even for machines whose unit costs are not exactly
+representable sums (e.g. the AMD model's 1.6-cycle lane inserts).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
+
+#: Bucket category used for L1 miss penalties. It never appears in
+#: ``counts`` — misses are reported via ``cache_misses`` — but its
+#: bucket participates in the cycle total.
+MISS_CATEGORY = "l1_miss"
+
+
+def _bucket_cycles(
+    charges: Dict[Tuple[str, float], int], extra: float = 0.0
+) -> float:
+    total = extra
+    for key in sorted(charges):
+        total += charges[key] * key[1]
+    return total
 
 
 @dataclass
@@ -22,19 +46,30 @@ class ProvenanceCost:
 
     Keys are provenance IDs stamped on instructions by codegen (see
     ``repro.trace.provenance_id``); the simulator fills one of these per
-    distinct ID it executes instructions for.
+    distinct ID it executes instructions for. Cycles use the same
+    bucketed accounting as :class:`ExecutionReport`, so per-decision
+    totals agree exactly between execution engines.
     """
 
-    cycles: float = 0.0
     instructions: int = 0
     shuffles: int = 0
     cache_misses: int = 0
+    charges: Dict[Tuple[str, float], int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return _bucket_cycles(self.charges)
+
+    def charge(self, category: str, count: int, unit_cycles: float) -> None:
+        key = (category, unit_cycles)
+        self.charges[key] = self.charges.get(key, 0) + count
 
     def add(self, other: "ProvenanceCost") -> None:
-        self.cycles += other.cycles
         self.instructions += other.instructions
         self.shuffles += other.shuffles
         self.cache_misses += other.cache_misses
+        for key, count in other.charges.items():
+            self.charges[key] = self.charges.get(key, 0) + count
 
 #: Instruction categories that exist only to assemble or disassemble
 #: superwords. A contiguous aligned wide load/store is *not* overhead —
@@ -61,7 +96,6 @@ class ExecutionReport:
     """Aggregated observations from one simulated execution."""
 
     counts: Dict[str, int] = field(default_factory=dict)
-    cycles: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     max_live_vregs: int = 0
@@ -72,18 +106,54 @@ class ExecutionReport:
     #: Per-array cache traffic, in line-access units.
     array_accesses: Dict[str, int] = field(default_factory=dict)
     array_misses: Dict[str, int] = field(default_factory=dict)
+    #: Integer charge buckets keyed by ``(category, unit_cost)``; the
+    #: source of truth for :attr:`cycles`.
+    charges: Dict[Tuple[str, float], int] = field(default_factory=dict)
+    #: Cycles with no per-event unit cost (amortized layout copies).
+    #: Both engines accumulate these through the identical sequential
+    #: code path, so float identity is preserved without bucketing.
+    extra_cycles: float = 0.0
+    #: When set, every charge is mirrored into this ProvenanceCost. The
+    #: interpreter points it at the active instruction's provenance sink
+    #: around dispatch; it is transient bookkeeping, not a result.
+    sink: Optional[ProvenanceCost] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def cycles(self) -> float:
+        return _bucket_cycles(self.charges, self.extra_cycles)
 
     def bump(self, category: str, count: int = 1) -> None:
         self.counts[category] = self.counts.get(category, 0) + count
 
     def charge(self, category: str, count: int, unit_cycles: float) -> None:
-        self.bump(category, count)
-        self.cycles += count * unit_cycles
+        self.counts[category] = self.counts.get(category, 0) + count
+        key = (category, unit_cycles)
+        self.charges[key] = self.charges.get(key, 0) + count
+        sink = self.sink
+        if sink is not None:
+            sink.charges[key] = sink.charges.get(key, 0) + count
+
+    def charge_miss(self, misses: int, penalty: float) -> None:
+        """Charge L1 miss penalties without touching ``counts`` (misses
+        are already reported through ``cache_misses``)."""
+        key = (MISS_CATEGORY, penalty)
+        self.charges[key] = self.charges.get(key, 0) + misses
+        sink = self.sink
+        if sink is not None:
+            sink.charges[key] = sink.charges.get(key, 0) + misses
+            sink.cache_misses += misses
+
+    def add_extra_cycles(self, cycles: float) -> None:
+        self.extra_cycles += cycles
 
     def merge(self, other: "ExecutionReport") -> None:
         for category, count in other.counts.items():
             self.bump(category, count)
-        self.cycles += other.cycles
+        for key, count in other.charges.items():
+            self.charges[key] = self.charges.get(key, 0) + count
+        self.extra_cycles += other.extra_cycles
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.max_live_vregs = max(self.max_live_vregs, other.max_live_vregs)

@@ -11,7 +11,8 @@ the paper's evaluation is built from).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Tuple
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -181,11 +182,40 @@ def evaluate_expr(expr: Expr, env: Dict[str, int], memory: Memory) -> float:
     return _OP_FUNCS[getattr(expr, "op")](*values)
 
 
-class Simulator:
-    """Executes plans with cycle/cache accounting."""
+#: Recognized execution engines. ``reference`` is the per-instruction
+#: interpreter below; ``batched`` is the vectorized loop engine in
+#: :mod:`repro.vm.batched`, proven report-identical by differential
+#: tests and falling back here per-unit whenever a loop is not
+#: batchable.
+ENGINES = ("reference", "batched")
 
-    def __init__(self, machine: MachineModel):
+#: Environment variable consulted when no engine is given explicitly —
+#: lets existing harnesses (the fig16–fig21 benches, ``run_suite``
+#: callers) switch engines without any signature changes.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "reference"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+class Simulator:
+    """Executes plans with cycle/cache accounting.
+
+    ``engine`` selects the execution strategy (see :data:`ENGINES`);
+    ``None`` defers to the ``REPRO_SIM_ENGINE`` environment variable and
+    then to the reference interpreter.
+    """
+
+    def __init__(self, machine: MachineModel, engine: Optional[str] = None):
         self.machine = machine
+        self.engine = resolve_engine(engine)
 
     def run(
         self,
@@ -198,6 +228,10 @@ class Simulator:
             report = ExecutionReport()
             cache = Cache(self.machine.l1)
             state = _RunState(self.machine, memory, report, cache)
+            if self.engine == "batched":
+                from .batched import BatchedEngine
+
+                state.batched = BatchedEngine(state)
             env: Dict[str, int] = {}
             for unit in plan.units:
                 self._run_unit(unit, env, state)
@@ -209,23 +243,53 @@ class Simulator:
 
     def _run_unit(self, unit: CompiledUnit, env: Dict[str, int], state) -> None:
         if isinstance(unit, CompiledStraight):
-            for instr in unit.instructions:
-                state.execute(instr, env)
+            for instr, sink in _prepared_block(unit.instructions, state.report):
+                state.execute_decoded(instr, sink, env)
             return
         if isinstance(unit, CompiledCopy):
-            state.run_copy(unit)
+            if state.batched is None or not state.batched.run_copy(unit):
+                state.run_copy(unit)
             return
         assert isinstance(unit, CompiledLoop)
-        for instr in unit.preheader:
-            state.execute(instr, env)
+        for instr, sink in _prepared_block(unit.preheader, state.report):
+            state.execute_decoded(instr, sink, env)
+        if state.batched is not None and state.batched.run_loop(unit, env):
+            return
         spec = unit.spec
-        for value in range(spec.start, spec.stop, spec.step):
+        trips = range(spec.start, spec.stop, spec.step)
+        body = _prepared_block(unit.body, state.report) if trips else ()
+        inner = unit.inner
+        execute = state.execute_decoded
+        for value in trips:
             env[spec.index] = value
-            for instr in unit.body:
-                state.execute(instr, env)
-            if unit.inner is not None:
-                self._run_unit(unit.inner, env, state)
+            for instr, sink in body:
+                execute(instr, sink, env)
+            if inner is not None:
+                self._run_unit(inner, env, state)
         env.pop(spec.index, None)
+
+
+def _prepared_block(
+    instructions, report: ExecutionReport
+) -> List[Tuple[Instruction, Optional[ProvenanceCost]]]:
+    """Pair each instruction with its provenance sink (or None).
+
+    Resolving ``getattr(instr, "prov", None)`` plus the provenance-dict
+    lookup once per unit entry keeps both out of the per-iteration hot
+    dispatch. The getattr default matters: plans unpickled from
+    pre-provenance cache entries lack the attribute entirely.
+    """
+    prepared = []
+    provenance = report.provenance
+    for instr in instructions:
+        prov = getattr(instr, "prov", None)
+        sink = None
+        if prov is not None:
+            sink = provenance.get(prov)
+            if sink is None:
+                sink = provenance[prov] = ProvenanceCost()
+        prepared.append((instr, sink))
+    return prepared
 
 
 class _RunState:
@@ -243,6 +307,8 @@ class _RunState:
         self.report = report
         self.cache = cache
         self.vregs: Dict[int, Tuple[float, ...]] = {}
+        #: Set by ``Simulator.run`` when the batched engine is active.
+        self.batched = None
 
     # -- memory with cache accounting ----------------------------------------------
 
@@ -257,7 +323,7 @@ class _RunState:
             report.array_misses[array] = (
                 report.array_misses.get(array, 0) + misses
             )
-            report.cycles += misses * self.machine.l1.miss_penalty
+            report.charge_miss(misses, self.machine.l1.miss_penalty)
 
     def read_ref(self, ref: ValueRef, env: Dict[str, int]) -> float:
         if isinstance(ref, ImmRef):
@@ -279,12 +345,28 @@ class _RunState:
     # -- dispatch ----------------------------------------------------------------------
 
     def execute(self, instr: Instruction, env: Dict[str, int]) -> None:
-        # getattr with default: plans unpickled from pre-provenance
-        # cache entries lack the attribute entirely.
         prov = getattr(instr, "prov", None)
+        sink = None
         if prov is not None:
-            cycles_before = self.report.cycles
-            misses_before = self.cache.misses
+            sink = self.report.provenance.get(prov)
+            if sink is None:
+                sink = self.report.provenance[prov] = ProvenanceCost()
+        self.execute_decoded(instr, sink, env)
+
+    def execute_decoded(
+        self,
+        instr: Instruction,
+        sink: Optional[ProvenanceCost],
+        env: Dict[str, int],
+    ) -> None:
+        """Dispatch one instruction whose provenance sink was resolved
+        at unit entry (see ``_prepared_block``). While the sink is
+        installed on the report, every charge — including L1 miss
+        penalties — is mirrored into its buckets."""
+        report = self.report
+        if sink is not None:
+            sink.instructions += 1
+            report.sink = sink
         if isinstance(instr, ScalarExec):
             self._exec_scalar(instr, env)
         elif isinstance(instr, VPack):
@@ -296,16 +378,12 @@ class _RunState:
         elif isinstance(instr, VStore):
             self._exec_store(instr, env)
         else:  # pragma: no cover - defensive
+            report.sink = None
             raise TypeError(f"unknown instruction {instr!r}")
-        if prov is not None:
-            cost = self.report.provenance.get(prov)
-            if cost is None:
-                cost = self.report.provenance[prov] = ProvenanceCost()
-            cost.instructions += 1
-            cost.cycles += self.report.cycles - cycles_before
-            cost.cache_misses += self.cache.misses - misses_before
+        if sink is not None:
+            report.sink = None
             if isinstance(instr, VShuffle):
-                cost.shuffles += 1
+                sink.shuffles += 1
 
     def _exec_scalar(self, instr: ScalarExec, env: Dict[str, int]) -> None:
         machine, report = self.machine, self.report
@@ -449,4 +527,4 @@ class _RunState:
             + misses * self.machine.l1.miss_penalty
         ) / unit.amortization
         self.report.bump("layout_copy_element", rep.elements)
-        self.report.cycles += amortized
+        self.report.add_extra_cycles(amortized)

@@ -80,3 +80,98 @@ class TestConfig:
         cache.reset_stats()
         assert cache.access(0, 8) == 1
         assert cache.misses == 1
+
+
+class TestEvictionOrder:
+    """The ordered-dict LRU keeps the precise eviction sequence under
+    associativity conflicts — pinned via the ``lines()`` inspection
+    hook."""
+
+    def test_lines_reports_lru_order(self):
+        cache = small_cache(ways=4, sets=1, line=64)
+        for line in (3, 1, 4, 1, 5):
+            cache.touch_line(line)
+        # Oldest-first: 3, 4, 1, 5 (line 1 refreshed by its second touch).
+        assert cache.lines() == [[3, 4, 1, 5]]
+
+    def test_conflict_evicts_in_recency_order(self):
+        cache = small_cache(ways=2, sets=2, line=64)
+        # Set 0 holds even lines, set 1 odd lines.
+        for line in (0, 2, 1, 3, 4):   # 4 conflicts in set 0, evicts 0
+            cache.touch_line(line)
+        assert cache.lines() == [[2, 4], [1, 3]]
+        assert not cache.touch_line(0)   # line 0 gone
+        assert cache.lines()[0] == [4, 0]  # ...and 2 was evicted for it
+
+    def test_repeated_conflict_cycles_through_ways(self):
+        cache = small_cache(ways=2, sets=1, line=64)
+        order = []
+        for line in (0, 1, 2, 0, 1, 2):
+            cache.touch_line(line)
+            order.append(cache.lines()[0])
+        # Classic thrash: every access past the first two misses and
+        # evicts the oldest of the two residents.
+        assert cache.hits == 0
+        assert cache.misses == 6
+        assert order[-1] == [1, 2]
+
+
+class TestFlushVsResetStats:
+    def test_flush_keeps_counters_drops_contents(self):
+        cache = small_cache()
+        cache.access(0, 8)
+        cache.access(0, 8)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.flush()
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.lines() == [[] for _ in range(cache.config.sets)]
+        assert cache.access(0, 8) == 1   # cold again
+
+    def test_reset_stats_keeps_contents_drops_counters(self):
+        cache = small_cache()
+        cache.access(0, 8)
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.lines()[0] == [0]
+        assert cache.access(0, 8) == 0   # still resident
+        assert (cache.hits, cache.misses) == (1, 0)
+
+
+class TestReplayLines:
+    """``replay_lines`` is the batched engine's bulk entry point; it must
+    be observationally identical to calling ``touch_line`` per element."""
+
+    def _random_stream(self, seed, length=400, lines=24):
+        import random
+
+        rng = random.Random(seed)
+        stream = []
+        while len(stream) < length:
+            line = rng.randrange(lines)
+            # Inject streaks so the consecutive-duplicate fast path runs.
+            stream.extend([line] * rng.randint(1, 4))
+        return stream[:length]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_touch_line_call_by_call(self, seed):
+        stream = self._random_stream(seed)
+        bulk = small_cache(ways=2, sets=4)
+        unit = small_cache(ways=2, sets=4)
+        mask = bulk.replay_lines(stream)
+        expected = [unit.touch_line(line) for line in stream]
+        assert mask.tolist() == expected
+        assert (bulk.hits, bulk.misses) == (unit.hits, unit.misses)
+        assert bulk.lines() == unit.lines()
+
+    def test_accepts_numpy_arrays(self):
+        import numpy as np
+
+        cache = small_cache(ways=2, sets=1)
+        mask = cache.replay_lines(np.array([0, 0, 1, 2, 0], dtype=np.int64))
+        assert mask.tolist() == [False, True, False, False, False]
+        assert (cache.hits, cache.misses) == (1, 4)
+
+    def test_empty_stream(self):
+        cache = small_cache()
+        assert cache.replay_lines([]).tolist() == []
+        assert (cache.hits, cache.misses) == (0, 0)
