@@ -29,6 +29,18 @@ from .compiler import (
     Variant,
     compile_program,
 )
+from .errors import (
+    Diagnostic,
+    IRError,
+    LayoutError,
+    OptionsError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SuiteError,
+    VerifyError,
+)
 from .ir import (
     Affine,
     ArrayRef,
@@ -84,7 +96,17 @@ __all__ = [
     "CompileStats",
     "CompilerOptions",
     "Const",
+    "Diagnostic",
     "ExecutionReport",
+    "IRError",
+    "LayoutError",
+    "OptionsError",
+    "ParseError",
+    "ReproError",
+    "ScheduleError",
+    "SimulationError",
+    "SuiteError",
+    "VerifyError",
     "FLOAT32",
     "FLOAT64",
     "INT16",

@@ -13,6 +13,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import IRError
 from ..ir import ArrayRef, Loop
 
 
@@ -64,7 +65,7 @@ def access_vector(ref: ArrayRef, indices: Sequence[str]) -> AccessVector:
     for subscript in ref.subscripts:
         extra = set(subscript.variables()) - set(names)
         if extra:
-            raise ValueError(
+            raise IRError(
                 f"subscript {subscript} references indices {sorted(extra)} "
                 f"outside the iteration vector {names}"
             )

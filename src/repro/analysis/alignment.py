@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..errors import IRError
 from ..ir import Affine, ArrayDecl, ArrayRef
 
 
 def flat_affine(ref: ArrayRef, decl: ArrayDecl) -> Affine:
     """Row-major flattened element index of a reference, as one Affine."""
     if len(ref.subscripts) != len(decl.shape):
-        raise ValueError(
+        raise IRError(
             f"{ref.array} has {len(decl.shape)} dims, reference uses "
             f"{len(ref.subscripts)}"
         )

@@ -26,6 +26,7 @@ from ..compiler import (
     Variant,
     compile_program,
 )
+from ..errors import Diagnostic, SuiteError, format_failure
 from ..ir.printer import format_program
 from ..perf import PERF, count
 from ..trace import TRACE, fold_report, summarize, to_jsonl
@@ -67,6 +68,11 @@ class KernelResult:
     # suite runs with a trace directory. Plain dicts so results pickle
     # across the worker-pool boundary.
     trace_summaries: Dict[Variant, dict] = field(default_factory=dict)
+    # Per-variant compile diagnostics (graceful-degradation fallbacks,
+    # skipped layout plans, ...). Empty unless a compile degraded.
+    diagnostics: Dict[Variant, Tuple[Diagnostic, ...]] = field(
+        default_factory=dict
+    )
 
     def cycles(self, variant: Variant) -> float:
         return self.runs[variant].report.cycles
@@ -199,11 +205,13 @@ def run_kernel(
     program = kernel.build(n)
     for variant in variants:
         if trace_dir is not None:
-            run, summary = _traced_run(
+            run, summary, diags = _traced_run(
                 kernel, program, variant, machine, options, seed, trace_dir
             )
             result.runs[variant] = run
             result.trace_summaries[variant] = summary
+            if diags:
+                result.diagnostics[variant] = diags
             continue
         compiled = None
         key = ""
@@ -220,7 +228,16 @@ def run_kernel(
         result.runs[variant] = VariantRun(
             variant, report, compiled.stats, memory
         )
+        diags = _result_diagnostics(compiled)
+        if diags:
+            result.diagnostics[variant] = diags
     return result
+
+
+def _result_diagnostics(compiled: CompileResult) -> Tuple[Diagnostic, ...]:
+    # getattr: cache entries pickled before the diagnostics API existed
+    # have no such attribute and count as clean compiles.
+    return tuple(getattr(compiled, "diagnostics", None) or ())
 
 
 def _traced_run(
@@ -231,7 +248,7 @@ def _traced_run(
     options: Optional[CompilerOptions],
     seed: int,
     trace_dir: Union[str, Path],
-) -> Tuple[VariantRun, dict]:
+) -> Tuple[VariantRun, dict, Tuple[Diagnostic, ...]]:
     """Compile and simulate one variant with tracing enabled, writing
     the JSONL trace into ``trace_dir``. Deliberately bypasses the
     compile cache: a cache hit replays a stored plan without running
@@ -257,16 +274,21 @@ def _traced_run(
         to_jsonl(records), encoding="utf-8"
     )
     run = VariantRun(variant, report, compiled.stats, memory)
-    return run, summarize(records)
+    return run, summarize(records), _result_diagnostics(compiled)
 
 
-def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
+def _run_kernel_task(payload):
     """Worker-process entry for the parallel suite runner.
 
     Kernels from the registry travel by name (their builders may be
     lambdas or locally-defined closures that do not pickle); ad-hoc
     kernels are pickled whole. The worker mirrors the parent's perf
     state and ships its measurements back as a snapshot for merging.
+
+    A crash travels back as a formatted traceback instead of an
+    exception: one bad kernel must not make ``pool.map`` discard every
+    other kernel's result (and its traceback context) on the spot.
+    Returns ``(name, result | None, perf_snapshot, failure | None)``.
     """
     (
         kernel_ref, machine, variants, options, n, cache_dir, perf_on,
@@ -279,12 +301,15 @@ def _run_kernel_task(payload) -> Tuple[str, KernelResult, Optional[dict]]:
     if perf_on:
         PERF.enable()
     cache = CompileCache(cache_dir) if cache_dir else None
-    result = run_kernel(
-        kernel, machine, variants, options, n=n, cache=cache,
-        trace_dir=trace_dir,
-    )
+    try:
+        result = run_kernel(
+            kernel, machine, variants, options, n=n, cache=cache,
+            trace_dir=trace_dir,
+        )
+    except Exception as exc:
+        return kernel.name, None, None, format_failure(exc)
     snapshot = PERF.snapshot() if perf_on else None
-    return kernel.name, result, snapshot
+    return kernel.name, result, snapshot, None
 
 
 def run_suite(
@@ -311,14 +336,20 @@ def run_suite(
     favor of the serial path."""
     kernel_list = list(kernels or ALL_KERNELS)
     out: Dict[str, KernelResult] = {}
+    failures: Dict[str, str] = {}
     jobs = min(jobs, os.cpu_count() or 1)
     if jobs <= 1:
         cache = CompileCache(cache_dir) if cache_dir else None
         for kernel in kernel_list:
-            out[kernel.name] = run_kernel(
-                kernel, machine, variants, options, n=n, cache=cache,
-                trace_dir=trace_dir,
-            )
+            try:
+                out[kernel.name] = run_kernel(
+                    kernel, machine, variants, options, n=n, cache=cache,
+                    trace_dir=trace_dir,
+                )
+            except Exception as exc:
+                failures[kernel.name] = format_failure(exc)
+        if failures:
+            raise _suite_error(failures, out)
         return out
 
     payloads = [
@@ -337,11 +368,27 @@ def run_suite(
         for kernel in kernel_list
     ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for name, result, snapshot in pool.map(_run_kernel_task, payloads):
+        for name, result, snapshot, failure in pool.map(
+            _run_kernel_task, payloads
+        ):
+            if failure is not None:
+                failures[name] = failure
+                continue
             out[name] = result
             if snapshot is not None:
                 PERF.merge(snapshot)
+    if failures:
+        raise _suite_error(failures, out)
     return out
+
+
+def _suite_error(
+    failures: Dict[str, str], out: Dict[str, KernelResult]
+) -> SuiteError:
+    error = SuiteError(failures)
+    # The kernels that *did* finish; lets callers report partial tables.
+    error.results = out
+    return error
 
 
 def run_multicore(

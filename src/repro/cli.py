@@ -16,6 +16,10 @@ Commands:
 * ``bench`` — run the Table 3 suite on a machine model and print the
   Figure 16/19-style table.
 * ``kernels`` — list the benchmark kernels (Table 3).
+* ``verify FILE`` — structural well-formedness checks on a source file,
+  then a fully-verified compile of every variant.
+* ``fuzz`` — differential fuzzing: random programs through every
+  variant/engine combination against the scalar baseline.
 
 Examples::
 
@@ -23,6 +27,8 @@ Examples::
     python -m repro compare saxpy.slp --machine amd
     python -m repro trace saxpy.slp --diff global:baseline
     python -m repro bench --n 64
+    python -m repro verify saxpy.slp
+    python -m repro fuzz --seed 0 --count 500
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from typing import List, Optional
 
 from .bench import ALL_KERNELS, ascii_table, percent, run_suite
 from .compiler import CompilerOptions, Variant, compile_program
+from .errors import ReproError, SuiteError
 from .ir import parse_program
 from .vm import MACHINES, Simulator, reduction
 from .vm.pretty import disassemble_plan
@@ -48,6 +55,21 @@ def _machine(name: str, datapath: Optional[int]):
     return machine
 
 
+def _options(args: argparse.Namespace) -> CompilerOptions:
+    """The CompilerOptions a command's flags describe.
+
+    The CLI expresses every knob *by building options* — see the
+    precedence rule on :class:`CompilerOptions`: a flag left unset
+    stays ``None`` and defers to the knob's environment variable, then
+    to the built-in default. No command consults ``os.environ``.
+    """
+    return CompilerOptions(
+        engine=getattr(args, "engine", None),
+        checks=getattr(args, "checks", None),
+        on_error=getattr(args, "on_error", None) or "raise",
+    )
+
+
 def _read_program(path: str):
     with open(path, "r", encoding="utf-8") as handle:
         return parse_program(handle.read())
@@ -59,13 +81,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
     machine = _machine(args.machine, args.datapath)
     variant = VARIANTS[args.variant]
+    options = _options(args)
     if args.perf:
         PERF.reset()
         PERF.enable()
     try:
-        result = compile_program(
-            program, variant, machine, CompilerOptions()
-        )
+        result = compile_program(program, variant, machine, options)
+        for diagnostic in result.diagnostics:
+            print(f"note: {diagnostic}", file=sys.stderr)
         if args.emit_schedule:
             for schedule in result.schedules:
                 print(schedule)
@@ -74,7 +97,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             print(disassemble_plan(result.plan), end="")
         if args.run or not (args.emit_schedule or args.emit_plan):
             report, _memory = Simulator(
-                result.machine, engine=args.engine
+                result.machine, engine=options.engine
             ).run(result.plan)
             print(report.summary())
     finally:
@@ -113,22 +136,24 @@ def _resolve_variant(name: str) -> Variant:
 
 
 def _traced_compile(
-    path: str, variant: Variant, machine, engine: Optional[str] = None
+    path: str,
+    variant: Variant,
+    machine,
+    options: Optional[CompilerOptions] = None,
 ) -> list:
     """Compile+simulate one source file with tracing on; returns the
     trace records (runtime costs folded in)."""
     from .trace import TRACE, fold_report
 
+    options = options or CompilerOptions()
     program = _read_program(path)
     TRACE.reset()
     TRACE.enable(file=os.path.basename(path), variant=variant.value)
     try:
-        result = compile_program(
-            program, variant, machine, CompilerOptions()
-        )
-        report, _memory = Simulator(result.machine, engine=engine).run(
-            result.plan
-        )
+        result = compile_program(program, variant, machine, options)
+        report, _memory = Simulator(
+            result.machine, engine=options.engine
+        ).run(result.plan)
         fold_report(report)
         return TRACE.records()
     finally:
@@ -152,6 +177,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
 
     machine = _machine(args.machine, args.datapath)
+    options = _options(args)
     is_trace_file = args.file.endswith(".jsonl")
 
     if args.diff:
@@ -166,10 +192,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
             variant_a = _resolve_variant(name_a)
             variant_b = _resolve_variant(name_b)
             records_a = _traced_compile(
-                args.file, variant_a, machine, args.engine
+                args.file, variant_a, machine, options
             )
             records_b = _traced_compile(
-                args.file, variant_b, machine, args.engine
+                args.file, variant_b, machine, options
             )
             label_a, label_b = variant_a.value, variant_b.value
         else:
@@ -179,7 +205,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             else:
                 variant_a = _resolve_variant(args.variant)
                 records_a = _traced_compile(
-                    args.file, variant_a, machine, args.engine
+                    args.file, variant_a, machine, options
                 )
                 label_a = variant_a.value
             records_b = _load_trace_file(spec)
@@ -191,7 +217,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         records = _load_trace_file(args.file)
     else:
         records = _traced_compile(
-            args.file, _resolve_variant(args.variant), machine, args.engine
+            args.file, _resolve_variant(args.variant), machine, options
         )
 
     status = 0
@@ -275,15 +301,16 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     machine = _machine(args.machine, args.datapath)
+    options = _options(args)
     rows = []
     baseline = None
     base_memory = None
     for variant in Variant:
         program = _read_program(args.file)
-        result = compile_program(program, variant, machine)
-        report, memory = Simulator(result.machine, engine=args.engine).run(
-            result.plan
-        )
+        result = compile_program(program, variant, machine, options)
+        report, memory = Simulator(
+            result.machine, engine=options.engine
+        ).run(result.plan)
         if variant is Variant.SCALAR:
             baseline = report
             base_memory = memory
@@ -313,13 +340,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.timings:
         PERF.reset()
         PERF.enable()
-    options = (
-        CompilerOptions(engine=args.engine) if args.engine else None
-    )
-    results = run_suite(
-        machine, options=options, n=args.n, jobs=args.jobs,
-        cache_dir=args.cache_dir, trace_dir=args.trace_dir,
-    )
+    options = _options(args)
+    status = 0
+    try:
+        results = run_suite(
+            machine, options=options, n=args.n, jobs=args.jobs,
+            cache_dir=args.cache_dir, trace_dir=args.trace_dir,
+        )
+    except SuiteError as exc:
+        # Every kernel ran before this surfaced: report each failure
+        # with its traceback, then the table of whatever finished.
+        for name in sorted(exc.failures):
+            print(f"=== {name} failed ===", file=sys.stderr)
+            print(exc.failures[name], file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        results = getattr(exc, "results", {})
+        status = 1
+    for name in sorted(results):
+        for variant, diags in sorted(
+            results[name].diagnostics.items(), key=lambda kv: kv[0].value
+        ):
+            for diagnostic in diags:
+                print(
+                    f"note: {name} [{variant.value}] {diagnostic}",
+                    file=sys.stderr,
+                )
     rows = []
     for result in sorted(
         results.values(),
@@ -360,7 +405,97 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 )
     if args.timings:
         print(PERF.report(), file=sys.stderr)
-    return 0
+    return status
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .verify import verify_program
+
+    machine = _machine(args.machine, args.datapath)
+    # ``verify`` exists to check: run every stage unless told otherwise.
+    options = replace(
+        _options(args), checks=getattr(args, "checks", None) or "all"
+    )
+    try:
+        program = _read_program(args.file)
+        verify_program(program)
+    except ReproError as exc:
+        print(f"invalid: {exc}")
+        return 1
+    status = 0
+    variants = (
+        [VARIANTS[args.variant]] if args.variant else list(Variant)
+    )
+    for variant in variants:
+        try:
+            result = compile_program(program, variant, machine, options)
+        except ReproError as exc:
+            print(f"{variant.value}: FAIL {exc}")
+            status = 1
+            continue
+        if result.diagnostics:
+            for diagnostic in result.diagnostics:
+                print(f"{variant.value}: {diagnostic}")
+            status = 1
+        else:
+            print(f"{variant.value}: ok")
+    return status
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import differential_check, fuzz
+
+    machine = _machine(args.machine, args.datapath)
+    options = _options(args)
+    status = 0
+
+    corpus = Path(args.corpus) if args.corpus else None
+    if corpus is not None and corpus.is_dir():
+        # Replay the saved regression corpus before generating anything.
+        for path in sorted(corpus.glob("*.slp")):
+            result = differential_check(
+                parse_program(path.read_text(encoding="utf-8")), machine,
+                options,
+            )
+            if result.status == "diverged":
+                print(f"corpus {path.name}: {result.divergence.summary()}")
+                status = 1
+            elif not args.quiet:
+                print(f"corpus {path.name}: {result.status}")
+
+    report = fuzz(
+        seed=args.seed,
+        count=args.count,
+        machine=machine,
+        options=options,
+        reduce_failures=args.reduce,
+        max_divergences=args.max_divergences,
+    )
+    print(report.summary())
+    if report.divergences:
+        status = 1
+        for divergence in report.divergences:
+            print(f"\n=== seed {divergence.seed} ===")
+            print(divergence.detail.rstrip())
+            source = divergence.reduced_source or divergence.source
+            print("--- reproduction ---")
+            print(source.rstrip())
+            if corpus is not None:
+                corpus.mkdir(parents=True, exist_ok=True)
+                stem = f"divergence-{divergence.seed}"
+                (corpus / f"{stem}.slp").write_text(
+                    divergence.source, encoding="utf-8"
+                )
+                if divergence.reduced_source:
+                    (corpus / f"{stem}.reduced.slp").write_text(
+                        divergence.reduced_source, encoding="utf-8"
+                    )
+                print(f"(saved to {corpus / stem}.slp)")
+    return status
 
 
 def cmd_kernels(_args: argparse.Namespace) -> int:
@@ -389,6 +524,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulation engine (default: $REPRO_SIM_ENGINE, then"
             " the reference interpreter); both produce identical"
             " reports",
+        )
+        p.add_argument(
+            "--checks", default=None, metavar="STAGES",
+            help="pipeline verifier stages: 'all', 'none', or a comma"
+            " list of ir,schedule,plan (default: $REPRO_CHECKS, then"
+            " none)",
+        )
+        p.add_argument(
+            "--on-error", choices=("raise", "fallback"), default=None,
+            dest="on_error",
+            help="per-block failure policy: raise (default) or fall"
+            " back to scalar code with a diagnostic",
         )
 
     p_compile = sub.add_parser("compile", help="compile one DSL file")
@@ -482,6 +629,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="verify a DSL file and a fully-checked compile per variant",
+    )
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--variant", choices=sorted(VARIANTS), default=None,
+        help="verify one variant only (default: all of them)",
+    )
+    common(p_verify)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing against the scalar baseline",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; case k uses seed+k (default: 0)",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=100,
+        help="number of generated programs (default: 100)",
+    )
+    p_fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="replay every *.slp in DIR through the oracle first, and"
+        " save new divergences (full + reduced source) there",
+    )
+    p_fuzz.add_argument(
+        "--reduce", action=argparse.BooleanOptionalAction, default=True,
+        help="shrink each divergence to a minimal reproduction"
+        " (default: on)",
+    )
+    p_fuzz.add_argument(
+        "--max-divergences", type=int, default=10,
+        help="stop after this many failures (default: 10)",
+    )
+    p_fuzz.add_argument(
+        "--quiet", action="store_true",
+        help="don't print per-file corpus replay results",
+    )
+    common(p_fuzz)
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_kernels = sub.add_parser("kernels", help="list the benchmarks")
     p_kernels.set_defaults(func=cmd_kernels)

@@ -23,9 +23,10 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .analysis import DependenceGraph
+from .errors import Diagnostic, OptionsError, ReproError
 from .ir import BasicBlock, Loop, Program
 from .layout import (
     ArrayLayoutPlan,
@@ -47,6 +48,12 @@ from .slp import (
 )
 from .trace import TRACE
 from .transform import unroll_program
+from .verify import (
+    resolve_checks,
+    verify_program,
+    verify_schedule,
+    verify_unit,
+)
 from .vm import (
     CompiledCopy,
     CompiledLoop,
@@ -73,7 +80,16 @@ class Variant(enum.Enum):
 
 @dataclass(frozen=True)
 class CompilerOptions:
-    """Knobs; defaults reproduce the paper's configuration."""
+    """Knobs; defaults reproduce the paper's configuration.
+
+    **Option precedence** (the single place this rule is defined): an
+    explicit ``CompilerOptions`` field value wins; the CLI expresses its
+    flags *by building* a ``CompilerOptions`` (so a CLI flag is the same
+    thing as an explicit field); a field left at ``None`` defers to its
+    environment variable (``REPRO_SIM_ENGINE`` for ``engine``,
+    ``REPRO_CHECKS`` for ``checks``); and only then does the built-in
+    default apply. Nothing else consults the environment directly.
+    """
 
     datapath_bits: Optional[int] = None   # None: the machine's width
     unroll: bool = True
@@ -102,6 +118,29 @@ class CompilerOptions:
     #: defers to the ``REPRO_SIM_ENGINE`` environment variable, then to
     #: "reference". Compilation itself is engine-independent.
     engine: Optional[str] = None
+    #: Pipeline verifier stages to run during compilation: "none",
+    #: "all", or a comma-separated subset of "ir", "schedule", "plan"
+    #: (see :mod:`repro.verify`). ``None`` defers to the
+    #: ``REPRO_CHECKS`` environment variable, then to "none". The test
+    #: suite pins the variable to "all".
+    checks: Optional[str] = None
+    #: What to do when a per-block pass fails or a verifier check
+    #: trips: "raise" (default) propagates the exception; "fallback"
+    #: compiles the offending block scalar, records a structured
+    #: :class:`repro.errors.Diagnostic` on the result, and keeps going.
+    #: Failures at the whole-program level (preprocessing, or an
+    #: invalid *input* program) fall back to an all-scalar plan; an
+    #: ``ir``-stage violation in the source program itself always
+    #: raises — no transformation can repair a malformed input.
+    on_error: str = "raise"
+    #: Test/fuzz hook: a callable ``(schedule, block_label) ->
+    #: Optional[Schedule]`` applied to every block schedule before
+    #: verification — used to seed deliberate compiler bugs for the
+    #: differential oracle and the mutation tests. Excluded from repr
+    #: (and hence from compile-cache keys) and comparison.
+    debug_schedule_mutator: Optional[Callable] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -130,6 +169,12 @@ class CompileResult:
     machine: MachineModel
     stats: CompileStats
     schedules: List[Schedule] = field(default_factory=list)
+    #: Structured record of every recoverable failure the compile
+    #: degraded around (``on_error="fallback"``). Empty on clean runs.
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Labels (``b<position>``) of blocks compiled scalar *because of a
+    #: failure* — distinct from blocks the cost gate left scalar.
+    fallback_blocks: List[str] = field(default_factory=list)
 
 
 # ---------------------------------------------------------------------------
@@ -214,6 +259,20 @@ def _compile(
     machine = machine.with_datapath(datapath)
     started = time.perf_counter()
     stats = CompileStats()
+    checks = resolve_checks(options.checks)
+    if options.on_error not in ("raise", "fallback"):
+        raise OptionsError(
+            f"unknown on_error {options.on_error!r}; "
+            f"expected 'raise' or 'fallback'"
+        )
+    fallback = options.on_error == "fallback"
+    diagnostics: List[Diagnostic] = []
+    fallback_blocks: List[str] = []
+
+    if "ir" in checks:
+        # The *input* program must be well formed no matter the error
+        # policy: falling back to scalar cannot repair a bad program.
+        verify_program(program)
 
     if variant is Variant.SCALAR:
         plan = _compile_all_scalar(program)
@@ -223,15 +282,38 @@ def _compile(
         return CompileResult(plan, variant, machine, stats)
 
     pre = program
-    with perf_section("compile.preprocess"), TRACE.span("preprocess"):
-        if options.peel_for_alignment:
-            from .transform import choose_unroll_factor, peel_program
+    try:
+        with perf_section("compile.preprocess"), TRACE.span("preprocess"):
+            if options.peel_for_alignment:
+                from .transform import choose_unroll_factor, peel_program
 
-            pre, _peeled = peel_program(
-                pre, lambda loop: choose_unroll_factor(loop, datapath)
-            )
-        if options.unroll:
-            pre = unroll_program(pre, datapath, options.unroll_factor)
+                pre, _peeled = peel_program(
+                    pre, lambda loop: choose_unroll_factor(loop, datapath)
+                )
+            if options.unroll:
+                pre = unroll_program(pre, datapath, options.unroll_factor)
+        if "ir" in checks and pre is not program:
+            # The compiler's own preprocessing must preserve
+            # well-formedness; a violation here is a compiler bug.
+            verify_program(pre)
+    except Exception as exc:
+        if not fallback:
+            if isinstance(exc, ReproError):
+                exc.with_context(stage="preprocess")
+            raise
+        # Whole-program degradation: preprocessing failed, so compile
+        # everything scalar and say so.
+        diagnostics.append(
+            Diagnostic.from_error(exc, stage="preprocess", block="<program>")
+        )
+        plan = _compile_all_scalar(program)
+        stats.blocks_total = sum(1 for _ in program.blocks())
+        stats.total_statements = sum(len(b) for b in program.blocks())
+        stats.compile_seconds = time.perf_counter() - started
+        result = CompileResult(plan, variant, machine, stats)
+        result.diagnostics = diagnostics
+        result.fallback_blocks = ["<program>"]
+        return result
     if pre is program and variant.uses_layout:
         # The layout phase declares replicated arrays on `pre`; when no
         # preprocessing made a copy, work on a shallow twin so the
@@ -242,6 +324,7 @@ def _compile(
 
     # Phase 1: superword statement generation per optimizable block.
     scheduled: List[Tuple[object, Optional[Schedule], Optional[LoopContext]]] = []
+    forced_scalar: set = set()
     with perf_section("compile.schedule"), TRACE.span("schedule"):
         # Blocks are identified by their position in the program body;
         # the ``b<position>`` label qualifies provenance IDs because
@@ -249,29 +332,45 @@ def _compile(
         for position, item in enumerate(pre.body):
             label = f"b{position}"
             if isinstance(item, BasicBlock):
-                with TRACE.span("block", block=label, kind="straight"):
-                    schedule = _schedule_block(
-                        item, variant, pre, datapath, options.decision_mode,
-                        options.grouping_engine,
-                    )
-                scheduled.append((item, schedule, None))
+                blk, ctx = item, None
+                span_kwargs = dict(block=label, kind="straight")
             else:
                 chain = _loop_chain(item)
                 innermost = chain[-1]
-                with TRACE.span(
-                    "block", block=label, kind="loop", index=innermost.index
-                ):
-                    schedule = _schedule_block(
-                        innermost.body, variant, pre, datapath,
-                        options.decision_mode, options.grouping_engine,
-                    )
+                blk = innermost.body
                 ctx = LoopContext(
                     innermost.index,
                     innermost.start,
                     innermost.stop,
                     innermost.step,
                 )
-                scheduled.append((item, schedule, ctx))
+                span_kwargs = dict(
+                    block=label, kind="loop", index=innermost.index
+                )
+            try:
+                with TRACE.span("block", **span_kwargs):
+                    schedule = _schedule_block(
+                        blk, variant, pre, datapath, options.decision_mode,
+                        options.grouping_engine,
+                    )
+                if options.debug_schedule_mutator is not None:
+                    mutated = options.debug_schedule_mutator(schedule, label)
+                    if mutated is not None:
+                        schedule = mutated
+                if "schedule" in checks:
+                    verify_schedule(blk, schedule, datapath, block=label)
+            except Exception as exc:
+                if not fallback:
+                    if isinstance(exc, ReproError):
+                        exc.with_context(stage="schedule", block=label)
+                    raise
+                diagnostics.append(
+                    Diagnostic.from_error(exc, stage="schedule", block=label)
+                )
+                fallback_blocks.append(label)
+                forced_scalar.add(position)
+                schedule = scalar_schedule(blk)
+            scheduled.append((item, schedule, ctx))
 
     # Phase 2 (Global+Layout only): data layout optimization.
     with perf_section("compile.layout"), TRACE.span("layout"):
@@ -283,10 +382,25 @@ def _compile(
             arenas = candidate_arenas
             budget = options.layout_budget_elements
             for index, (item, schedule, ctx) in enumerate(scheduled):
-                if schedule is None or ctx is None:
+                if schedule is None or ctx is None or index in forced_scalar:
                     continue
-                with TRACE.span("block", block=f"b{index}"):
-                    plan = plan_array_layout(pre, schedule, ctx, budget)
+                label = f"b{index}"
+                try:
+                    with TRACE.span("block", block=label):
+                        plan = plan_array_layout(pre, schedule, ctx, budget)
+                except Exception as exc:
+                    if not fallback:
+                        if isinstance(exc, ReproError):
+                            exc.with_context(stage="layout", block=label)
+                        raise
+                    # Layout is an optimization: skip it for the block
+                    # and keep the (already verified) vector schedule.
+                    diagnostics.append(
+                        Diagnostic.from_error(
+                            exc, stage="layout", block=label, action="skipped"
+                        )
+                    )
+                    continue
                 if not plan.replications:
                     continue
                 budget -= plan.total_elements
@@ -303,12 +417,37 @@ def _compile(
     used_schedules: List[Schedule] = []
     with perf_section("compile.codegen"), TRACE.span("codegen"):
         for index, (item, schedule, ctx) in enumerate(scheduled):
+            label = f"b{index}"
+            if index in forced_scalar:
+                # An earlier stage already degraded this block; emit the
+                # plain scalar lowering, bit-identical to Variant.SCALAR.
+                result_plan.units.append(_scalar_item(item, pre))
+                continue
             layout_plan = layout_plans.get(index)
-            with TRACE.span("block", block=f"b{index}"):
-                unit, copies, used_schedule = _emit_item(
-                    item, schedule, ctx, layout_plan, pre, machine, arenas,
-                    options, stats, variant, block_label=f"b{index}",
+            try:
+                with TRACE.span("block", block=label):
+                    unit, copies, used_schedule = _emit_item(
+                        item, schedule, ctx, layout_plan, pre, machine,
+                        arenas, options, stats, variant, block_label=label,
+                    )
+                if "plan" in checks:
+                    for copy in copies:
+                        verify_unit(
+                            copy, pre, machine, result_plan, block=label
+                        )
+                    verify_unit(unit, pre, machine, result_plan, block=label)
+            except Exception as exc:
+                if not fallback:
+                    if isinstance(exc, ReproError):
+                        exc.with_context(stage="codegen", block=label)
+                    raise
+                diagnostics.append(
+                    Diagnostic.from_error(exc, stage="codegen", block=label)
                 )
+                fallback_blocks.append(label)
+                forced_scalar.add(index)
+                result_plan.units.append(_scalar_item(item, pre))
+                continue
             for copy in copies:
                 # Replicated arrays are declared in `pre`, so the plan's
                 # memory image allocates them like any other array; the
@@ -331,7 +470,16 @@ def _compile(
 
     result = CompileResult(result_plan, variant, machine, stats)
     result.schedules = used_schedules
+    result.diagnostics = diagnostics
+    result.fallback_blocks = fallback_blocks
     return result
+
+
+def _scalar_item(item, program: Program):
+    """The scalar lowering of one top-level item (fallback path)."""
+    if isinstance(item, BasicBlock):
+        return CompiledStraight(compile_scalar_block(item, program))
+    return _scalar_loop(item, program)
 
 
 def _compile_all_scalar(program: Program) -> ExecutablePlan:

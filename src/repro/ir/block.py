@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..errors import IRError, StatementLookupError
 from .stmt import Statement
 from .types import ScalarType
 
@@ -25,7 +26,7 @@ class BasicBlock:
 
     def append(self, stmt: Statement) -> None:
         if any(s.sid == stmt.sid for s in self.statements):
-            raise ValueError(f"duplicate sid {stmt.sid} in basic block")
+            raise IRError(f"duplicate sid {stmt.sid} in basic block")
         self.statements.append(stmt)
 
     def __iter__(self) -> Iterator[Statement]:
@@ -38,14 +39,14 @@ class BasicBlock:
         for stmt in self.statements:
             if stmt.sid == sid:
                 return stmt
-        raise KeyError(f"no statement with sid {sid}")
+        raise StatementLookupError(f"no statement with sid {sid}")
 
     def position(self, sid: int) -> int:
         """Program order position of a statement (dependence direction)."""
         for pos, stmt in enumerate(self.statements):
             if stmt.sid == sid:
                 return pos
-        raise KeyError(f"no statement with sid {sid}")
+        raise StatementLookupError(f"no statement with sid {sid}")
 
     def replace_statement(self, stmt: Statement) -> "BasicBlock":
         """A new block with the same-order statement of that sid swapped."""
@@ -80,7 +81,7 @@ class Loop:
 
     def __post_init__(self) -> None:
         if self.step <= 0:
-            raise ValueError("only positive loop steps are supported")
+            raise IRError("only positive loop steps are supported")
 
     @property
     def trip_count(self) -> int:
@@ -121,7 +122,7 @@ class ArrayDecl:
     def flatten_index(self, subscript_values: Sequence[int]) -> int:
         """Row-major flattening; the default layout assumed in Section 5."""
         if len(subscript_values) != len(self.shape):
-            raise ValueError(
+            raise IRError(
                 f"{self.name} has {len(self.shape)} dims, "
                 f"got {len(subscript_values)} subscripts"
             )
@@ -150,14 +151,14 @@ class Program:
         self, name: str, shape: Sequence[int], type: ScalarType
     ) -> ArrayDecl:
         if name in self.arrays or name in self.scalars:
-            raise ValueError(f"{name!r} is already declared")
+            raise IRError(f"{name!r} is already declared")
         decl = ArrayDecl(name, tuple(shape), type)
         self.arrays[name] = decl
         return decl
 
     def declare_scalar(self, name: str, type: ScalarType) -> ScalarDecl:
         if name in self.arrays or name in self.scalars:
-            raise ValueError(f"{name!r} is already declared")
+            raise IRError(f"{name!r} is already declared")
         decl = ScalarDecl(name, type)
         self.scalars[name] = decl
         return decl

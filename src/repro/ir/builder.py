@@ -21,6 +21,7 @@ import contextlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..errors import BuilderError, IRError
 from .block import ArrayDecl, BasicBlock, Loop, Program, ScalarDecl
 from .expr import Affine, ArrayRef, BinOp, Const, Expr, UnOp, Var
 from .stmt import Statement
@@ -150,7 +151,7 @@ class ArrayHandle:
             subscripts = (subscripts,)
         affines = tuple(_as_index_affine(s) for s in subscripts)
         if len(affines) != len(self.decl.shape):
-            raise ValueError(
+            raise IRError(
                 f"{self.decl.name} expects {len(self.decl.shape)} "
                 f"subscripts, got {len(affines)}"
             )
@@ -246,7 +247,7 @@ class ProgramBuilder:
             )
             if self._frames:
                 if self._frames[-1].inner is not None:
-                    raise ValueError(
+                    raise BuilderError(
                         "a loop body may contain at most one nested loop"
                     )
                 self._frames[-1].inner = loop
@@ -264,7 +265,7 @@ class ProgramBuilder:
 
     def build(self) -> Program:
         if self._frames:
-            raise RuntimeError("build() called inside an open loop scope")
+            raise BuilderError("build() called inside an open loop scope")
         self._flush_top()
         return self._program
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple, Union
 
+from ..errors import IRError, IRTypeError
 from .types import ScalarType
 
 
@@ -160,7 +161,7 @@ class Expr:
 
     def with_children(self, children: Tuple["Expr", ...]) -> "Expr":
         if children:
-            raise ValueError(f"{type(self).__name__} takes no children")
+            raise IRError(f"{type(self).__name__} takes no children")
         return self
 
     def leaves(self) -> Iterator["Expr"]:
@@ -288,9 +289,9 @@ class BinOp(Expr):
 
     def __post_init__(self) -> None:
         if self.op not in BINARY_OPS:
-            raise ValueError(f"unknown binary operator {self.op!r}")
+            raise IRError(f"unknown binary operator {self.op!r}")
         if self.left.type != self.right.type:
-            raise TypeError(
+            raise IRTypeError(
                 f"operand type mismatch in {self.op!r}: "
                 f"{self.left.type} vs {self.right.type}"
             )
@@ -319,7 +320,7 @@ class UnOp(Expr):
 
     def __post_init__(self) -> None:
         if self.op not in UNARY_OPS:
-            raise ValueError(f"unknown unary operator {self.op!r}")
+            raise IRError(f"unknown unary operator {self.op!r}")
 
     @property
     def type(self) -> ScalarType:  # type: ignore[override]

@@ -26,9 +26,10 @@ from .expr import Affine, ArrayRef, BinOp, Const, Expr, UnOp, Var
 from .stmt import Statement
 from .types import NAMED_TYPES, ScalarType
 
-
-class ParseError(ValueError):
-    """Raised on malformed DSL input, with token position context."""
+# Deprecation shim: ``ParseError`` moved to :mod:`repro.errors` (it is
+# now part of the structured exception hierarchy). Importing it from
+# ``repro.ir.parser`` — its historical home — keeps working.
+from ..errors import ParseError
 
 
 _TOKEN_RE = re.compile(

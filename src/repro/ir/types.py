@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import IRError
+
 
 @dataclass(frozen=True)
 class ScalarType:
@@ -32,7 +34,7 @@ class ScalarType:
     def lanes(self, datapath_bits: int) -> int:
         """Number of elements of this type a datapath-wide superword holds."""
         if datapath_bits % self.bits:
-            raise ValueError(
+            raise IRError(
                 f"datapath of {datapath_bits} bits is not a multiple of "
                 f"{self.name} ({self.bits} bits)"
             )

@@ -16,6 +16,7 @@ the tests cross-check both against brute-force enumeration.
 
 from __future__ import annotations
 
+from ..errors import LayoutError
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -34,11 +35,11 @@ def transformation_matrix(
     opt = np.asarray(l_opt, dtype=np.int64)
     det = round(np.linalg.det(default))
     if det == 0:
-        raise ValueError("default layout matrix is singular")
+        raise LayoutError("default layout matrix is singular")
     solution = np.linalg.solve(default.astype(float), opt.astype(float))
     rounded = np.rint(solution).astype(np.int64)
     if not np.allclose(solution, rounded):
-        raise ValueError("layout transformation is not integral")
+        raise LayoutError("layout transformation is not integral")
     return rounded
 
 
@@ -58,10 +59,10 @@ def map_index_1d(d: int, a: int, b: int, L: int, p: int) -> int:
     ``d`` must actually be accessed by the reference (``a | d - b``).
     """
     if a == 0:
-        raise ValueError("reference does not move: a = 0")
+        raise LayoutError("reference does not move: a = 0")
     quotient, remainder = divmod(d - b, a)
     if remainder:
-        raise ValueError(f"index {d} is not accessed by A[{a}*i + {b}]")
+        raise LayoutError(f"index {d} is not accessed by A[{a}*i + {b}]")
     return quotient * L + p
 
 
@@ -83,15 +84,15 @@ def map_index_2d(
     d1, d2 = int(d[0]), int(d[1])
     q11, q21, q22 = int(Q1[0, 0]), int(Q1[1, 0]), int(Q1[1, 1])
     if Q1[0, 1] != 0:
-        raise ValueError("Equation 5 expects q12 = 0")
+        raise LayoutError("Equation 5 expects q12 = 0")
     o1, o2 = int(O1[0]), int(O1[1])
     row, rem = divmod(d1 - o1, q11)
     if rem:
-        raise ValueError("d1 not accessed by the reference")
+        raise LayoutError("d1 not accessed by the reference")
     col_num = d2 - o2 - q21 * row
     col, rem = divmod(col_num, q22)
     if rem:
-        raise ValueError("d2 not accessed by the reference")
+        raise LayoutError("d2 not accessed by the reference")
     return (row, col * L + p)
 
 
@@ -119,23 +120,23 @@ def map_index_general(
     lead_O = O1[: n - 1]
     det = round(np.linalg.det(lead_Q.astype(float)))
     if det == 0:
-        raise ValueError("Q1' must be nonsingular (Equation 6)")
+        raise LayoutError("Q1' must be nonsingular (Equation 6)")
     lead_d = np.asarray(d[: n - 1], dtype=np.int64) - lead_O
     solved = np.linalg.solve(lead_Q.astype(float), lead_d.astype(float))
     lead = np.rint(solved).astype(np.int64)
     if not np.allclose(solved, lead):
-        raise ValueError("leading dimensions not accessed by the reference")
+        raise LayoutError("leading dimensions not accessed by the reference")
 
     # Equation 8: the last coordinate, after subtracting the contribution
     # of the already-recovered leading iteration values.
     q_last_row = Q1[n - 1, : n - 1]
     q_nn = int(Q1[n - 1, n - 1])
     if q_nn == 0:
-        raise ValueError("innermost coefficient q_nn must be nonzero")
+        raise LayoutError("innermost coefficient q_nn must be nonzero")
     numerator = int(d[n - 1]) - int(O1[n - 1]) - int(q_last_row @ lead)
     inner, rem = divmod(numerator, q_nn)
     if rem:
-        raise ValueError("last dimension not accessed by the reference")
+        raise LayoutError("last dimension not accessed by the reference")
     return tuple(int(x) for x in lead) + (inner * L + p,)
 
 

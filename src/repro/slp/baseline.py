@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..errors import ScheduleCycleError
 from ..analysis import (
     DefUseChains,
     DependenceGraph,
@@ -315,7 +316,7 @@ def _demote_cyclic_units(
             return current
         grouped = [i for i in cycle if len(current[i]) > 1]
         if not grouped:  # pragma: no cover - singles cannot form cycles
-            raise RuntimeError("dependence cycle among single statements")
+            raise ScheduleCycleError("dependence cycle among single statements")
         victim = min(grouped, key=lambda i: (len(current[i]), i))
         singles = [(s,) for s in current[victim]]
         current = current[:victim] + current[victim + 1:] + singles

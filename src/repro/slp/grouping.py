@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..errors import OptionsError
 from ..analysis import DependenceGraph
 from ..analysis.operands import KIND_CONST, KIND_REF, KIND_VAR
 from ..ir import Affine
@@ -437,14 +438,14 @@ class BasicGrouping:
         cost_model: Optional[PackCostModel] = None,
     ):
         if decision_mode not in ("cost-aware", "weight-only"):
-            raise ValueError(f"unknown decision mode {decision_mode!r}")
+            raise OptionsError(f"unknown decision mode {decision_mode!r}")
         if engine not in ENGINES:
-            raise ValueError(f"unknown grouping engine {engine!r}")
+            raise OptionsError(f"unknown grouping engine {engine!r}")
         if cost_model is not None and (
             cost_model.decl_of is not decl_of
             or cost_model.context != penalty_context
         ):
-            raise ValueError(
+            raise OptionsError(
                 "cost_model was built for a different decl_of/context"
             )
         self.units = list(units)

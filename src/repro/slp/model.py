@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis import DependenceGraph, OperandKey, operand_key
+from ..errors import ScheduleError
 from ..ir import BasicBlock, Statement
 
 #: Canonical unordered pack: the sorted multiset of operand keys.
@@ -76,7 +77,7 @@ class GroupNode:
     @staticmethod
     def merge(a: "GroupNode", b: "GroupNode") -> "GroupNode":
         if a.signature != b.signature:
-            raise ValueError("cannot merge non-isomorphic group nodes")
+            raise ScheduleError("cannot merge non-isomorphic group nodes")
         positions = tuple(
             pack_data(pa + pb) for pa, pb in zip(a.positions, b.positions)
         )
@@ -153,11 +154,11 @@ class SuperwordStatement:
 
     def __post_init__(self) -> None:
         if len(self.members) < 2:
-            raise ValueError("a superword statement needs >= 2 lanes")
+            raise ScheduleError("a superword statement needs >= 2 lanes")
         signature = self.members[0].isomorphism_signature()
         for member in self.members[1:]:
             if member.isomorphism_signature() != signature:
-                raise ValueError("superword statement members not isomorphic")
+                raise ScheduleError("superword statement members not isomorphic")
 
     @property
     def size(self) -> int:
@@ -307,5 +308,5 @@ class Schedule:
         return "\n".join(str(item) for item in self.items)
 
 
-class InvalidScheduleError(ValueError):
+class InvalidScheduleError(ScheduleError):
     """A schedule violating the validity constraints of Section 4.1."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..errors import ScheduleCycleError
 from ..analysis import DependenceGraph, OperandKey
 from ..analysis.operands import KIND_REF, KIND_VAR
 from ..ir import BasicBlock, Statement
@@ -169,7 +170,7 @@ class Scheduler:
                 return current
             grouped = [i for i in cycle if current[i].size > 1]
             if not grouped:  # pragma: no cover
-                raise RuntimeError("dependence cycle among single statements")
+                raise ScheduleCycleError("dependence cycle among single statements")
             victim_index = min(grouped, key=lambda i: (current[i].size, i))
             victim = current[victim_index]
             singles = [

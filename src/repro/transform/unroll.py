@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..errors import IRError
 from ..ir import (
     Affine,
     BasicBlock,
@@ -98,9 +99,9 @@ def unroll_loop(
     trip-count leftovers, and the scalar renames introduced.
     """
     if loop.inner is not None:
-        raise ValueError("unroll_loop expects an innermost loop")
+        raise IRError("unroll_loop expects an innermost loop")
     if factor < 1:
-        raise ValueError("unroll factor must be >= 1")
+        raise IRError("unroll factor must be >= 1")
     if factor == 1 or loop.trip_count < factor:
         return UnrollResult(loop, None, (), 1)
 
@@ -161,7 +162,7 @@ def unroll_program(
         if loop.inner is not None:
             inner_main, inner_rem = handle(loop.inner, nested=True)
             if inner_rem is not None:
-                raise ValueError(
+                raise IRError(
                     f"inner loop {loop.inner.index} needs a remainder loop; "
                     "give it a trip count divisible by the unroll factor"
                 )
@@ -180,7 +181,7 @@ def unroll_program(
         outcome = unroll_loop(loop, chosen, taken)
         register_renames(outcome.new_scalars)
         if nested and outcome.remainder is not None:
-            raise ValueError(
+            raise IRError(
                 f"nested loop {loop.index} has trip count "
                 f"{loop.trip_count} not divisible by factor {chosen}"
             )

@@ -1,0 +1,534 @@
+"""The pipeline verifier: structural and stage invariants, checkable
+after every compile stage.
+
+The holistic pipeline (grouping → scheduling → layout → codegen) is a
+chain of transformations where a subtle invariant break in one stage
+surfaces as a silent miscompilation three stages later. This module
+makes each stage's contract *checkable*:
+
+* ``ir`` — the program is well formed: every name declared, array
+  ranks and subscript bounds respected over the whole iteration space,
+  operand types consistent, loop nests structurally sane.
+* ``schedule`` — the four validity constraints of Section 4.1 hold for
+  every block's schedule: members of a superword are isomorphic and
+  mutually independent, pack width fits the datapath, dependence edges
+  are preserved by the schedule order, and every statement is
+  scheduled exactly once.
+* ``plan`` — the emitted virtual-ISA plan is executable: every vector
+  register operand is live (defined earlier in its unit) at use, lane
+  counts agree across producers and consumers, packs fit the datapath,
+  and every memory reference stays inside its declared array over the
+  loop ranges that drive it.
+
+Violations raise :class:`repro.errors.VerifyError` with ``stage``,
+``block``, and a machine-readable ``rule`` tag. The compiler driver
+runs these checks when ``CompilerOptions.checks`` asks for them
+(``REPRO_CHECKS`` supplies the default; the test suite pins it to
+``all``), and ``on_error="fallback"`` converts any violation into a
+scalar fallback for the offending block.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from .analysis import DependenceGraph
+from .errors import OptionsError, VerifyError
+from .ir import (
+    Affine,
+    ArrayRef,
+    BasicBlock,
+    Const,
+    Loop,
+    Program,
+    Statement,
+    Var,
+)
+from .slp.model import Schedule, ScheduledSingle, SuperwordStatement
+
+#: Stages the verifier knows how to check, in pipeline order.
+CHECK_STAGES = ("ir", "schedule", "plan")
+
+#: Environment variable supplying the default for
+#: ``CompilerOptions.checks`` (see the precedence rule documented on
+#: ``CompilerOptions``).
+CHECKS_ENV_VAR = "REPRO_CHECKS"
+
+
+def resolve_checks(spec: Optional[str]) -> FrozenSet[str]:
+    """Resolve a checks spec to the set of stages to verify.
+
+    ``None`` defers to ``$REPRO_CHECKS``, then to ``"none"``. Accepted
+    values: ``"none"``, ``"all"``, or a comma-separated subset of
+    ``ir``, ``schedule``, ``plan``.
+    """
+    if spec is None:
+        spec = os.environ.get(CHECKS_ENV_VAR) or "none"
+    spec = spec.strip()
+    if spec in ("", "none"):
+        return frozenset()
+    if spec == "all":
+        return frozenset(CHECK_STAGES)
+    stages = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    unknown = stages - frozenset(CHECK_STAGES)
+    if unknown:
+        raise OptionsError(
+            f"unknown check stage(s) {sorted(unknown)}; expected a subset "
+            f"of {CHECK_STAGES}, 'all', or 'none'"
+        )
+    return stages
+
+
+def _fail(stage: str, rule: str, message: str, block: Optional[str]) -> None:
+    raise VerifyError(message, stage=stage, block=block, rule=rule)
+
+
+# ---------------------------------------------------------------------------
+# Stage: ir
+# ---------------------------------------------------------------------------
+
+#: (start, stop, step) per loop index — the iteration ranges enclosing
+#: the construct being checked.
+LoopRanges = Dict[str, Tuple[int, int, int]]
+
+
+def _index_extremes(start: int, stop: int, step: int) -> Optional[Tuple[int, int]]:
+    """Min/max value a loop index takes, or None for a zero-trip loop."""
+    if stop <= start:
+        return None
+    last = start + ((stop - start - 1) // step) * step
+    return start, last
+
+
+def affine_bounds(
+    affine: Affine, ranges: LoopRanges
+) -> Optional[Tuple[int, int]]:
+    """Inclusive (min, max) of an affine function over loop ranges.
+
+    Returns None when any referenced loop never executes (the enclosing
+    code is dead, so there is nothing to bound). Raises
+    :class:`VerifyError` when the affine references an index with no
+    enclosing range.
+    """
+    lo = hi = affine.const
+    for name, coeff in affine.coeffs:
+        if name not in ranges:
+            raise VerifyError(
+                f"subscript {affine} references {name!r}, which is not an "
+                f"enclosing loop index",
+                rule="ir.free-index",
+            )
+        extremes = _index_extremes(*ranges[name])
+        if extremes is None:
+            return None
+        vmin, vmax = extremes
+        if coeff >= 0:
+            lo += coeff * vmin
+            hi += coeff * vmax
+        else:
+            lo += coeff * vmax
+            hi += coeff * vmin
+    return lo, hi
+
+
+def _verify_ref(
+    ref: ArrayRef,
+    program: Program,
+    ranges: LoopRanges,
+    block: Optional[str],
+) -> None:
+    decl = program.arrays.get(ref.array)
+    if decl is None:
+        _fail("ir", "ir.undeclared-array",
+              f"reference to undeclared array {ref.array!r}", block)
+    if len(ref.subscripts) != len(decl.shape):
+        _fail(
+            "ir", "ir.rank",
+            f"{ref.array} has {len(decl.shape)} dims, reference uses "
+            f"{len(ref.subscripts)}", block,
+        )
+    if ref.type != decl.type:
+        _fail(
+            "ir", "ir.type",
+            f"{ref} carries type {ref.type}, but {ref.array} is declared "
+            f"{decl.type}", block,
+        )
+    for subscript, dim in zip(ref.subscripts, decl.shape):
+        try:
+            bounds = affine_bounds(subscript, ranges)
+        except VerifyError as exc:
+            raise exc.with_context(stage="ir", block=block)
+        if bounds is None:
+            continue
+        lo, hi = bounds
+        if lo < 0 or hi >= dim:
+            _fail(
+                "ir", "ir.bounds",
+                f"subscript {subscript} of {ref.array} spans [{lo}, {hi}] "
+                f"but the dimension holds [0, {dim - 1}]", block,
+            )
+
+
+def _verify_statement(
+    stmt: Statement,
+    program: Program,
+    ranges: LoopRanges,
+    block: Optional[str],
+) -> None:
+    for leaf in stmt.operand_positions():
+        if isinstance(leaf, Var):
+            decl = program.scalars.get(leaf.name)
+            if decl is None:
+                _fail("ir", "ir.undeclared-scalar",
+                      f"reference to undeclared scalar {leaf.name!r}", block)
+            if leaf.type != decl.type:
+                _fail(
+                    "ir", "ir.type",
+                    f"{leaf.name} used as {leaf.type}, declared {decl.type}",
+                    block,
+                )
+        elif isinstance(leaf, ArrayRef):
+            _verify_ref(leaf, program, ranges, block)
+        elif not isinstance(leaf, Const):
+            _fail("ir", "ir.leaf", f"unexpected leaf {leaf!r}", block)
+
+
+def _verify_block(
+    blk: BasicBlock,
+    program: Program,
+    ranges: LoopRanges,
+    block: Optional[str],
+) -> None:
+    seen: Set[int] = set()
+    for stmt in blk:
+        if stmt.sid in seen:
+            _fail("ir", "ir.duplicate-sid",
+                  f"duplicate sid {stmt.sid}", block)
+        seen.add(stmt.sid)
+        _verify_statement(stmt, program, ranges, block)
+
+
+def verify_program(program: Program) -> None:
+    """Structural well-formedness of a whole program (stage ``ir``)."""
+    for decl in program.arrays.values():
+        if not decl.shape or any(dim <= 0 for dim in decl.shape):
+            _fail("ir", "ir.shape",
+                  f"array {decl.name!r} has degenerate shape {decl.shape}",
+                  None)
+    for position, item in enumerate(program.body):
+        label = f"b{position}"
+        if isinstance(item, BasicBlock):
+            _verify_block(item, program, {}, label)
+            continue
+        ranges: LoopRanges = {}
+        loop: Optional[Loop] = item
+        while loop is not None:
+            if loop.index in ranges:
+                _fail("ir", "ir.index-shadow",
+                      f"loop index {loop.index!r} shadows an enclosing "
+                      f"loop", label)
+            if loop.index in program.arrays or loop.index in program.scalars:
+                _fail("ir", "ir.index-shadow",
+                      f"loop index {loop.index!r} shadows a declaration",
+                      label)
+            if loop.step <= 0:
+                _fail("ir", "ir.step",
+                      f"loop {loop.index!r} has non-positive step", label)
+            ranges[loop.index] = (loop.start, loop.stop, loop.step)
+            _verify_block(loop.body, program, ranges, label)
+            loop = loop.inner
+
+
+# ---------------------------------------------------------------------------
+# Stage: schedule
+# ---------------------------------------------------------------------------
+
+
+def verify_schedule(
+    blk: BasicBlock,
+    schedule: Schedule,
+    datapath_bits: Optional[int] = None,
+    block: Optional[str] = None,
+    deps: Optional[DependenceGraph] = None,
+) -> None:
+    """The four validity constraints of Section 4.1 plus completeness,
+    with per-rule tags (stage ``schedule``)."""
+    deps = deps or DependenceGraph(blk)
+    seen: Set[int] = set()
+    for item in schedule.items:
+        if isinstance(item, SuperwordStatement):
+            sids = item.sid_set
+            signature = item.members[0].isomorphism_signature()
+            for member in item.members[1:]:
+                if member.isomorphism_signature() != signature:
+                    _fail("schedule", "schedule.isomorphic",
+                          f"members of {item} are not isomorphic", block)
+            for p in item.sids:
+                for q in item.sids:
+                    if p < q and deps.dependent(p, q):
+                        _fail(
+                            "schedule", "schedule.independent",
+                            f"dependence between S{p} and S{q} inside "
+                            f"superword {item}", block,
+                        )
+            if datapath_bits is not None and item.width_bits > datapath_bits:
+                _fail(
+                    "schedule", "schedule.width",
+                    f"{item} is {item.width_bits} bits wide; the datapath "
+                    f"holds {datapath_bits}", block,
+                )
+        elif isinstance(item, ScheduledSingle):
+            sids = item.sid_set
+        else:
+            _fail("schedule", "schedule.item",
+                  f"unknown schedule item {item!r}", block)
+        for sid in sids:
+            for pred in deps.predecessors(sid):
+                if pred in sids:
+                    continue  # would have failed schedule.independent
+                if pred not in seen:
+                    _fail(
+                        "schedule", "schedule.dependence",
+                        f"S{sid} scheduled before its dependence source "
+                        f"S{pred}", block,
+                    )
+        duplicate = sids & seen
+        if duplicate:
+            _fail("schedule", "schedule.duplicate",
+                  f"statements scheduled twice: {sorted(duplicate)}", block)
+        seen |= sids
+    missing = {s.sid for s in blk} - seen
+    if missing:
+        _fail("schedule", "schedule.complete",
+              f"statements missing from schedule: {sorted(missing)}", block)
+
+
+# ---------------------------------------------------------------------------
+# Stage: plan
+# ---------------------------------------------------------------------------
+
+
+def _array_elements(plan_program: Program, plan, name: str) -> Optional[int]:
+    decl = plan_program.arrays.get(name)
+    if decl is not None:
+        return decl.size
+    if plan is not None and name in getattr(plan, "replicated_decls", {}):
+        return plan.replicated_decls[name]
+    return None
+
+
+def _elem_bits(plan_program: Program, ref) -> Optional[int]:
+    from .vm.isa import MemRef, ScalarRef
+
+    if isinstance(ref, MemRef):
+        decl = plan_program.arrays.get(ref.array)
+        return decl.type.bits if decl is not None else None
+    if isinstance(ref, ScalarRef):
+        decl = plan_program.scalars.get(ref.name)
+        return decl.type.bits if decl is not None else None
+    return None
+
+
+def _check_mem(
+    ref,
+    plan_program: Program,
+    plan,
+    ranges: LoopRanges,
+    block: Optional[str],
+) -> None:
+    elements = _array_elements(plan_program, plan, ref.array)
+    if elements is None:
+        _fail("plan", "plan.array",
+              f"instruction references undeclared array {ref.array!r}",
+              block)
+    try:
+        bounds = affine_bounds(ref.flat, ranges)
+    except VerifyError as exc:
+        raise VerifyError(
+            f"flat address {ref.flat} of {ref.array} references an index "
+            f"with no enclosing loop",
+            stage="plan", block=block, rule="plan.index",
+        ) from exc
+    if bounds is None:
+        return
+    lo, hi = bounds
+    if lo < 0 or hi >= elements:
+        _fail(
+            "plan", "plan.bounds",
+            f"flat address {ref.flat} of {ref.array} spans [{lo}, {hi}] "
+            f"but the array holds [0, {elements - 1}]", block,
+        )
+
+
+def _verify_instructions(
+    instructions: Sequence,
+    plan_program: Program,
+    plan,
+    machine,
+    ranges: LoopRanges,
+    defined: Dict[int, int],
+    block: Optional[str],
+) -> None:
+    """Check one instruction list; ``defined`` maps live-in vector
+    registers to their lane counts and is updated with new defs."""
+    from .vm.isa import (
+        ImmRef,
+        MemRef,
+        ScalarExec,
+        ScalarRef,
+        VOp,
+        VPack,
+        VShuffle,
+        VStore,
+    )
+
+    datapath = machine.datapath_bits if machine is not None else None
+
+    def check_ref(ref):
+        if isinstance(ref, MemRef):
+            _check_mem(ref, plan_program, plan, ranges, block)
+        elif isinstance(ref, ScalarRef):
+            if ref.name not in plan_program.scalars:
+                _fail("plan", "plan.scalar",
+                      f"instruction references undeclared scalar "
+                      f"{ref.name!r}", block)
+
+    def use(vreg: int) -> int:
+        lanes = defined.get(vreg)
+        if lanes is None:
+            _fail(
+                "plan", "plan.register-live",
+                f"vector register v{vreg} read before any definition",
+                block,
+            )
+        return lanes
+
+    for instr in instructions:
+        if isinstance(instr, ScalarExec):
+            for ref in instr.loads:
+                check_ref(ref)
+            check_ref(instr.store)
+        elif isinstance(instr, VPack):
+            for ref in instr.sources:
+                check_ref(ref)
+            if datapath is not None:
+                bits = [
+                    b for b in (
+                        _elem_bits(plan_program, ref)
+                        for ref in instr.sources
+                        if not isinstance(ref, ImmRef)
+                    )
+                    if b is not None
+                ]
+                if bits and len(instr.sources) * max(bits) > datapath:
+                    _fail(
+                        "plan", "plan.width",
+                        f"pack of {len(instr.sources)} x {max(bits)}-bit "
+                        f"lanes exceeds the {datapath}-bit datapath", block,
+                    )
+            defined[instr.dst] = len(instr.sources)
+        elif isinstance(instr, VOp):
+            for src in instr.srcs:
+                lanes = use(src)
+                if lanes != instr.lanes:
+                    _fail(
+                        "plan", "plan.lanes",
+                        f"VOp {instr.op} expects {instr.lanes} lanes but "
+                        f"v{src} holds {lanes}", block,
+                    )
+            defined[instr.dst] = instr.lanes
+        elif isinstance(instr, VShuffle):
+            lanes = use(instr.src)
+            if any(i < 0 or i >= lanes for i in instr.perm):
+                _fail(
+                    "plan", "plan.lanes",
+                    f"shuffle permutation {instr.perm} indexes outside "
+                    f"v{instr.src}'s {lanes} lanes", block,
+                )
+            defined[instr.dst] = len(instr.perm)
+        elif isinstance(instr, VStore):
+            lanes = use(instr.src)
+            if len(instr.targets) != lanes:
+                _fail(
+                    "plan", "plan.lanes",
+                    f"store of {len(instr.targets)} lanes from v{instr.src} "
+                    f"holding {lanes}", block,
+                )
+            for ref in instr.targets:
+                check_ref(ref)
+        else:
+            _fail("plan", "plan.instruction",
+                  f"unknown instruction {instr!r}", block)
+
+
+def verify_unit(
+    unit,
+    plan_program: Program,
+    machine=None,
+    plan=None,
+    block: Optional[str] = None,
+    ranges: Optional[LoopRanges] = None,
+    defined: Optional[Dict[int, int]] = None,
+) -> None:
+    """Executability of one compiled unit (stage ``plan``)."""
+    from .vm.codegen import CompiledCopy, CompiledLoop, CompiledStraight
+
+    ranges = dict(ranges or {})
+    defined = {} if defined is None else defined
+    if isinstance(unit, CompiledStraight):
+        _verify_instructions(
+            unit.instructions, plan_program, plan, machine, ranges,
+            defined, block,
+        )
+        return
+    if isinstance(unit, CompiledCopy):
+        rep = unit.replication
+        if _array_elements(plan_program, plan, rep.source) is None:
+            _fail("plan", "plan.array",
+                  f"replication copies from undeclared {rep.source!r}",
+                  block)
+        if _array_elements(plan_program, plan, rep.new_name) is None:
+            _fail("plan", "plan.array",
+                  f"replication fills undeclared {rep.new_name!r}", block)
+        return
+    if not isinstance(unit, CompiledLoop):
+        _fail("plan", "plan.unit", f"unknown compiled unit {unit!r}", block)
+    spec = unit.spec
+    # The preheader runs in the enclosing context: the loop's own index
+    # is not yet bound there.
+    _verify_instructions(
+        unit.preheader, plan_program, plan, machine, ranges, defined, block
+    )
+    if spec.trip_count == 0:
+        return  # dead body — nothing executes, nothing to verify
+    ranges[spec.index] = (spec.start, spec.stop, spec.step)
+    _verify_instructions(
+        unit.body, plan_program, plan, machine, ranges, defined, block
+    )
+    if unit.inner is not None:
+        verify_unit(
+            unit.inner, plan_program, machine, plan, block,
+            ranges, defined,
+        )
+
+
+def verify_plan(plan, machine=None, block: Optional[str] = None) -> None:
+    """Executability of a whole plan: every unit, in order."""
+    for position, unit in enumerate(plan.units):
+        verify_unit(
+            unit, plan.program, machine, plan,
+            block=block or f"u{position}",
+        )
+
+
+__all__ = [
+    "CHECKS_ENV_VAR",
+    "CHECK_STAGES",
+    "affine_bounds",
+    "resolve_checks",
+    "verify_plan",
+    "verify_program",
+    "verify_schedule",
+    "verify_unit",
+]

@@ -15,6 +15,7 @@ O(ways) scan plus an O(ways) ``list.remove`` shuffle.
 
 from __future__ import annotations
 
+from ..errors import SimulationError
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple, Union
 
@@ -32,7 +33,7 @@ class CacheConfig:
     def sets(self) -> int:
         sets = self.size_bytes // (self.line_bytes * self.ways)
         if sets <= 0:
-            raise ValueError("cache too small for its associativity")
+            raise SimulationError("cache too small for its associativity")
         return sets
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..errors import CodegenError
 from ..analysis import operand_key
 from ..analysis.alignment import (
     alignment_with_induction,
@@ -559,7 +560,7 @@ def _permutation(source: OrderedKey, wanted: OrderedKey) -> Tuple[int, ...]:
                     perm.append(index)
                     break
             else:  # pragma: no cover - data multisets always match here
-                raise ValueError("shuffle source does not cover wanted pack")
+                raise CodegenError("shuffle source does not cover wanted pack")
     return tuple(perm)
 
 

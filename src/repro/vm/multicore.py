@@ -27,6 +27,7 @@ kernel with ``n / P`` iterations.
 
 from __future__ import annotations
 
+from ..errors import SimulationError
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,7 +44,7 @@ def parallel_cycles(
     """Wall-clock cycles of a ``P``-core run given one core's slice time
     and the number of memory operations that slice performs."""
     if cores < 1:
-        raise ValueError("need at least one core")
+        raise SimulationError("need at least one core")
     sync = machine.sync_overhead_cycles * (cores - 1)
     contention = (
         machine.bus_contention_per_op * (cores - 1) * memory_ops

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import OptionsError, SimulationError
 from ..ir import ArrayRef, Const, Expr, Var
 from ..perf import section as perf_section
 from .cache import Cache
@@ -199,7 +200,7 @@ def resolve_engine(engine: Optional[str]) -> str:
     if engine is None:
         engine = os.environ.get(ENGINE_ENV_VAR) or "reference"
     if engine not in ENGINES:
-        raise ValueError(
+        raise OptionsError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
     return engine
@@ -379,7 +380,7 @@ class _RunState:
             self._exec_store(instr, env)
         else:  # pragma: no cover - defensive
             report.sink = None
-            raise TypeError(f"unknown instruction {instr!r}")
+            raise SimulationError(f"unknown instruction {instr!r}")
         if sink is not None:
             report.sink = None
             if isinstance(instr, VShuffle):

@@ -1,0 +1,11 @@
+"""Shared test configuration.
+
+The pipeline verifier (``repro.verify``) is always on under the test
+suite: every compile in every test runs the ir/schedule/plan invariant
+checks unless a test explicitly opts out with
+``CompilerOptions(checks="none")``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_CHECKS", "all")

@@ -78,17 +78,34 @@ class TestCompilerGuards:
             FLOAT64.lanes(100)  # 100 bits not a multiple of 64
 
     def test_out_of_bounds_access_surfaces(self):
+        # With the verifier off, the bad access still surfaces — at
+        # simulation time, from the memory model itself.
         src = """
         double A[4];
         for (i = 0; i < 8; i += 1) { A[i] = 1.0; }
         """
         result = compile_program(
-            parse_program(src), Variant.SCALAR, intel_dunnington()
+            parse_program(src), Variant.SCALAR, intel_dunnington(),
+            CompilerOptions(checks="none"),
         )
         from repro.vm import Simulator
 
         with pytest.raises(IndexError):
             Simulator(result.machine).run(result.plan)
+
+    def test_out_of_bounds_access_caught_at_compile_time(self):
+        from repro import VerifyError
+
+        src = """
+        double A[4];
+        for (i = 0; i < 8; i += 1) { A[i] = 1.0; }
+        """
+        with pytest.raises(VerifyError) as excinfo:
+            compile_program(
+                parse_program(src), Variant.SCALAR, intel_dunnington(),
+                CompilerOptions(checks="ir"),
+            )
+        assert excinfo.value.rule == "ir.bounds"
 
 
 class TestScheduleGuards:

@@ -1,0 +1,158 @@
+"""The structured error API: hierarchy, context, pickling, diagnostics."""
+
+import pickle
+
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Diagnostic,
+    OptionsError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SuiteError,
+    Variant,
+    compile_program,
+    intel_dunnington,
+)
+from repro.errors import (
+    IRError,
+    IRTypeError,
+    ScheduleCycleError,
+    SimulationError,
+    StatementLookupError,
+    VerifyError,
+    format_failure,
+)
+from repro.ir import BasicBlock, parse_program
+
+
+class TestHierarchy:
+    """New code catches ``ReproError``; old ``except`` clauses keep
+    working because every subclass keeps its historical builtin base."""
+
+    @pytest.mark.parametrize(
+        "cls, legacy",
+        [
+            (ParseError, ValueError),
+            (IRError, ValueError),
+            (IRTypeError, TypeError),
+            (StatementLookupError, KeyError),
+            (OptionsError, ValueError),
+            (VerifyError, ValueError),
+            (ScheduleError, ValueError),
+            (ScheduleCycleError, RuntimeError),
+            (SimulationError, ValueError),
+        ],
+    )
+    def test_dual_inheritance(self, cls, legacy):
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, legacy)
+
+    def test_parse_error_importable_from_old_location(self):
+        # Deprecation shim: the historical home keeps working.
+        from repro.ir.parser import ParseError as FromParser
+
+        assert FromParser is ParseError
+
+    def test_one_except_catches_the_family(self):
+        with pytest.raises(ReproError):
+            parse_program("float a; a = ;")
+
+    def test_lookup_error_str_is_not_a_repr(self):
+        # KeyError.__str__ would print the repr of the message.
+        try:
+            BasicBlock()[3]
+        except StatementLookupError as exc:
+            assert str(exc).startswith("no statement with sid 3")
+
+
+class TestContext:
+    def test_default_stage(self):
+        assert ParseError("x").stage == "parse"
+        assert ScheduleError("x").stage == "schedule"
+
+    def test_with_context_fills_only_missing(self):
+        err = VerifyError("bad", stage="schedule", rule="schedule.width")
+        err.with_context(stage="codegen", block="b2")
+        assert err.stage == "schedule"   # never overwritten
+        assert err.block == "b2"
+
+    def test_str_carries_context(self):
+        err = VerifyError("bad pack", stage="schedule", block="b1",
+                          rule="schedule.width")
+        text = str(err)
+        assert "bad pack" in text
+        assert "stage=schedule" in text
+        assert "block=b1" in text
+        assert "rule=schedule.width" in text
+
+    def test_pickle_roundtrip_keeps_context(self):
+        err = VerifyError("bad", stage="plan", block="b0",
+                          provenance="b0:S1+S2", rule="plan.lanes")
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is VerifyError
+        assert back.message == "bad"
+        assert back.stage == "plan"
+        assert back.block == "b0"
+        assert back.provenance == "b0:S1+S2"
+        assert back.rule == "plan.lanes"
+
+    def test_suite_error_pickles_failures(self):
+        err = SuiteError({"milc": "Traceback ...", "lbm": "Traceback ..."})
+        back = pickle.loads(pickle.dumps(err))
+        assert back.failures == err.failures
+        assert "2 kernel(s) failed" in str(back)
+
+
+class TestDiagnostic:
+    def test_from_error_pulls_attributes(self):
+        err = VerifyError("oversized", stage="schedule", block="b1",
+                          rule="schedule.width")
+        diag = Diagnostic.from_error(err)
+        assert diag.stage == "schedule"
+        assert diag.block == "b1"
+        assert diag.rule == "schedule.width"
+        assert diag.error == "VerifyError"
+        assert diag.action == "fallback"
+
+    def test_from_plain_exception(self):
+        diag = Diagnostic.from_error(
+            ZeroDivisionError("boom"), stage="codegen", block="b3"
+        )
+        assert diag.stage == "codegen"
+        assert diag.block == "b3"
+        assert diag.error == "ZeroDivisionError"
+
+    def test_str(self):
+        diag = Diagnostic("schedule", "b0", "VerifyError", "bad")
+        assert "[schedule in b0]" in str(diag)
+        assert "-> fallback" in str(diag)
+
+
+class TestOptionsValidation:
+    def test_unknown_on_error_rejected(self):
+        program = parse_program("float a; a = 1.0;")
+        with pytest.raises(OptionsError):
+            compile_program(
+                program, Variant.GLOBAL, intel_dunnington(),
+                CompilerOptions(on_error="ignore"),
+            )
+
+    def test_unknown_checks_rejected(self):
+        program = parse_program("float a; a = 1.0;")
+        with pytest.raises(OptionsError):
+            compile_program(
+                program, Variant.GLOBAL, intel_dunnington(),
+                CompilerOptions(checks="ir,bogus"),
+            )
+
+
+def test_format_failure_includes_traceback():
+    try:
+        raise ValueError("inner detail")
+    except ValueError as exc:
+        text = format_failure(exc)
+    assert "inner detail" in text
+    assert "Traceback" in text
