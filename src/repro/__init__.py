@@ -37,10 +37,13 @@ from .errors import (
     ParseError,
     ReproError,
     ScheduleError,
+    ServiceError,
     SimulationError,
     SuiteError,
     VerifyError,
+    WorkerCrashError,
 )
+from .store import ArtifactStore, StoreStats
 from .ir import (
     Affine,
     ArrayRef,
@@ -89,6 +92,7 @@ def simulate(result: CompileResult, seed: int = 0):
 __all__ = [
     "Affine",
     "ArrayRef",
+    "ArtifactStore",
     "BasicBlock",
     "BinOp",
     "BlockBuilder",
@@ -104,9 +108,12 @@ __all__ = [
     "ParseError",
     "ReproError",
     "ScheduleError",
+    "ServiceError",
     "SimulationError",
+    "StoreStats",
     "SuiteError",
     "VerifyError",
+    "WorkerCrashError",
     "FLOAT32",
     "FLOAT64",
     "INT16",

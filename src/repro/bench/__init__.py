@@ -9,6 +9,7 @@ from .kernels import (
     SPEC_KERNELS,
     build_kernel,
 )
+from ..store import ArtifactStore
 from .suite import (
     DEFAULT_VARIANTS,
     CompileCache,
@@ -23,6 +24,7 @@ from .suite import (
 
 __all__ = [
     "ALL_KERNELS",
+    "ArtifactStore",
     "CompileCache",
     "DEFAULT_VARIANTS",
     "KERNELS",

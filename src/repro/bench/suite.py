@@ -10,12 +10,9 @@ private L1, plus a synchronization overhead shared by both versions).
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
-import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
@@ -27,8 +24,8 @@ from ..compiler import (
     compile_program,
 )
 from ..errors import Diagnostic, SuiteError, format_failure
-from ..ir.printer import format_program
-from ..perf import PERF, count
+from ..perf import PERF
+from ..store import ArtifactStore
 from ..trace import TRACE, fold_report, summarize, to_jsonl
 from ..vm import (
     ExecutionReport,
@@ -115,75 +112,13 @@ class KernelResult:
         )
 
 
-class CompileCache:
-    """On-disk memo of :func:`compile_program` results.
-
-    The key covers the *entire* compile input — printed program text,
-    variant, machine parameters, and compiler options — so a hit is
-    guaranteed to reproduce the exact compile it replaces (the printer
-    is a faithful round-trippable rendering of the IR, and both
-    ``MachineModel`` and ``CompilerOptions`` are plain dataclasses whose
-    reprs enumerate every field). Values are pickled ``CompileResult``
-    objects; writes go through a temp file + rename so concurrent
-    workers sharing one cache directory never observe a torn entry.
-    """
-
-    def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-
-    @staticmethod
-    def key(
-        program,
-        variant: Variant,
-        machine: MachineModel,
-        options: Optional[CompilerOptions],
-    ) -> str:
-        # The simulation engine plays no part in compilation, so it is
-        # normalized out of the key: reference and batched runs share
-        # cache entries.
-        normalized = replace(options or CompilerOptions(), engine=None)
-        blob = "\x00".join(
-            (
-                format_program(program),
-                variant.value,
-                repr(machine),
-                repr(normalized),
-            )
-        )
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.pkl"
-
-    def get(self, key: str) -> Optional[CompileResult]:
-        try:
-            with open(self._path(key), "rb") as handle:
-                result = pickle.load(handle)
-        except FileNotFoundError:
-            count("compile_cache.misses")
-            return None
-        except Exception:
-            # A torn, truncated, or otherwise corrupt entry must never
-            # kill the run — unpickling garbage raises whatever opcode
-            # it trips on (ValueError, KeyError, ...), so treat any
-            # failure as a miss and recompile over it.
-            count("compile_cache.misses")
-            return None
-        count("compile_cache.hits")
-        return result
-
-    def put(self, key: str, result: CompileResult) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle)
-            os.replace(tmp, self._path(key))
-        except OSError:  # pragma: no cover - cache is best-effort
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+#: Deprecation alias: the compile cache was promoted to the
+#: content-addressed :class:`repro.store.ArtifactStore` (shared by the
+#: bench runner, the compile service, and the ``repro cache`` CLI).
+#: The old import path keeps working; old on-disk entries are read
+#: unchanged (they hold pickled ``CompileResult`` objects, never the
+#: store class itself).
+CompileCache = ArtifactStore
 
 
 def run_kernel(

@@ -20,6 +20,13 @@ Commands:
   then a fully-verified compile of every variant.
 * ``fuzz`` — differential fuzzing: random programs through every
   variant/engine combination against the scalar baseline.
+* ``serve`` — run the compile-and-simulate server (warm sharded worker
+  pool, request coalescing, shared artifact store, ``/healthz`` and
+  ``/metrics``).
+* ``submit FILE`` — send a compile(+simulate) job to a running server,
+  falling back to local compilation when none is reachable.
+* ``cache`` — inspect (``stats``) or size-bound (``prune``) an on-disk
+  artifact store directory.
 
 Examples::
 
@@ -29,6 +36,9 @@ Examples::
     python -m repro bench --n 64
     python -m repro verify saxpy.slp
     python -m repro fuzz --seed 0 --count 500
+    python -m repro serve --workers 4 --cache-dir /var/cache/repro
+    python -m repro submit saxpy.slp --variant global
+    python -m repro cache stats --cache-dir /var/cache/repro
 """
 
 from __future__ import annotations
@@ -498,6 +508,127 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import ReproService
+
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        shards=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        test_hooks=os.environ.get("REPRO_SERVICE_TEST_HOOKS") == "1",
+    )
+
+    async def main() -> None:
+        await service.start()
+        await service.serve_forever()
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    url = args.url or os.environ.get(
+        "REPRO_SERVICE_URL", "http://127.0.0.1:8642"
+    )
+    options = _options(args)
+    source = None
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    elif not args.kernel:
+        raise SystemExit("repro submit: need a FILE or --kernel NAME")
+
+    client = ServiceClient(url)
+    if client.is_up():
+        outcome = (
+            client.compile if args.compile_only else client.simulate
+        )(
+            source=source,
+            kernel=args.kernel,
+            n=args.n,
+            variant=args.variant,
+            machine=args.machine,
+            datapath=args.datapath,
+            options=options,
+        )
+        result, report = outcome.result, outcome.report
+        origin = (
+            f"served by {url}"
+            f" (cached={str(outcome.cached).lower()},"
+            f" coalesced={str(outcome.coalesced).lower()})"
+        )
+    else:
+        # Transparent degradation: no server, same answer — compile
+        # (and simulate) in-process exactly like ``repro compile``.
+        if source is not None:
+            program = parse_program(source)
+        else:
+            from .bench import KERNELS
+
+            if args.kernel not in KERNELS:
+                raise SystemExit(
+                    f"repro submit: unknown kernel {args.kernel!r}"
+                )
+            program = KERNELS[args.kernel].build(args.n)
+        machine = _machine(args.machine, args.datapath)
+        result = compile_program(
+            program, VARIANTS[args.variant], machine, options
+        )
+        report = None
+        if not args.compile_only:
+            report, _memory = Simulator(
+                result.machine, engine=options.engine
+            ).run(result.plan)
+        origin = f"no server at {url}; compiled locally"
+    for diagnostic in result.diagnostics:
+        print(f"note: {diagnostic}", file=sys.stderr)
+    if report is not None:
+        print(report.summary())
+    if not args.quiet:
+        stats = result.stats
+        print(
+            f"[{args.variant}] {origin}; {stats.superword_statements} "
+            f"superword statements, {stats.grouped_fraction:.0%} of "
+            f"statements grouped",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        rows = [
+            ("entries", str(stats.entries)),
+            ("bytes", str(stats.bytes)),
+            ("megabytes", f"{stats.bytes / (1 << 20):.2f}"),
+        ]
+        print(f"store: {stats.root}")
+        print(ascii_table(("field", "value"), rows))
+        return 0
+    # prune
+    max_bytes = int(args.max_mb * (1 << 20))
+    before = store.stats()
+    removed = store.prune(max_bytes)
+    after = store.stats()
+    print(
+        f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+        f"({before.bytes - after.bytes} bytes): {before.entries} -> "
+        f"{after.entries} entries, {after.bytes} bytes"
+    )
+    return 0
+
+
 def cmd_kernels(_args: argparse.Namespace) -> int:
     rows = [(k.suite, k.name, k.description) for k in ALL_KERNELS]
     print(ascii_table(("suite", "benchmark", "description"), rows))
@@ -674,6 +805,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile-and-simulate server",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 picks an ephemeral port, printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=max(2, (os.cpu_count() or 2) // 2),
+        help="worker shards — warm compile processes jobs are routed"
+        " to by content key (default: half the cores, at least 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=32, dest="queue_limit",
+        help="max in-flight jobs before requests are shed with 429 +"
+        " Retry-After (coalesced followers don't count; default: 32)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed artifact store shared by all workers"
+        " (default: no on-disk store; workers keep in-memory memos)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=300.0, dest="job_timeout",
+        help="seconds before a silent worker is declared dead and the"
+        " job retried on a fresh one (default: 300)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running server (local fallback)",
+    )
+    p_submit.add_argument(
+        "file", nargs="?", default=None,
+        help="a DSL source file (or use --kernel)",
+    )
+    p_submit.add_argument(
+        "--kernel", default=None, metavar="NAME",
+        help="submit a benchmark kernel by name instead of a file",
+    )
+    p_submit.add_argument(
+        "--n", type=int, default=0,
+        help="kernel size for --kernel (default: the kernel's)",
+    )
+    p_submit.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="global"
+    )
+    p_submit.add_argument(
+        "--url", default=None,
+        help="server URL (default: $REPRO_SERVICE_URL, then"
+        " http://127.0.0.1:8642)",
+    )
+    p_submit.add_argument(
+        "--compile-only", action="store_true", dest="compile_only",
+        help="compile without simulating",
+    )
+    p_submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the one-line stats on stderr",
+    )
+    common(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or prune an artifact-store directory",
+    )
+    cache_sub = p_cache.add_subparsers(
+        dest="cache_command", required=True
+    )
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry/byte totals for a store directory"
+    )
+    p_cache_stats.add_argument(
+        "--cache-dir", required=True, metavar="DIR"
+    )
+    p_cache_stats.set_defaults(func=cmd_cache)
+    p_cache_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries to a budget"
+    )
+    p_cache_prune.add_argument(
+        "--cache-dir", required=True, metavar="DIR"
+    )
+    p_cache_prune.add_argument(
+        "--max-mb", type=float, required=True, dest="max_mb",
+        help="target store size in megabytes",
+    )
+    p_cache_prune.set_defaults(func=cmd_cache)
 
     p_kernels = sub.add_parser("kernels", help="list the benchmarks")
     p_kernels.set_defaults(func=cmd_kernels)

@@ -153,7 +153,10 @@ class CompileStats:
     grouped_statements: int = 0
     total_statements: int = 0
     replications: int = 0
-    compile_seconds: float = 0.0
+    #: Wall-clock measurement of the compile, not artifact content:
+    #: excluded from equality so a served/stored ``CompileResult``
+    #: compares ``==`` to a fresh local compile of the same input.
+    compile_seconds: float = field(default=0.0, compare=False)
 
     @property
     def grouped_fraction(self) -> float:

@@ -181,6 +181,33 @@ class SimulationError(ReproError, ValueError):
     default_stage = "simulate"
 
 
+class ServiceError(ReproError):
+    """A compile-service failure (transport, protocol, or a worker the
+    service could not recover). Raised client-side with the structured
+    context the server shipped over the wire."""
+
+    default_stage = "service"
+
+
+class ServiceBusyError(ServiceError):
+    """The server shed this request under backpressure (HTTP 429).
+
+    ``retry_after`` is the server's suggested back-off in seconds."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (ServiceBusyError, (self.message, self.retry_after))
+
+
+class WorkerCrashError(ServiceError, RuntimeError):
+    """A pool worker died mid-job and the single transparent retry died
+    too; the job is reported failed with this structured diagnostic
+    instead of a hung client or a raw traceback."""
+
+
 class SuiteError(ReproError):
     """One or more kernels of a suite run failed.
 
@@ -263,9 +290,12 @@ __all__ = [
     "ReproError",
     "ScheduleCycleError",
     "ScheduleError",
+    "ServiceBusyError",
+    "ServiceError",
     "SimulationError",
     "StatementLookupError",
     "SuiteError",
     "VerifyError",
+    "WorkerCrashError",
     "format_failure",
 ]

@@ -59,6 +59,21 @@ class BasicBlock:
             [s.with_sid(start + i) for i, s in enumerate(self.statements)]
         )
 
+    def __eq__(self, other: object) -> bool:
+        # Structural: two blocks are equal when their statement lists
+        # are. Statements are frozen dataclasses, so this recurses all
+        # the way down — which is what lets a pickled CompileResult
+        # (e.g. one returned over the service wire or from the artifact
+        # store) compare ``==`` to a locally compiled one. Hashing stays
+        # identity-based: no existing code keys containers by
+        # structurally-equal-but-distinct blocks, and identity hashing
+        # keeps that behaviour unchanged.
+        if not isinstance(other, BasicBlock):
+            return NotImplemented
+        return self.statements == other.statements
+
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:
         return "\n".join(str(s) for s in self.statements)
 
@@ -191,3 +206,22 @@ class Program:
         twin.arrays = dict(self.arrays)
         twin.scalars = dict(self.scalars)
         return twin
+
+    def __eq__(self, other: object) -> bool:
+        # Structural, like BasicBlock: declarations are frozen
+        # dataclasses and body items are Loops (dataclasses) or
+        # BasicBlocks, so equality recurses through the whole program.
+        # ``name`` is a display label, not semantics — the printed form
+        # (the faithful round-trippable rendering every cache key and
+        # wire payload is built on) does not carry it, so equality
+        # ignores it. Identity hashing is kept for the same reason as
+        # BasicBlock.
+        if not isinstance(other, Program):
+            return NotImplemented
+        return (
+            self.arrays == other.arrays
+            and self.scalars == other.scalars
+            and self.body == other.body
+        )
+
+    __hash__ = object.__hash__

@@ -1,0 +1,136 @@
+"""``repro.service`` — the compile-and-simulate server and its client.
+
+Every entry point used to be a one-shot CLI process paying full
+interpreter startup, compile, and cache-miss cost per invocation.
+Holistic SLP grouping is deliberately expensive global optimization —
+exactly the workload to amortize behind a long-lived service. This
+package provides:
+
+* :class:`repro.service.server.ReproService` — a stdlib-only asyncio
+  HTTP/JSON server (``repro serve``) with a sharded warm worker pool,
+  in-flight request coalescing, a shared content-addressed artifact
+  store, bounded admission with backpressure, and graceful drain.
+* :class:`repro.service.client.ServiceClient` — a blocking client
+  (``repro submit`` uses it, falling back to local compilation when no
+  server is reachable).
+
+This module holds the wire schema (``repro.service/1``) helpers shared
+by both sides: payloads are JSON envelopes; compiled artifacts travel
+as base64-pickles inside them (a ``CompileResult`` is a graph of
+dataclasses — JSON cannot carry it losslessly, and bit-identical
+results are the service's contract), next to a small plain-JSON
+summary for non-Python consumers.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import pickle
+from typing import Any, Dict, Optional
+
+from ..compiler import CompilerOptions
+from ..errors import ReproError, ServiceError
+
+#: The versioned wire schema stamped on every request and response.
+SCHEMA = "repro.service/1"
+
+#: Default port of ``repro serve`` (nothing registered uses it).
+DEFAULT_PORT = 8642
+
+
+def pickle_b64(obj: Any) -> str:
+    """Encode an artifact for a JSON envelope."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def unpickle_b64(blob: str) -> Any:
+    """Decode an artifact from a JSON envelope."""
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+#: CompilerOptions fields a request may set. ``debug_schedule_mutator``
+#: is deliberately absent: callables do not travel over a wire.
+_OPTION_FIELDS = frozenset(
+    f.name
+    for f in dataclasses.fields(CompilerOptions)
+    if f.name != "debug_schedule_mutator"
+)
+
+
+def options_to_dict(options: Optional[CompilerOptions]) -> Dict[str, Any]:
+    """The JSON form of a :class:`CompilerOptions` — only fields that
+    differ from the defaults, so the wire stays readable and the
+    server-side reconstruction is exact."""
+    if options is None:
+        return {}
+    defaults = CompilerOptions()
+    out = {}
+    for name in _OPTION_FIELDS:
+        value = getattr(options, name)
+        if value != getattr(defaults, name):
+            out[name] = value
+    return out
+
+
+def options_from_dict(payload: Optional[Dict[str, Any]]) -> CompilerOptions:
+    """Reconstruct request options; unknown fields are a client error."""
+    payload = payload or {}
+    unknown = set(payload) - _OPTION_FIELDS
+    if unknown:
+        raise ServiceError(
+            f"unknown compiler option(s): {', '.join(sorted(unknown))}",
+            rule="service.options",
+        )
+    return CompilerOptions(**payload)
+
+
+def error_payload(exc: BaseException) -> Dict[str, Any]:
+    """The structured JSON form of a failure, plus a pickle so a Python
+    client can re-raise the exact exception type with context intact
+    (every :class:`ReproError` pickles by contract)."""
+    payload: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": getattr(exc, "message", None) or str(exc),
+    }
+    for attr in ("stage", "block", "provenance", "rule"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            payload[attr] = value
+    try:
+        payload["pickle"] = pickle_b64(exc)
+    except Exception:  # pragma: no cover - unpicklable foreign exception
+        pass
+    return payload
+
+
+def raise_from_payload(payload: Dict[str, Any]) -> None:
+    """Client side: re-raise the server's structured failure."""
+    blob = payload.get("pickle")
+    if blob:
+        try:
+            exc = unpickle_b64(blob)
+        except Exception:
+            exc = None
+        if isinstance(exc, BaseException):
+            raise exc
+    raise ServiceError(
+        f"{payload.get('type', 'Error')}: {payload.get('message', '')}",
+        stage=payload.get("stage"),
+        block=payload.get("block"),
+        rule=payload.get("rule"),
+    )
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "SCHEMA",
+    "ReproError",
+    "ServiceError",
+    "error_payload",
+    "options_from_dict",
+    "options_to_dict",
+    "pickle_b64",
+    "raise_from_payload",
+    "unpickle_b64",
+]

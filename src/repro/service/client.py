@@ -1,0 +1,234 @@
+"""The blocking Python client for a running ``repro serve``.
+
+``ServiceClient`` speaks the ``repro.service/1`` wire schema over
+plain ``http.client`` (one connection per request; the server closes
+after responding). Job methods return a :class:`SubmitOutcome` whose
+``result``/``report``/``memory`` are the *exact* objects a local
+in-process :func:`repro.compiler.compile_program` + simulation run
+would produce — dataclass ``==`` equal, which the end-to-end tests
+assert per kernel and variant.
+
+Failures re-raise server-side: a structured :class:`repro.errors.
+ReproError` arrives pickled in the error envelope and is raised as its
+original type with stage/block/rule context intact; backpressure (429)
+raises :class:`repro.errors.ServiceBusyError` carrying the server's
+``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..compiler import CompileResult, CompilerOptions
+from ..errors import ServiceBusyError, ServiceError
+from ..vm import ExecutionReport
+
+from . import (
+    DEFAULT_PORT,
+    SCHEMA,
+    options_to_dict,
+    raise_from_payload,
+    unpickle_b64,
+)
+
+
+@dataclass
+class SubmitOutcome:
+    """One job's results plus the service-side accounting flags."""
+
+    result: CompileResult
+    report: Optional[ExecutionReport] = None
+    memory: Optional[Any] = None
+    cached: bool = False
+    coalesced: bool = False
+    key: str = ""
+    summary: Dict[str, Any] = field(default_factory=dict)
+    trace_summary: Optional[Dict[str, Any]] = None
+
+
+class ServiceClient:
+    """Blocking client; safe to share across threads (every request
+    opens its own connection)."""
+
+    def __init__(
+        self,
+        url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+        timeout: float = 600.0,
+    ):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported URL scheme {parsed.scheme!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or DEFAULT_PORT
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8")
+                if payload is not None
+                else None
+            )
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"}
+                if body
+                else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        finally:
+            conn.close()
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(
+                f"non-JSON response (HTTP {status}) from "
+                f"{self.host}:{self.port}"
+            )
+        if status == 429:
+            raise ServiceBusyError(
+                envelope.get("error", {}).get("message", "server busy"),
+                retry_after=float(retry_after or 1.0),
+            )
+        if not envelope.get("ok", False):
+            raise_from_payload(envelope.get("error", {}))
+        return envelope
+
+    # -- introspection ---------------------------------------------------------
+
+    def healthz(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("GET", "/healthz", timeout=timeout)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def is_up(self, timeout: float = 2.0) -> bool:
+        """Is a compatible server answering? Used by ``repro submit``
+        to decide between the service and local compilation."""
+        try:
+            return bool(self.healthz(timeout=timeout).get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    # -- jobs ------------------------------------------------------------------
+
+    def _submit(
+        self, kind: str, request: Dict[str, Any]
+    ) -> SubmitOutcome:
+        envelope = self._request("POST", f"/v1/{kind}", request)
+        result = unpickle_b64(envelope["result"]["pickle"])
+        outcome = SubmitOutcome(
+            result=result,
+            cached=envelope.get("cached", False),
+            coalesced=envelope.get("coalesced", False),
+            key=envelope.get("key", ""),
+            summary=envelope["result"].get("summary", {}),
+            trace_summary=envelope.get("trace_summary"),
+        )
+        if "report" in envelope:
+            outcome.report = unpickle_b64(envelope["report"]["pickle"])
+            outcome.memory = unpickle_b64(envelope["memory"]["pickle"])
+        return outcome
+
+    @staticmethod
+    def _job_request(
+        source: Optional[str],
+        kernel: Optional[str],
+        n: int,
+        variant: str,
+        machine: str,
+        datapath: Optional[int],
+        options: Optional[CompilerOptions],
+        seed: int,
+        trace: bool,
+    ) -> Dict[str, Any]:
+        if (source is None) == (kernel is None):
+            raise ServiceError(
+                "exactly one of source= or kernel= is required"
+            )
+        request: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "variant": variant,
+            "machine": machine,
+            "seed": seed,
+        }
+        if source is not None:
+            request["program"] = source
+        else:
+            request["kernel"] = kernel
+            if n:
+                request["n"] = n
+        if datapath:
+            request["datapath"] = datapath
+        opts = options_to_dict(options)
+        if opts:
+            request["options"] = opts
+        if trace:
+            request["trace"] = True
+        return request
+
+    def compile(
+        self,
+        source: Optional[str] = None,
+        kernel: Optional[str] = None,
+        n: int = 0,
+        variant: str = "global",
+        machine: str = "intel",
+        datapath: Optional[int] = None,
+        options: Optional[CompilerOptions] = None,
+        trace: bool = False,
+    ) -> SubmitOutcome:
+        """Compile on the server; ``outcome.result`` is dataclass-equal
+        to a local ``compile_program`` of the same inputs."""
+        return self._submit(
+            "compile",
+            self._job_request(
+                source, kernel, n, variant, machine, datapath, options,
+                seed=0, trace=trace,
+            ),
+        )
+
+    def simulate(
+        self,
+        source: Optional[str] = None,
+        kernel: Optional[str] = None,
+        n: int = 0,
+        variant: str = "global",
+        machine: str = "intel",
+        datapath: Optional[int] = None,
+        options: Optional[CompilerOptions] = None,
+        seed: int = 0,
+        trace: bool = False,
+    ) -> SubmitOutcome:
+        """Compile + simulate on the server; additionally fills
+        ``outcome.report`` and ``outcome.memory``."""
+        return self._submit(
+            "simulate",
+            self._job_request(
+                source, kernel, n, variant, machine, datapath, options,
+                seed=seed, trace=trace,
+            ),
+        )
+
+
+__all__ = ["ServiceClient", "SubmitOutcome"]

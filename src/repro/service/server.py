@@ -1,0 +1,605 @@
+"""The compile-and-simulate server: ``repro serve``.
+
+A stdlib-only asyncio HTTP/1.1 + JSON server that amortizes the
+framework's deliberately expensive global optimization behind a
+long-lived process. Request lifecycle::
+
+    parse/validate ──► coalesce ──► admit ──► shard ──► worker pool
+         │                │           │                  (warm memo +
+         400              │           429 + Retry-After   artifact store)
+                          └─ followers share the leader's result
+
+Endpoints (wire schema ``repro.service/1``, see
+:mod:`repro.service`):
+
+* ``POST /v1/compile``  — compile a program, return ``CompileResult``.
+* ``POST /v1/simulate`` — compile + simulate, additionally returning
+  the ``ExecutionReport`` and final ``Memory``.
+* ``GET /healthz``      — liveness + drain state.
+* ``GET /metrics``      — service counters, per-stage latency
+  histograms, pool/store stats, and the merged ``repro.perf``
+  registry from every worker.
+
+Failure and backpressure model:
+
+* malformed requests → 400 with a structured error payload;
+* job failures (``ReproError`` from parse/verify/compile) → 422 with
+  the pickled exception so Python clients re-raise the exact type;
+* more than ``queue_limit`` admitted jobs → 429 + ``Retry-After``
+  (followers of an in-flight compile bypass admission — they consume
+  no worker);
+* a worker death mid-job → transparent restart + single retry, then a
+  structured 500 (``WorkerCrashError``) — never a hung client;
+* SIGTERM/SIGINT → graceful drain: stop accepting, finish in-flight
+  requests, stop the pool, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from ..compiler import Variant
+from ..errors import ReproError, ServiceError, WorkerCrashError
+from ..ir import parse_program
+from ..ir.printer import format_program
+from ..perf import PERF
+from ..store import ArtifactStore
+from ..vm import MACHINES
+
+from . import (
+    DEFAULT_PORT,
+    SCHEMA,
+    error_payload,
+    options_from_dict,
+    pickle_b64,
+)
+from .coalesce import Coalescer
+from .pool import WorkerPool
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on request bodies (a printed program is a few KB; this
+#: is pure abuse protection).
+MAX_BODY_BYTES = 64 << 20
+
+_VARIANTS = {v.value: v for v in Variant}
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (milliseconds)."""
+
+    BOUNDS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS_MS) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        self.total += 1
+        self.sum_ms += ms
+        for index, bound in enumerate(self.BOUNDS_MS):
+            if ms <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound}": count
+            for bound, count in zip(self.BOUNDS_MS, self.counts)
+        }
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "buckets": buckets,
+        }
+
+
+class ReproService:
+    """The server object; create, ``await start()``, then either
+    ``await serve_forever()`` (CLI) or drive requests and finally
+    ``await drain()`` (tests)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        shards: int = 2,
+        queue_limit: int = 32,
+        cache_dir: Optional[str] = None,
+        job_timeout: float = 300.0,
+        test_hooks: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.shards = shards
+        self.queue_limit = queue_limit
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.job_timeout = job_timeout
+        self.test_hooks = test_hooks
+
+        self.pool: Optional[WorkerPool] = None
+        self.coalescer = Coalescer()
+        self.store = ArtifactStore(self.cache_dir) if self.cache_dir else None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+        self.requests: Dict[str, int] = {}
+        self.served = 0
+        self.rejected = 0
+        self.latency = {
+            name: Histogram()
+            for name in ("parse", "queue_wait", "execute", "total")
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        PERF.enable()
+        self.pool = WorkerPool(
+            shards=self.shards,
+            store_dir=self.cache_dir,
+            job_timeout=self.job_timeout,
+            test_hooks=self.test_hooks,
+        )
+        # Threads block on worker pipes; a couple of spares keep
+        # followers and metrics from queueing behind busy shards.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.shards + 4,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        print(
+            f"repro.service listening on http://{self.host}:{self.port} "
+            f"({self.shards} worker shard(s), queue limit "
+            f"{self.queue_limit}"
+            + (f", store {self.cache_dir}" if self.cache_dir else "")
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        )
+        await self._shutdown.wait()
+        await self.drain()
+        print(
+            f"repro.service drained cleanly ({self.served} request(s) "
+            f"served, {self.coalescer.coalesced} coalesced, "
+            f"{self.rejected} shed)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry: begin the graceful drain."""
+        self._draining = True
+        self._shutdown.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, stop the
+        pool."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight requests hold self._active > 0; wait them out.
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.job_timeout
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - stuck worker
+            pass
+        if self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.pool.close
+            )
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            status, headers, payload = await self._handle_request(reader)
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            status, headers = 500, ()
+            payload = {"schema": SCHEMA, "ok": False,
+                       "error": error_payload(exc)}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            + "".join(f"{name}: {value}\r\n" for name, value in headers)
+            + "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(
+        self, reader
+    ) -> Tuple[int, Tuple, Dict[str, Any]]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            method, path, _version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except ValueError:
+            return 400, (), self._error_body(
+                ServiceError("malformed request line")
+            )
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, (), self._error_body(
+                        ServiceError("bad Content-Length")
+                    )
+        if content_length > MAX_BODY_BYTES:
+            return 413, (), self._error_body(
+                ServiceError("request body too large")
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+
+        self.requests[path] = self.requests.get(path, 0) + 1
+        if method == "GET" and path == "/healthz":
+            return 200, (), self._healthz_body()
+        if method == "GET" and path == "/metrics":
+            return 200, (), self._metrics_body()
+        if method == "POST" and path in ("/v1/compile", "/v1/simulate"):
+            kind = "compile" if path == "/v1/compile" else "simulate"
+            return await self._handle_job(kind, body)
+        if path in ("/healthz", "/metrics", "/v1/compile", "/v1/simulate"):
+            return 405, (), self._error_body(
+                ServiceError(f"{method} not allowed on {path}")
+            )
+        return 404, (), self._error_body(
+            ServiceError(f"no such endpoint: {path}")
+        )
+
+    # -- the job path ----------------------------------------------------------
+
+    async def _handle_job(
+        self, kind: str, body: bytes
+    ) -> Tuple[int, Tuple, Dict[str, Any]]:
+        started = time.perf_counter()
+        try:
+            job, key = self._build_job(kind, body)
+        except ReproError as exc:
+            return 400, (), self._error_body(exc)
+        self.latency["parse"].observe(time.perf_counter() - started)
+
+        coalesce_key = "{}:{}:seed={}:trace={}".format(
+            kind, key, job.get("seed", 0), bool(job.get("trace"))
+        )
+        self._active += 1
+        self._idle.clear()
+        try:
+            if self.coalescer.has(coalesce_key):
+                # Followers ride the in-flight leader: no admission
+                # check, no queue slot, no worker.
+                payload = await self.coalescer.join(coalesce_key)
+                coalesced = True
+            else:
+                if self._draining:
+                    return 503, (("Retry-After", "1"),), self._error_body(
+                        ServiceError("server is draining")
+                    )
+                admitted = self.coalescer.depth
+                if admitted >= self.queue_limit:
+                    self.rejected += 1
+                    retry_after = max(1, admitted // max(1, self.shards))
+                    return (
+                        429,
+                        (("Retry-After", str(retry_after)),),
+                        self._error_body(
+                            ServiceError(
+                                f"queue full ({admitted} in flight, "
+                                f"limit {self.queue_limit})",
+                                rule="service.backpressure",
+                            )
+                        ),
+                    )
+                payload = await self.coalescer.lead(
+                    coalesce_key, lambda: self._run_job(job)
+                )
+                coalesced = False
+        except WorkerCrashError as exc:
+            return 500, (), self._error_body(exc)
+        except ReproError as exc:
+            return 422, (), self._error_body(exc)
+        except Exception as exc:
+            return 500, (), self._error_body(exc)
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+        self.served += 1
+        total = time.perf_counter() - started
+        self.latency["total"].observe(total)
+        return 200, (), self._success_body(kind, key, payload, coalesced)
+
+    def _build_job(
+        self, kind: str, body: bytes
+    ) -> Tuple[Dict[str, Any], str]:
+        """Validate a request envelope into a pool job + content key.
+        Raises :class:`ReproError` (→ 400) on anything client-shaped."""
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}")
+        if not isinstance(request, dict):
+            raise ServiceError("request body must be a JSON object")
+        schema = request.get("schema")
+        if schema is not None and schema != SCHEMA:
+            raise ServiceError(
+                f"unsupported schema {schema!r} (this server speaks "
+                f"{SCHEMA})",
+                rule="service.schema",
+            )
+
+        source = request.get("program")
+        kernel_name = request.get("kernel")
+        if kernel_name is not None:
+            from ..bench.kernels import KERNELS
+
+            if kernel_name not in KERNELS:
+                raise ServiceError(f"unknown kernel {kernel_name!r}")
+            program = KERNELS[kernel_name].build(int(request.get("n") or 0))
+            source = format_program(program)
+        elif source is None:
+            raise ServiceError("request needs 'program' or 'kernel'")
+
+        variant_name = request.get("variant", "global")
+        if variant_name not in _VARIANTS:
+            raise ServiceError(
+                f"unknown variant {variant_name!r} "
+                f"(choose from {', '.join(sorted(_VARIANTS))})"
+            )
+        machine_name = request.get("machine", "intel")
+        if machine_name not in MACHINES:
+            raise ServiceError(
+                f"unknown machine {machine_name!r} "
+                f"(choose from {', '.join(sorted(MACHINES))})"
+            )
+        datapath = request.get("datapath")
+        options = options_from_dict(request.get("options"))
+
+        # Parse here (not just in the worker): it validates the program
+        # early and gives the canonical content key.
+        program = parse_program(source)
+        machine = MACHINES[machine_name]()
+        if datapath:
+            machine = machine.with_datapath(int(datapath))
+        key = ArtifactStore.key(
+            program, _VARIANTS[variant_name], machine, options
+        )
+        job: Dict[str, Any] = {
+            "kind": kind,
+            "source": source,
+            "variant": variant_name,
+            "machine": machine_name,
+            "datapath": datapath,
+            "options": request.get("options") or {},
+            "seed": int(request.get("seed") or 0),
+            "trace": bool(request.get("trace")),
+            "key": key,
+        }
+        if self.test_hooks:
+            for hook in ("x_crash_once", "x_crash", "x_sleep"):
+                if hook in request:
+                    job[hook] = request[hook]
+        return job, key
+
+    async def _run_job(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Leader path: ship the job to its shard via the executor,
+        recording queue-wait and execute latency."""
+        loop = asyncio.get_running_loop()
+        admitted_at = time.perf_counter()
+
+        def run() -> Dict[str, Any]:
+            started = time.perf_counter()
+            self.latency["queue_wait"].observe(started - admitted_at)
+            try:
+                return self.pool.submit(job)
+            finally:
+                self.latency["execute"].observe(
+                    time.perf_counter() - started
+                )
+
+        return await loop.run_in_executor(self._executor, run)
+
+    # -- response bodies -------------------------------------------------------
+
+    @staticmethod
+    def _error_body(exc: BaseException) -> Dict[str, Any]:
+        return {"schema": SCHEMA, "ok": False, "error": error_payload(exc)}
+
+    def _success_body(
+        self,
+        kind: str,
+        key: str,
+        payload: Dict[str, Any],
+        coalesced: bool,
+    ) -> Dict[str, Any]:
+        result = payload["result"]
+        body: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "ok": True,
+            "kind": kind,
+            "key": key,
+            "cached": payload["cached"],
+            "coalesced": coalesced,
+            "result": {
+                "pickle": pickle_b64(result),
+                "summary": dataclasses.asdict(result.stats),
+            },
+            "diagnostics": [
+                dataclasses.asdict(diag) for diag in result.diagnostics
+            ],
+        }
+        if "report" in payload:
+            report = payload["report"]
+            body["report"] = {
+                "pickle": pickle_b64(report),
+                "summary": {
+                    "cycles": report.cycles,
+                    "dynamic_instructions": report.dynamic_instructions,
+                    "pack_unpack_ops": report.pack_unpack_ops,
+                    "cache_hits": report.cache_hits,
+                    "cache_misses": report.cache_misses,
+                },
+            }
+            body["memory"] = {"pickle": pickle_b64(payload["memory"])}
+        if "trace_summary" in payload:
+            body["trace_summary"] = payload["trace_summary"]
+        return body
+
+    def _healthz_body(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "ok": True,
+            "draining": self._draining,
+            "workers": self.shards,
+            "queue_depth": self.coalescer.depth,
+            "queue_limit": self.queue_limit,
+            "served": self.served,
+        }
+
+    def _metrics_body(self) -> Dict[str, Any]:
+        store_stats: Dict[str, Any] = {}
+        if self.store is not None:
+            store_stats = dataclasses.asdict(self.store.stats())
+        return {
+            "schema": SCHEMA,
+            "ok": True,
+            "service": {
+                "requests": dict(self.requests),
+                "served": self.served,
+                "coalesced": self.coalescer.coalesced,
+                "leads": self.coalescer.leads,
+                "queue": {
+                    "depth": self.coalescer.depth,
+                    "limit": self.queue_limit,
+                    "rejected": self.rejected,
+                },
+                "pool": self.pool.stats() if self.pool else {},
+                "store": store_stats,
+                "latency_ms": {
+                    name: hist.snapshot()
+                    for name, hist in self.latency.items()
+                },
+                "draining": self._draining,
+            },
+            "perf": PERF.snapshot(),
+        }
+
+
+# -- embedding helpers (tests, benchmarks) -------------------------------------
+
+
+class ServiceThread:
+    """Run a :class:`ReproService` on a background thread with its own
+    event loop — how the tests and the service benchmark embed a real
+    server on an ephemeral port inside one process."""
+
+    def __init__(self, **service_kwargs: Any):
+        import threading
+
+        service_kwargs.setdefault("port", 0)
+        self._kwargs = service_kwargs
+        self.service: Optional[ReproService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.service = ReproService(**self._kwargs)
+        self._loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self._loop.run_until_complete(self.service._shutdown.wait())
+        self._loop.run_until_complete(self.service.drain())
+        self._loop.close()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ServiceError("service thread failed to start")
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["Histogram", "MAX_BODY_BYTES", "ReproService", "ServiceThread"]

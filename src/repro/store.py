@@ -1,0 +1,204 @@
+"""The content-addressed artifact store.
+
+``ArtifactStore`` is the on-disk memo of :func:`repro.compiler.
+compile_program` results, shared by the bench runner (``run_suite``'s
+``cache_dir``), the compile-and-simulate service (``repro serve``), and
+the ``repro cache`` CLI. It grew out of ``repro.bench.suite.
+CompileCache`` (which remains as a deprecation alias) when the service
+needed the same store outside the bench harness.
+
+Design points:
+
+* **Content addressing.** The key covers the *entire* compile input —
+  printed program text, variant, machine parameters, and compiler
+  options — so a hit is guaranteed to reproduce the exact compile it
+  replaces (the printer is a faithful round-trippable rendering of the
+  IR, and both ``MachineModel`` and ``CompilerOptions`` are plain
+  dataclasses whose reprs enumerate every field).
+* **Torn-write safety.** Values are pickled ``CompileResult`` objects;
+  writes go through a temp file + rename so concurrent workers sharing
+  one store directory never observe a torn entry.
+* **Corruption tolerance.** A truncated or otherwise unreadable entry
+  is treated as a miss, *deleted* so it cannot poison later readers,
+  and counted in ``corrupt_evictions``.
+* **Bounded size.** :meth:`prune` evicts least-recently-used entries
+  (hits refresh an entry's mtime) until the store fits a byte budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from .perf import count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .compiler import CompilerOptions, CompileResult, Variant
+    from .vm import MachineModel
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time summary of one store directory plus the counters
+    this handle accumulated (counters are per-handle, not global: two
+    processes sharing a directory each count their own traffic)."""
+
+    root: str
+    entries: int
+    bytes: int
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt_evictions: int = 0
+    pruned: int = 0
+
+
+class ArtifactStore:
+    """On-disk, content-addressed memo of pickled compile artifacts."""
+
+    #: Filename suffix of committed entries.
+    SUFFIX = ".pkl"
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt_evictions = 0
+        self.pruned = 0
+
+    # -- keying ----------------------------------------------------------------
+
+    @staticmethod
+    def key(
+        program,
+        variant: "Variant",
+        machine: "MachineModel",
+        options: Optional["CompilerOptions"],
+    ) -> str:
+        from .compiler import CompilerOptions
+        from .ir.printer import format_program
+
+        # The simulation engine plays no part in compilation, so it is
+        # normalized out of the key: reference and batched runs share
+        # store entries.
+        normalized = replace(options or CompilerOptions(), engine=None)
+        blob = "\x00".join(
+            (
+                format_program(program),
+                variant.value,
+                repr(machine),
+                repr(normalized),
+            )
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{self.SUFFIX}"
+
+    # -- read/write ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional["CompileResult"]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            count("compile_cache.misses")
+            return None
+        except Exception:
+            # A torn, truncated, or otherwise corrupt entry must never
+            # kill the run — unpickling garbage raises whatever opcode
+            # it trips on (ValueError, KeyError, EOFError, ...). Treat
+            # it as a miss, and delete the bad file so it cannot keep
+            # poisoning readers (the recompile will rewrite it).
+            self.misses += 1
+            self.corrupt_evictions += 1
+            count("compile_cache.misses")
+            count("store.corrupt_evictions")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        count("compile_cache.hits")
+        try:
+            # Refresh recency so prune() evicts genuinely cold entries.
+            os.utime(path)
+        except OSError:
+            pass
+        return result
+
+    def put(self, key: str, result: "CompileResult") -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, self._path(key))
+            self.puts += 1
+        except OSError:  # pragma: no cover - store is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _entries(self):
+        """(path, mtime, size) of every committed entry; unreadable
+        files (concurrently deleted) are skipped."""
+        out = []
+        for path in self.root.glob(f"*{self.SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
+
+    def stats(self) -> StoreStats:
+        entries = self._entries()
+        return StoreStats(
+            root=str(self.root),
+            entries=len(entries),
+            bytes=sum(size for _, _, size in entries),
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            corrupt_evictions=self.corrupt_evictions,
+            pruned=self.pruned,
+        )
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the store holds at
+        most ``max_bytes``; returns the number of entries removed."""
+        entries = sorted(self._entries(), key=lambda e: e[1])
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        for path, _, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.pruned += removed
+        return removed
+
+
+#: Deprecation alias — the name this class had when it lived in
+#: ``repro.bench.suite``. Old pickles are unaffected (entries hold
+#: ``CompileResult`` objects, never the store class itself).
+CompileCache = ArtifactStore
+
+__all__ = ["ArtifactStore", "CompileCache", "StoreStats"]

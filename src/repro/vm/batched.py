@@ -70,12 +70,15 @@ _CONTIG_STORES = (StoreMode.CONTIG_ALIGNED, StoreMode.CONTIG_UNALIGNED)
 #: both NumPy and scalar Python, so columns match the interpreter bit
 #: for bit. ``min``/``max`` are spelled with ``np.where`` to reproduce
 #: Python's tie behavior (``min(a, b)`` returns ``a`` unless ``b < a``)
-#: exactly, signed zeros included.
+#: exactly, signed zeros included. ``/`` goes through ``np.divide`` so
+#: scalar (Python float) columns get the same IEEE total semantics as
+#: array columns and the interpreter's ``_ieee_div`` — x/0 is ±inf,
+#: 0/0 is nan, never ZeroDivisionError.
 _VEC_FUNCS = {
     "+": operator.add,
     "-": operator.sub,
     "*": operator.mul,
-    "/": operator.truediv,
+    "/": np.divide,
     "min": lambda a, b: np.where(b < a, b, a),
     "max": lambda a, b: np.where(b > a, b, a),
     "neg": operator.neg,

@@ -44,11 +44,24 @@ from .isa import (
 from .machine import MachineModel
 from .report import ExecutionReport, ProvenanceCost
 
+def _ieee_div(a: float, b: float) -> float:
+    """IEEE-754 total division: x/±0 is ±inf, ±0/±0 and nan/±0 are nan.
+    The batched engine's NumPy lanes already behave this way; the
+    reference interpreter must produce the same well-defined values
+    instead of raising ZeroDivisionError, or the two engines diverge on
+    programs that compute a zero and later divide by it."""
+    if b != 0.0:
+        return a / b
+    if math.isnan(a) or a == 0.0:
+        return math.nan
+    return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
 _OP_FUNCS: Dict[str, Callable] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b,
+    "/": _ieee_div,
     "min": min,
     "max": max,
     "neg": lambda a: -a,
@@ -141,14 +154,14 @@ class Memory:
             if rtol:
                 if not np.allclose(a, b, rtol=rtol):
                     return False
-            elif not np.array_equal(a, b):
+            elif not np.array_equal(a, b, equal_nan=True):
                 return False
         for name in set(self.scalars) & set(other.scalars):
             a, b = self.scalars[name], other.scalars[name]
             if rtol:
                 if not math.isclose(a, b, rel_tol=rtol):
                     return False
-            elif a != b:
+            elif a != b and not (math.isnan(a) and math.isnan(b)):
                 return False
         return True
 

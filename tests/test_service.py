@@ -1,0 +1,302 @@
+"""End-to-end tests for ``repro.service``.
+
+A real :class:`ReproService` runs on a background thread with an
+ephemeral port and a sharded worker pool; a blocking
+:class:`ServiceClient` drives it over actual HTTP. The headline
+assertion is the acceptance criterion: for every benchmark kernel ×
+variant, the server-returned ``CompileResult`` and ``ExecutionReport``
+are dataclass-``==`` equal to a local in-process compile + simulate of
+the same inputs.
+
+Failure injection (worker crashes, slow jobs) goes through the
+``x_*`` test hooks, which the server only honors because the fixture
+starts it with ``test_hooks=True``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    FLOAT32,
+    ParseError,
+    ProgramBuilder,
+    ServiceError,
+    Variant,
+    WorkerCrashError,
+    compile_program,
+    simulate,
+)
+from repro.bench import KERNELS
+from repro.errors import ServiceBusyError
+from repro.ir.printer import format_program
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+from repro.vm import MACHINES
+
+#: Small problem size: the full 16-kernel × 5-variant matrix stays in
+#: the sub-second range locally, and the service adds only HTTP + IPC.
+N = 2
+
+
+def unique_source(tag: int) -> str:
+    """A tiny valid program whose content key depends on ``tag`` —
+    gives tests fresh, never-before-seen cache keys on demand."""
+    builder = ProgramBuilder(f"unique{tag}")
+    X = builder.array("X", (16,), FLOAT32)
+    Y = builder.array("Y", (16,), FLOAT32)
+    with builder.loop("i", 0, 16) as i:
+        builder.assign(Y[i], X[i] * (tag + 2) + Y[i])
+    return format_program(builder.build())
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-store")
+    with ServiceThread(
+        shards=2, cache_dir=str(cache_dir), test_hooks=True
+    ) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url, timeout=120.0)
+
+
+def submit_with_hooks(client, kind, source, **hooks):
+    """Submit a job with ``x_*`` failure-injection fields attached.
+    The public client deliberately has no API for these — they are
+    wire-level fields the server only reads under ``test_hooks``."""
+    request = ServiceClient._job_request(
+        source, None, 0, "global", "intel", None, None, seed=0, trace=False
+    )
+    request.update(hooks)
+    return client._submit(kind, request)
+
+
+# -- the acceptance criterion --------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("variant", [v.value for v in Variant])
+def test_served_results_equal_local(client, kernel, variant):
+    """Server compile+simulate == local compile+simulate, dataclass-==,
+    for every benchmark kernel × variant."""
+    program = KERNELS[kernel].build(N)
+    local = compile_program(program, Variant(variant), MACHINES["intel"]())
+    report, memory = simulate(local, seed=7)
+
+    outcome = client.simulate(kernel=kernel, n=N, variant=variant, seed=7)
+
+    assert outcome.result == local
+    assert outcome.report == report
+    assert outcome.memory.state_equal(memory)
+    assert (
+        outcome.summary["total_statements"] == local.stats.total_statements
+    )
+
+
+def test_source_and_kernel_requests_agree(client):
+    """Submitting the printed source is identical to submitting the
+    kernel by name — the server canonicalizes both to the same key."""
+    program = KERNELS["milc"].build(N)
+    by_kernel = client.compile(kernel="milc", n=N, variant="global")
+    by_source = client.compile(
+        source=format_program(program), variant="global"
+    )
+    assert by_source.key == by_kernel.key
+    assert by_source.result == by_kernel.result
+    assert by_source.cached, "second request for the key must hit warm state"
+
+
+# -- caching and coalescing ----------------------------------------------------
+
+
+def test_repeat_request_is_cached(client):
+    source = unique_source(1001)
+    first = client.simulate(source=source, variant="slp")
+    second = client.simulate(source=source, variant="slp")
+    assert not first.cached
+    assert second.cached
+    assert second.result == first.result
+    assert second.report == first.report
+
+
+def test_concurrent_identical_requests_coalesce(server, client):
+    """N identical in-flight requests trigger exactly one compile; the
+    followers share the leader's payload."""
+    before = client.metrics()["service"]
+    source = unique_source(2002)
+    fan_out = 6
+    outcomes = [None] * fan_out
+    errors = []
+
+    def submit(slot):
+        try:
+            outcomes[slot] = submit_with_hooks(
+                client, "simulate", source, x_sleep=0.4
+            )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,))
+        for slot in range(fan_out)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert all(outcome is not None for outcome in outcomes)
+    for outcome in outcomes[1:]:
+        assert outcome.result == outcomes[0].result
+        assert outcome.report == outcomes[0].report
+
+    after = client.metrics()["service"]
+    assert after["pool"]["jobs"] - before["pool"]["jobs"] == 1
+    assert after["leads"] - before["leads"] == 1
+    assert after["coalesced"] - before["coalesced"] == fan_out - 1
+    assert sum(1 for o in outcomes if o.coalesced) == fan_out - 1
+
+
+# -- failure model -------------------------------------------------------------
+
+
+def test_worker_crash_retries_transparently(server, client, tmp_path):
+    """A worker killed mid-job is respawned and the job retried once —
+    the client just sees a successful response."""
+    before = client.metrics()["service"]["pool"]
+    flag = tmp_path / "crash-once"
+    outcome = submit_with_hooks(
+        client, "compile", unique_source(3003), x_crash_once=str(flag)
+    )
+    assert outcome.result is not None
+    assert flag.exists(), "the first attempt must have reached the worker"
+    after = client.metrics()["service"]["pool"]
+    assert after["retries"] - before["retries"] == 1
+    assert after["restarts"] - before["restarts"] >= 1
+
+
+def test_worker_crash_twice_is_structured(server, client):
+    """A shard that dies on the retry too surfaces a WorkerCrashError —
+    a structured diagnostic, never a hung client or raw traceback."""
+    with pytest.raises(WorkerCrashError) as excinfo:
+        submit_with_hooks(client, "compile", unique_source(4004), x_crash=True)
+    assert excinfo.value.rule == "service.worker-crash"
+    assert excinfo.value.stage == "service"
+    # The pool recovered: the same server keeps serving.
+    assert client.healthz()["ok"]
+    assert client.compile(source=unique_source(4005)).result is not None
+
+
+def test_job_errors_reraise_original_type(client):
+    """Parse failures come back as the pickled original exception with
+    its stage context, not an opaque 500."""
+    with pytest.raises(ParseError) as excinfo:
+        client.compile(source="this is not a program")
+    assert excinfo.value.stage == "parse"
+
+
+def test_request_validation(client):
+    with pytest.raises(ServiceError, match="unknown kernel"):
+        client.compile(kernel="nonexistent")
+    with pytest.raises(ServiceError, match="unknown variant"):
+        client.compile(kernel="milc", n=N, variant="turbo")
+    with pytest.raises(ServiceError, match="unsupported schema"):
+        client._request(
+            "POST",
+            "/v1/compile",
+            {"schema": "repro.service/99", "kernel": "milc"},
+        )
+    with pytest.raises(ServiceError, match="not allowed"):
+        client._request("GET", "/v1/compile")
+    with pytest.raises(ServiceError, match="no such endpoint"):
+        client._request("GET", "/v1/frobnicate")
+
+
+def test_backpressure_sheds_load(tmp_path):
+    """With queue_limit=1, a second distinct job while the first is
+    in flight is shed with 429 + Retry-After (ServiceBusyError)."""
+    with ServiceThread(
+        shards=1,
+        queue_limit=1,
+        cache_dir=str(tmp_path / "store"),
+        test_hooks=True,
+    ) as thread:
+        client = ServiceClient(thread.url, timeout=60.0)
+        slow_done = []
+
+        def slow():
+            slow_done.append(
+                submit_with_hooks(
+                    client, "compile", unique_source(5005), x_sleep=1.5
+                )
+            )
+
+        worker = threading.Thread(target=slow)
+        worker.start()
+        deadline = time.time() + 5.0
+        busy = None
+        try:
+            # Wait for the slow job to occupy the only queue slot...
+            while time.time() < deadline:
+                if client.metrics()["service"]["queue"]["depth"] >= 1:
+                    break
+                time.sleep(0.02)
+            # ...then distinct keys are shed while it is in flight.
+            while time.time() < deadline:
+                try:
+                    client.compile(source=unique_source(6006))
+                except ServiceBusyError as exc:
+                    busy = exc
+                    break
+                time.sleep(0.05)
+        finally:
+            worker.join()
+        assert busy is not None, "never saw a 429 while the queue was full"
+        assert busy.retry_after >= 1.0
+        assert client.metrics()["service"]["queue"]["rejected"] >= 1
+        assert slow_done and slow_done[0].result is not None
+
+
+# -- observability -------------------------------------------------------------
+
+
+def test_healthz_and_metrics_shape(server, client):
+    health = client.healthz()
+    assert health["ok"] and not health["draining"]
+    assert health["workers"] == 2
+
+    service = client.metrics()["service"]
+    assert service["served"] > 0
+    assert service["requests"]["/v1/simulate"] > 0
+    assert service["pool"]["shards"] == 2
+    assert service["store"]["entries"] > 0
+    assert service["latency_ms"]["total"]["count"] > 0
+    assert service["latency_ms"]["execute"]["count"] > 0
+    # The merged cross-worker perf registry is exported too.
+    assert client.metrics()["perf"]
+
+
+def test_trace_requests_carry_a_summary(client):
+    outcome = client.compile(kernel="cg", n=N, variant="global", trace=True)
+    assert outcome.trace_summary is not None
+
+
+def test_drain_is_clean(tmp_path):
+    """Stopping the service drains in-flight work and frees the port;
+    afterwards the client sees it as down."""
+    thread = ServiceThread(
+        shards=1, cache_dir=str(tmp_path / "store"), test_hooks=True
+    ).start()
+    client = ServiceClient(thread.url)
+    assert client.compile(kernel="milc", n=N).result is not None
+    thread.stop()
+    assert not thread._thread.is_alive()
+    assert not client.is_up(timeout=1.0)

@@ -1,0 +1,208 @@
+"""The content-addressed artifact store (``repro.store``).
+
+Covers the promotion contract (the old ``CompileCache`` import path
+stays alive), the robustness fix for corrupt on-disk entries, LRU
+pruning, and — the part that matters for the service — many processes
+hammering one store directory without torn reads or lost results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import ArtifactStore, Variant, compile_program
+from repro.bench import KERNELS
+from repro.store import CompileCache as StoreAlias
+from repro.bench.suite import CompileCache as SuiteAlias
+from repro.vm import MACHINES
+
+
+@pytest.fixture()
+def machine():
+    return MACHINES["intel"]()
+
+
+@pytest.fixture()
+def compiled(machine):
+    program = KERNELS["milc"].build(8)
+    result = compile_program(program, Variant.GLOBAL, machine)
+    key = ArtifactStore.key(program, Variant.GLOBAL, machine, None)
+    return program, result, key
+
+
+class TestPromotion:
+    def test_old_import_paths_are_the_store(self):
+        assert StoreAlias is ArtifactStore
+        assert SuiteAlias is ArtifactStore
+
+    def test_bench_package_exports_both(self):
+        import repro.bench as bench
+
+        assert bench.CompileCache is ArtifactStore
+        assert bench.ArtifactStore is ArtifactStore
+
+    def test_round_trip_equality(self, tmp_path, compiled):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        assert store.get(key) is None
+        store.put(key, result)
+        assert store.get(key) == result
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_key_covers_the_whole_compile_input(self, machine, compiled):
+        program, _result, key = compiled
+        other = KERNELS["lbm"].build(8)
+        assert key != ArtifactStore.key(
+            other, Variant.GLOBAL, machine, None
+        )
+        assert key != ArtifactStore.key(
+            program, Variant.SLP, machine, None
+        )
+        assert key != ArtifactStore.key(
+            program, Variant.GLOBAL, machine.with_datapath(256), None
+        )
+
+
+class TestCorruptEntries:
+    def test_truncated_pickle_is_a_miss_and_evicted(
+        self, tmp_path, compiled
+    ):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        path = store._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+
+        assert store.get(key) is None
+        assert store.corrupt_evictions == 1
+        assert not path.exists(), "the poisoned entry must be deleted"
+        # The store recovers: a rewrite makes the key readable again.
+        store.put(key, result)
+        assert store.get(key) == result
+
+    def test_garbage_bytes_are_a_miss_and_evicted(self, tmp_path, compiled):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        store._path(key).write_bytes(b"not a pickle at all")
+        assert store.get(key) is None
+        assert store.corrupt_evictions == 1
+        assert store.stats().corrupt_evictions == 1
+        assert store.stats().entries == 0
+
+    def test_wrong_pickle_payload_still_loads(self, tmp_path, compiled):
+        # A *valid* pickle of the wrong thing is not corruption — the
+        # store is content-addressed, so this can only happen to code
+        # that bypasses key(); it must not crash either way.
+        _program, _result, key = compiled
+        store = ArtifactStore(tmp_path)
+        store._path(key).write_bytes(pickle.dumps({"not": "a result"}))
+        assert store.get(key) == {"not": "a result"}
+
+
+class TestStatsAndPrune:
+    def test_stats_counts_entries_and_bytes(self, tmp_path, compiled):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        store.put(key + "b", result)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.bytes == sum(
+            p.stat().st_size for p in store.root.glob("*.pkl")
+        )
+        assert stats.bytes > 0
+
+    def test_prune_evicts_lru_first(self, tmp_path, compiled):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        keys = [f"{key}{i}" for i in range(4)]
+        for index, k in enumerate(keys):
+            store.put(k, result)
+            # Distinct, strictly increasing mtimes without sleeping.
+            os.utime(store._path(k), (1000 + index, 1000 + index))
+        # A hit refreshes recency: keys[0] becomes the newest.
+        assert store.get(keys[0]) is not None
+        entry_bytes = store._path(keys[0]).stat().st_size
+        removed = store.prune(2 * entry_bytes)
+        assert removed == 2
+        assert store.pruned == 2
+        # The oldest untouched entries (keys[1], keys[2]) went first.
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[3]) is not None
+        assert not store._path(keys[1]).exists()
+        assert not store._path(keys[2]).exists()
+
+    def test_prune_noop_under_budget(self, tmp_path, compiled):
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        assert store.prune(1 << 30) == 0
+        assert store.stats().entries == 1
+
+
+# -- concurrent access ---------------------------------------------------------
+
+
+def _hammer(payload):
+    """One worker process: compile-through-the-store over a shared key
+    space, occasionally poisoning an entry to simulate a torn write.
+    Returns (cycles-per-key, corrupt_evictions) for cross-checking."""
+    root, worker_index, rounds = payload
+    from repro import ArtifactStore, Variant, compile_program
+    from repro.bench import KERNELS
+    from repro.vm import MACHINES, Simulator
+
+    machine = MACHINES["intel"]()
+    store = ArtifactStore(root)
+    names = ("milc", "lbm", "cg")
+    observed = {}
+    for round_index in range(rounds):
+        name = names[(worker_index + round_index) % len(names)]
+        program = KERNELS[name].build(6)
+        key = ArtifactStore.key(program, Variant.GLOBAL, machine, None)
+        result = store.get(key)
+        if result is None:
+            result = compile_program(program, Variant.GLOBAL, machine)
+            store.put(key, result)
+        report, _memory = Simulator(result.machine).run(
+            result.plan, seed=0
+        )
+        observed.setdefault(name, set()).add(report.cycles)
+        if round_index == rounds // 2 and worker_index == 0:
+            # Poison one entry mid-run; every process must shrug it off.
+            store._path(key).write_bytes(b"\x80torn")
+    return (
+        {name: sorted(values) for name, values in observed.items()},
+        store.corrupt_evictions,
+    )
+
+
+class TestConcurrentAccess:
+    def test_many_processes_one_directory(self, tmp_path):
+        """No torn reads, no exceptions, and every process observes the
+        same cycle count per kernel no matter who compiled it."""
+        workers = 4
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(
+                    _hammer,
+                    [(str(tmp_path), i, 8) for i in range(workers)],
+                )
+            )
+        merged = {}
+        for observed, _evictions in outcomes:
+            for name, values in observed.items():
+                merged.setdefault(name, set()).update(values)
+        for name, values in merged.items():
+            assert len(values) == 1, (
+                f"{name}: processes observed different results {values}"
+            )
+        # The store ends healthy and fully readable.
+        store = ArtifactStore(tmp_path)
+        stats = store.stats()
+        assert 1 <= stats.entries <= 3
