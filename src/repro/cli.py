@@ -651,7 +651,8 @@ def build_parser() -> argparse.ArgumentParser:
             help="SIMD width in bits (default: the machine's)",
         )
         p.add_argument(
-            "--engine", choices=("reference", "batched"), default=None,
+            "--engine", choices=("reference", "batched", "compiled"),
+            default=None,
             help="simulation engine (default: $REPRO_SIM_ENGINE, then"
             " the reference interpreter); both produce identical"
             " reports",

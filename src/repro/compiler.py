@@ -113,10 +113,13 @@ class CompilerOptions:
     #: compile-time benchmarking.
     grouping_engine: str = "incremental"
     #: Simulation engine for runs driven by these options: "reference"
-    #: (per-instruction interpreter) or "batched" (vectorized loop
-    #: engine, report-identical — see ``repro.vm.batched``). ``None``
-    #: defers to the ``REPRO_SIM_ENGINE`` environment variable, then to
-    #: "reference". Compilation itself is engine-independent.
+    #: (per-instruction interpreter), "batched" (vectorized loop
+    #: engine, report-identical — see ``repro.vm.batched``), or
+    #: "compiled" (per-loop NumPy codegen with peephole
+    #: superoptimization, also report-identical — see
+    #: ``repro.vm.compiled``). ``None`` defers to the
+    #: ``REPRO_SIM_ENGINE`` environment variable, then to "reference".
+    #: Compilation itself is engine-independent.
     engine: Optional[str] = None
     #: Pipeline verifier stages to run during compilation: "none",
     #: "all", or a comma-separated subset of "ir", "schedule", "plan"

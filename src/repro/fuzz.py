@@ -68,7 +68,7 @@ VECTOR_VARIANTS = (
     Variant.GLOBAL,
     Variant.GLOBAL_LAYOUT,
 )
-SIM_ENGINES = ("reference", "batched")
+SIM_ENGINES = ("reference", "batched", "compiled")
 
 # ---------------------------------------------------------------------------
 # Program generator
@@ -384,9 +384,10 @@ def differential_check(
                     format_failure(exc),
                 )
             plans[grouping] = result
+            reports = {}
             for sim_engine in SIM_ENGINES:
                 try:
-                    _, mem = Simulator(machine, engine=sim_engine).run(
+                    report, mem = Simulator(machine, engine=sim_engine).run(
                         result.plan, seed=sim_seed
                     )
                 except Exception as exc:
@@ -401,6 +402,20 @@ def differential_check(
                     return diverged(
                         "memory", variant.value, grouping, sim_engine,
                         mismatch,
+                    )
+                reports[sim_engine] = report
+            # Every engine must produce a bit-identical ExecutionReport
+            # — cycles, charge buckets, cache hits/misses, provenance —
+            # not just the same memory. Dataclass equality covers all
+            # fields.
+            for sim_engine, report in reports.items():
+                if sim_engine == "reference":
+                    continue
+                if report != reports["reference"]:
+                    return diverged(
+                        "report", variant.value, grouping, sim_engine,
+                        f"{sim_engine} ExecutionReport differs from "
+                        "reference",
                     )
         if len(plans) == 2:
             texts = {
@@ -576,6 +591,36 @@ def buggy_swap_mutator(
     return Schedule(schedule.block, list(reversed(schedule.items)))
 
 
+def buggy_peephole_mutator(body, label: str):
+    """A deliberately broken peephole "rewrite" for exercising the
+    3-engine oracle: reverses the sources of the first ``VPack`` that
+    packs at least two distinct locations (so the compiled kernel
+    computes with permuted lanes), or failing that rotates the first
+    ``VShuffle``'s permutation. Returns ``None`` when the body offers
+    nothing to break.
+
+    Install via ``repro.vm.peephole.DEBUG_MUTATOR = \
+buggy_peephole_mutator`` (kernel caching is bypassed while a mutator is
+    active); the mutation tests prove ``differential_check`` reports the
+    resulting divergence.
+    """
+    from .vm import VPack, VShuffle
+
+    mutated = list(body)
+    for i, instr in enumerate(mutated):
+        if isinstance(instr, VPack) and len(set(instr.sources)) >= 2:
+            mutated[i] = replace(
+                instr, sources=tuple(reversed(instr.sources))
+            )
+            return mutated
+    for i, instr in enumerate(mutated):
+        if isinstance(instr, VShuffle) and len(set(instr.perm)) >= 2:
+            rotated = instr.perm[1:] + instr.perm[:1]
+            mutated[i] = replace(instr, perm=rotated)
+            return mutated
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Campaign driver
 # ---------------------------------------------------------------------------
@@ -667,6 +712,7 @@ __all__ = [
     "Divergence",
     "FuzzCase",
     "FuzzReport",
+    "buggy_peephole_mutator",
     "buggy_swap_mutator",
     "differential_check",
     "fuzz",

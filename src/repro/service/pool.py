@@ -101,7 +101,7 @@ def _execute_job(
         }
         if job["kind"] == "simulate":
             report, memory = Simulator(
-                result.machine, engine=options.engine
+                result.machine, engine=options.engine, kernel_store=store
             ).run(result.plan, seed=job.get("seed", 0))
             if trace:
                 fold_report(report)

@@ -23,6 +23,15 @@ Design points:
   and counted in ``corrupt_evictions``.
 * **Bounded size.** :meth:`prune` evicts least-recently-used entries
   (hits refresh an entry's mtime) until the store fits a byte budget.
+* **Two artifact kinds.** Compile results (``.pkl``) are keyed by
+  :meth:`key`, which normalizes the simulation engine *out* — the
+  engine plays no part in compilation, so reference/batched/compiled
+  runs share compile entries. Compiled-engine kernels (``.kern.pkl``,
+  :meth:`get_kernel`/:meth:`put_kernel`) are keyed separately by the
+  kernel fingerprint from :func:`repro.vm.compiled.kernel_fingerprint`,
+  which covers the plan content, machine, and codegen version — so warm
+  service workers reuse emitted kernels across processes without ever
+  re-running codegen.
 """
 
 from __future__ import annotations
@@ -61,8 +70,12 @@ class StoreStats:
 class ArtifactStore:
     """On-disk, content-addressed memo of pickled compile artifacts."""
 
-    #: Filename suffix of committed entries.
+    #: Filename suffix of committed compile entries.
     SUFFIX = ".pkl"
+    #: Filename suffix of compiled-engine kernel entries. Distinct from
+    #: ``SUFFIX`` so a kernel fingerprint can never collide with a
+    #: compile key; both kinds participate in :meth:`stats`/:meth:`prune`.
+    KERNEL_SUFFIX = ".kern.pkl"
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
@@ -144,6 +157,55 @@ class ArtifactStore:
                 pickle.dump(result, handle)
             os.replace(tmp, self._path(key))
             self.puts += 1
+        except OSError:  # pragma: no cover - store is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- compiled-engine kernels -----------------------------------------------
+
+    def _kernel_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}{self.KERNEL_SUFFIX}"
+
+    def get_kernel(self, fingerprint: str):
+        """Load a pickled :class:`repro.vm.compiled.PlanKernelsArtifact`
+        by kernel fingerprint, or ``None``. Same corruption policy as
+        :meth:`get`: unreadable entries are evicted and count as misses."""
+        path = self._kernel_path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            count("kernel_store.misses")
+            return None
+        except Exception:
+            self.misses += 1
+            self.corrupt_evictions += 1
+            count("kernel_store.misses")
+            count("store.corrupt_evictions")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        count("kernel_store.hits")
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return artifact
+
+    def put_kernel(self, fingerprint: str, artifact) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifact, handle)
+            os.replace(tmp, self._kernel_path(fingerprint))
+            self.puts += 1
+            count("kernel_store.puts")
         except OSError:  # pragma: no cover - store is best-effort
             try:
                 os.unlink(tmp)

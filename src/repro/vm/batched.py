@@ -242,7 +242,7 @@ class BatchedEngine:
             ends - flat_counts, flat_counts
         )
         lines = np.repeat(flat_firsts, flat_counts) + offsets
-        misses = int((~self.cache.replay_lines(lines)).sum())
+        misses = int((~self._replay_stream(lines)).sum())
         machine = self.machine
         per_element = machine.scalar_load + machine.scalar_store
         amortized = (
@@ -255,21 +255,24 @@ class BatchedEngine:
 
     # -- timing replay ---------------------------------------------------------------
 
-    def _replay(
+    def _replay_stream(self, lines: np.ndarray) -> np.ndarray:
+        """Run a chronological line stream through the LRU machine;
+        subclass hook (the compiled engine substitutes the vectorized
+        bulk replay, which is state- and result-identical)."""
+        return self.cache.replay_lines(lines)
+
+    def _build_line_stream(
         self,
         program: _LoopProgram,
         trips: int,
         ivals: np.ndarray,
         streams: Dict[Affine, Tuple[int, int]],
-    ) -> None:
-        """Replay every cache access of the whole loop, in the exact
-        chronological order the interpreter would issue them
-        (iteration-major, then slot order, then line order within one
-        access), through the LRU state machine."""
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The whole loop's chronological line-ID stream — iteration-
+        major, then slot order, then line order within one access —
+        plus per-element touch attribution and per-touch line totals."""
         touches = program.touches
         m = len(touches)
-        if m == 0:
-            return
         memory = self.memory
         line_bytes = self.cache.config.line_bytes
         firsts = np.empty((trips, m), dtype=np.int64)
@@ -297,11 +300,39 @@ class BatchedEngine:
         touch_ids = np.repeat(
             np.tile(np.arange(m, dtype=np.int64), trips), flat_counts
         )
-        hit_mask = self.cache.replay_lines(lines)
+        return lines, touch_ids, counts.sum(axis=0)
+
+    def _replay(
+        self,
+        program: _LoopProgram,
+        trips: int,
+        ivals: np.ndarray,
+        streams: Dict[Affine, Tuple[int, int]],
+    ) -> None:
+        """Replay every cache access of the whole loop, in the exact
+        chronological order the interpreter would issue them, through
+        the LRU state machine, attributing misses per touch."""
+        m = len(program.touches)
+        if m == 0:
+            return
+        lines, touch_ids, lines_per_touch = self._build_line_stream(
+            program, trips, ivals, streams
+        )
+        self._attribute_replay(program, lines, touch_ids, lines_per_touch)
+
+    def _attribute_replay(
+        self,
+        program: _LoopProgram,
+        lines: np.ndarray,
+        touch_ids: np.ndarray,
+        lines_per_touch: np.ndarray,
+    ) -> None:
+        touches = program.touches
+        m = len(touches)
+        hit_mask = self._replay_stream(lines)
         misses_per_touch = np.bincount(
             touch_ids[~hit_mask], minlength=m
         )
-        lines_per_touch = counts.sum(axis=0)
 
         report = self.report
         penalty = self.machine.l1.miss_penalty

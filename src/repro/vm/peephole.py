@@ -1,0 +1,352 @@
+"""Superoptimizing peephole pass over vector loop bodies.
+
+The compiled engine (``repro.vm.compiled``) emits one NumPy function
+per affine loop. Before emission it runs this pass over the loop body
+to strip work the scheduler could not see past — the same class of
+redundancies Souper hunts in LLVM IR, restricted to the patterns our
+virtual vector ISA actually produces:
+
+* **shuffle-of-shuffle composition** — ``VShuffle(b, a, p)`` followed
+  by ``VShuffle(c, b, q)`` (with ``b``'s definition still current)
+  becomes ``VShuffle(c, a, p∘q)``; a permutation chain collapses to
+  one.
+* **identity-shuffle elimination** — a shuffle whose composed
+  permutation is the full-width identity becomes a :class:`VCopy`.
+* **pack forwarding** — a ``VPack`` whose lanes re-load exactly the
+  locations a single earlier register was stored to (with no
+  intervening may-alias write) becomes a shuffle — or copy — of that
+  register: the *indirect superword reuse* of Section 4.3, recovered
+  at emission time when the scheduler materialized it through memory.
+* **dead-definition removal** — a pure register definition that is
+  redefined before any read is dropped.
+
+The rewritten body is **only** used to generate the functional kernel:
+cycle/cache accounting always derives from the original instruction
+stream, so reports stay bit-identical to the reference interpreter by
+construction. Each rewrite is recorded as a :class:`PeepholeEvent`
+carrying the provenance IDs of the instructions involved, and mirrored
+to ``TRACE`` when tracing is enabled.
+
+The pass is idempotent: running it on its own output performs no
+further rewrites (``tests/test_compiled_engine.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..trace import TRACE
+from .isa import (
+    Instruction,
+    MemRef,
+    ScalarExec,
+    ScalarRef,
+    ValueRef,
+    VOp,
+    VPack,
+    VShuffle,
+    VStore,
+)
+
+#: Test hook: when set, ``peephole_optimize`` applies this function to
+#: its result (``(body, label) -> Optional[new_body]``), letting the
+#: differential-fuzz mutation tests inject a *broken* rewrite and prove
+#: the 3-engine oracle catches it. Kernel caching is bypassed while a
+#: mutator is installed (see ``repro.vm.compiled``).
+DEBUG_MUTATOR: Optional[
+    Callable[[List[Instruction], str], Optional[List[Instruction]]]
+] = None
+
+
+@dataclass(frozen=True)
+class VCopy:
+    """Emission-level register copy: ``dst[l] = src[l]`` for all lanes.
+
+    Produced only by this pass (for full-width identity shuffles and
+    aligned pack forwards); it never reaches the interpreter, the
+    batched engine, or the machine models, so it carries no cost
+    metadata.
+    """
+
+    dst: int
+    src: int
+    prov: Optional[str] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class PeepholeEvent:
+    """One rewrite performed by the pass."""
+
+    kind: str
+    #: Index of the rewritten instruction in the body *at rewrite time*.
+    index: int
+    #: Provenance IDs of every instruction involved (rewritten one
+    #: first), with ``None`` entries dropped.
+    provs: Tuple[str, ...]
+    detail: str
+
+
+def _identity(perm: Sequence[int]) -> bool:
+    return all(p == l for l, p in enumerate(perm))
+
+
+def _lanes_of(instr: Optional[Instruction]) -> Optional[int]:
+    """Lane count a definition produces, when statically known."""
+    if isinstance(instr, VOp):
+        return instr.lanes
+    if isinstance(instr, VPack):
+        return len(instr.sources)
+    if isinstance(instr, VShuffle):
+        return len(instr.perm)
+    return None
+
+
+def _may_alias(a: ValueRef, b: ValueRef) -> bool:
+    """Conservative may-alias for refs inside one loop body: distinct
+    affine subscripts of the same array can still collide at some
+    iteration, so any same-array pair aliases; scalars alias by name;
+    immediates alias nothing."""
+    if isinstance(a, MemRef) and isinstance(b, MemRef):
+        return a.array == b.array
+    if isinstance(a, ScalarRef) and isinstance(b, ScalarRef):
+        return a.name == b.name
+    return False
+
+
+def _writes_of(instr: Instruction) -> Tuple[ValueRef, ...]:
+    if isinstance(instr, VStore):
+        return instr.targets
+    if isinstance(instr, ScalarExec):
+        return (instr.store,)
+    return ()
+
+
+def _reg_reads(instr: Instruction) -> Tuple[int, ...]:
+    if isinstance(instr, VOp):
+        return instr.srcs
+    if isinstance(instr, (VShuffle, VCopy)):
+        return (instr.src,)
+    if isinstance(instr, VStore):
+        return (instr.src,)
+    return ()
+
+
+def _reg_def(instr: Instruction) -> Optional[int]:
+    if isinstance(instr, (VPack, VOp, VShuffle, VCopy)):
+        return instr.dst
+    return None
+
+
+def _provs(*instrs: Instruction) -> Tuple[str, ...]:
+    out: List[str] = []
+    for instr in instrs:
+        prov = getattr(instr, "prov", None)
+        if prov is not None and prov not in out:
+            out.append(prov)
+    return tuple(out)
+
+
+class _Rewriter:
+    """One forward pass applying every applicable rewrite in place."""
+
+    def __init__(self, body: List[Instruction], events: List[PeepholeEvent]):
+        self.body = body
+        self.events = events
+        self.changed = False
+        #: Latest still-current definition per register.
+        self.defs: Dict[int, Instruction] = {}
+        #: Memory-forwarding state: stored location -> (register, lane,
+        #: def-generation of that register at store time).
+        self.stores: Dict[ValueRef, Tuple[int, int, int]] = {}
+        self.generation: Dict[int, int] = {}
+
+    def _emit(self, kind: str, index: int, detail: str, *instrs) -> None:
+        event = PeepholeEvent(kind, index, _provs(*instrs), detail)
+        self.events.append(event)
+        if TRACE.enabled:
+            TRACE.event(
+                "peephole." + kind,
+                index=index,
+                provs=list(event.provs),
+                detail=detail,
+            )
+        self.changed = True
+
+    def _invalidate_writes(self, instr: Instruction) -> None:
+        writes = _writes_of(instr)
+        if not writes:
+            return
+        dead = [
+            loc
+            for loc in self.stores
+            if any(_may_alias(loc, w) for w in writes)
+        ]
+        for loc in dead:
+            del self.stores[loc]
+
+    def run(self) -> None:
+        body = self.body
+        for i in range(len(body)):
+            instr = body[i]
+            if isinstance(instr, VShuffle):
+                instr = self._rewrite_shuffle(i, instr)
+            elif isinstance(instr, VPack):
+                instr = self._rewrite_pack(i, instr)
+            reg = _reg_def(instr)
+            if reg is not None:
+                self.defs[reg] = instr
+                self.generation[reg] = self.generation.get(reg, 0) + 1
+            if isinstance(instr, VStore):
+                self._invalidate_writes(instr)
+                gen = self.generation.get(instr.src, 0)
+                for lane, target in enumerate(instr.targets):
+                    self.stores[target] = (instr.src, lane, gen)
+            elif isinstance(instr, ScalarExec):
+                self._invalidate_writes(instr)
+
+    def _copy_or_shuffle(
+        self, dst: int, src: int, perm: Tuple[int, ...], prov: Optional[str]
+    ) -> Instruction:
+        """A copy is only width-safe when the permutation is the
+        identity over *all* of the source's lanes."""
+        if _identity(perm) and _lanes_of(self.defs.get(src)) == len(perm):
+            return VCopy(dst, src, prov=prov)
+        return VShuffle(dst, src, perm, prov=prov)
+
+    def _rewrite_shuffle(self, i: int, instr: VShuffle) -> Instruction:
+        src_def = self.defs.get(instr.src)
+        if isinstance(src_def, VShuffle):
+            # dst[l] = src[perm[l]] and src[k] = origin[inner[k]], so
+            # dst[l] = origin[inner[perm[l]]].
+            composed = tuple(src_def.perm[p] for p in instr.perm)
+            new = self._copy_or_shuffle(
+                instr.dst, src_def.src, composed, instr.prov
+            )
+            self._emit(
+                "shuffle_compose",
+                i,
+                f"v{instr.src} <- v{src_def.src} composed",
+                instr,
+                src_def,
+            )
+            self.body[i] = instr = new  # type: ignore[assignment]
+        elif isinstance(src_def, VCopy):
+            new = self._copy_or_shuffle(
+                instr.dst, src_def.src, instr.perm, instr.prov
+            )
+            self._emit(
+                "shuffle_compose",
+                i,
+                f"v{instr.src} <- v{src_def.src} copy-propagated",
+                instr,
+                src_def,
+            )
+            self.body[i] = instr = new  # type: ignore[assignment]
+        if isinstance(instr, VShuffle) and _identity(instr.perm):
+            if _lanes_of(self.defs.get(instr.src)) == len(instr.perm):
+                new = VCopy(instr.dst, instr.src, prov=instr.prov)
+                self._emit(
+                    "identity_shuffle",
+                    i,
+                    f"v{instr.dst} = shuffle(v{instr.src}, id)",
+                    instr,
+                )
+                self.body[i] = instr = new  # type: ignore[assignment]
+        return instr
+
+    def _rewrite_pack(self, i: int, instr: VPack) -> Instruction:
+        hits = []
+        for source in instr.sources:
+            entry = self.stores.get(source)
+            if entry is None:
+                return instr
+            hits.append(entry)
+        regs = {reg for reg, _, _ in hits}
+        if len(regs) != 1:
+            return instr
+        reg = hits[0][0]
+        if {gen for _, _, gen in hits} != {self.generation.get(reg, 0)}:
+            return instr  # the register was overwritten since the store
+        perm = tuple(lane for _, lane, _ in hits)
+        new = self._copy_or_shuffle(instr.dst, reg, perm, instr.prov)
+        src_def = self.defs.get(reg)
+        self._emit(
+            "pack_forward",
+            i,
+            f"v{instr.dst} re-packs lanes of v{reg} via {perm}",
+            *([instr] if src_def is None else [instr, src_def]),
+        )
+        self.body[i] = new
+        return new
+
+
+def _remove_dead_defs(
+    body: List[Instruction], events: List[PeepholeEvent]
+) -> Tuple[List[Instruction], bool]:
+    """Drop pure register definitions that are redefined before any
+    read. Definitions still live at the end of the body are kept — the
+    engine publishes final register values."""
+    dead = set()
+    for i, instr in enumerate(body):
+        reg = _reg_def(instr)
+        if reg is None:
+            continue
+        for j in range(i + 1, len(body)):
+            later = body[j]
+            if reg in _reg_reads(later):
+                break
+            if _reg_def(later) == reg:
+                dead.add(i)
+                event = PeepholeEvent(
+                    "dead_def",
+                    i,
+                    _provs(instr),
+                    f"v{reg} redefined before any read",
+                )
+                events.append(event)
+                if TRACE.enabled:
+                    TRACE.event(
+                        "peephole.dead_def",
+                        index=i,
+                        provs=list(event.provs),
+                        detail=event.detail,
+                    )
+                break
+    if not dead:
+        return body, False
+    return [ins for i, ins in enumerate(body) if i not in dead], True
+
+
+def peephole_optimize(
+    body: Sequence[Instruction], label: str = ""
+) -> Tuple[List[Instruction], List[PeepholeEvent]]:
+    """Optimize one loop body for emission; returns the rewritten body
+    and the list of rewrites performed (empty when nothing fired).
+
+    Iterates the rewrite rules to a fixpoint; the result is idempotent
+    (a second run performs zero rewrites). ``label`` names the loop for
+    :data:`DEBUG_MUTATOR`.
+    """
+    current = list(body)
+    events: List[PeepholeEvent] = []
+    for _ in range(len(current) + 2):
+        rewriter = _Rewriter(current, events)
+        rewriter.run()
+        current, removed = _remove_dead_defs(current, events)
+        if not rewriter.changed and not removed:
+            break
+    mutator = DEBUG_MUTATOR
+    if mutator is not None:
+        mutated = mutator(current, label)
+        if mutated is not None:
+            current = list(mutated)
+    return current, events
+
+
+__all__ = [
+    "DEBUG_MUTATOR",
+    "PeepholeEvent",
+    "VCopy",
+    "peephole_optimize",
+]

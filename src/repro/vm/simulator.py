@@ -200,8 +200,10 @@ def evaluate_expr(expr: Expr, env: Dict[str, int], memory: Memory) -> float:
 #: interpreter below; ``batched`` is the vectorized loop engine in
 #: :mod:`repro.vm.batched`, proven report-identical by differential
 #: tests and falling back here per-unit whenever a loop is not
-#: batchable.
-ENGINES = ("reference", "batched")
+#: batchable; ``compiled`` additionally emits one specialized NumPy
+#: function per affine loop (:mod:`repro.vm.compiled`), cached across
+#: runs, and falls back to the batched path per-unit.
+ENGINES = ("reference", "batched", "compiled")
 
 #: Environment variable consulted when no engine is given explicitly —
 #: lets existing harnesses (the fig16–fig21 benches, ``run_suite``
@@ -224,12 +226,21 @@ class Simulator:
 
     ``engine`` selects the execution strategy (see :data:`ENGINES`);
     ``None`` defers to the ``REPRO_SIM_ENGINE`` environment variable and
-    then to the reference interpreter.
+    then to the reference interpreter. ``kernel_store``, when given, is
+    an :class:`repro.store.ArtifactStore` the compiled engine uses to
+    persist emitted kernels across processes (warm service workers load
+    instead of re-emitting).
     """
 
-    def __init__(self, machine: MachineModel, engine: Optional[str] = None):
+    def __init__(
+        self,
+        machine: MachineModel,
+        engine: Optional[str] = None,
+        kernel_store=None,
+    ):
         self.machine = machine
         self.engine = resolve_engine(engine)
+        self.kernel_store = kernel_store
 
     def run(
         self,
@@ -246,6 +257,13 @@ class Simulator:
                 from .batched import BatchedEngine
 
                 state.batched = BatchedEngine(state)
+            elif self.engine == "compiled":
+                from .compiled import CompiledEngine, load_plan_kernels
+
+                kernels = load_plan_kernels(
+                    plan, self.machine, self.kernel_store
+                )
+                state.batched = CompiledEngine(state, plan, kernels)
             env: Dict[str, int] = {}
             for unit in plan.units:
                 self._run_unit(unit, env, state)

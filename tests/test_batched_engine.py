@@ -293,7 +293,7 @@ class TestEngineSelection:
             resolve_engine("simd-ultra")
 
     def test_engines_registry(self):
-        assert ENGINES == ("reference", "batched")
+        assert ENGINES == ("reference", "batched", "compiled")
         assert set(MACHINES) == {"intel", "amd"}
 
 
