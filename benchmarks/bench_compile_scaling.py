@@ -32,7 +32,6 @@ assertions.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
@@ -41,6 +40,7 @@ from conftest import write_result
 
 from repro import CompilerOptions, Variant, compile_program
 from repro.bench import ALL_KERNELS, KERNELS, ascii_table, intel_dunnington
+from repro.bench.record import write_bench_json
 from repro.bench.suite import run_suite
 from repro.ir import ProgramBuilder
 from repro.ir.types import FLOAT64
@@ -281,9 +281,7 @@ def test_compile_scaling(results_dir):
     payload["summary"]["scaling_exact_ratios"] = exact_ratio
 
     # -- artifacts ---------------------------------------------------------
-    (results_dir / "BENCH_compile.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_bench_json(results_dir / "BENCH_compile.json", payload)
 
     table_rows = []
     for r in payload["suite"] + payload["scaling"]:

@@ -23,7 +23,6 @@ equality but skips the ratio gate.
 
 from __future__ import annotations
 
-import json
 import os
 import statistics
 import subprocess
@@ -35,6 +34,7 @@ from conftest import write_result
 
 from repro import Variant, compile_program
 from repro.bench import KERNELS, ascii_table
+from repro.bench.record import write_bench_json
 from repro.ir.printer import format_program
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceThread
@@ -147,9 +147,7 @@ def test_service_latency(results_dir):
             f"(cold {cold_median * 1e3:.1f}ms, warm {warm_median * 1e3:.1f}ms)"
         )
 
-    (results_dir / "BENCH_service.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_bench_json(results_dir / "BENCH_service.json", payload)
     rows = [
         (
             entry["kernel"],

@@ -39,7 +39,6 @@ full-run only: CI machines are too noisy to pin wall-clock ratios).
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
@@ -54,6 +53,7 @@ from repro.bench import (
     ascii_table,
     intel_dunnington,
 )
+from repro.bench.record import write_bench_json
 from repro.bench.suite import DEFAULT_VARIANTS
 from repro.perf import PERF
 from repro.vm import Simulator
@@ -261,9 +261,7 @@ def test_sim_engine(results_dir):
         )
 
     # -- artifacts ---------------------------------------------------------
-    (results_dir / "BENCH_sim_engine.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    write_bench_json(results_dir / "BENCH_sim_engine.json", payload)
 
     table_rows = [
         (

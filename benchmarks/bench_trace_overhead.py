@@ -22,7 +22,6 @@ still land under 2%.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -30,6 +29,7 @@ from conftest import SUITE_N, write_result
 
 from repro import Variant, compile_program
 from repro.bench import ALL_KERNELS, intel_dunnington
+from repro.bench.record import write_bench_json
 from repro.trace import TRACE, validate_records
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -96,9 +96,7 @@ def test_disabled_tracing_overhead(results_dir):
         "estimated_disabled_overhead_fraction": round(estimated, 6),
         "threshold_fraction": THRESHOLD,
     }
-    (results_dir / "BENCH_trace_overhead.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_bench_json(results_dir / "BENCH_trace_overhead.json", payload)
     write_result(
         results_dir / "trace_overhead.txt",
         "Disabled-tracer compile-time overhead (conservative bound)",

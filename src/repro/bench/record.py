@@ -1,0 +1,97 @@
+"""Shared recording helper for machine-readable benchmark artifacts.
+
+Every ``benchmarks/results/BENCH_*.json`` writer goes through
+:func:`write_bench_json`, which stamps a ``bench_meta`` block onto the
+payload::
+
+    "bench_meta": {
+        "schema": "repro.bench/1",
+        "fingerprint": {"id": "9b2f...", "system": "Linux", ...}
+    }
+
+The fingerprint identifies the *recording machine class* — platform,
+architecture, Python major.minor, core count. The regression checker
+(:mod:`repro.bench.regress`) uses it to decide which metrics are
+comparable: deterministic metrics (simulated cycle counts, instruction
+counts) compare everywhere; wall-clock metrics only compare when the
+fingerprint matches, and are reported as *skipped* — not failed — when
+it does not. Committed baselines therefore stay useful in CI even
+though CI hardware differs from the machine that recorded them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Union
+
+#: Versioned schema of the ``bench_meta`` block.
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """A stable description of the recording machine class.
+
+    Deliberately coarse: it must be identical across runs on one
+    machine (no hostnames, no boot IDs) yet distinguish machines whose
+    wall-clock numbers are not comparable.
+    """
+    facets = {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+    blob = "\x00".join(f"{k}={facets[k]}" for k in sorted(facets))
+    facets["id"] = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+    return facets
+
+
+def fingerprints_match(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Do two fingerprints describe the same machine class?"""
+    return bool(a and b and a.get("id") and a.get("id") == b.get("id"))
+
+
+def write_bench_json(
+    path: Union[str, Path], payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Stamp ``bench_meta`` onto ``payload`` and write it as sorted,
+    indented JSON (the committed-artifact diff format). Returns the
+    stamped payload."""
+    stamped = dict(payload)
+    stamped["bench_meta"] = {
+        "schema": BENCH_SCHEMA,
+        "fingerprint": machine_fingerprint(),
+    }
+    Path(path).write_text(
+        json.dumps(stamped, indent=2, sort_keys=True) + "\n"
+    )
+    return stamped
+
+
+def read_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a benchmark artifact; raises ``ValueError`` when the file
+    predates (or mangles) the ``bench_meta`` schema — the checker must
+    never silently compare unversioned numbers."""
+    data = json.loads(Path(path).read_text())
+    meta = data.get("bench_meta")
+    if not isinstance(meta, dict) or meta.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: missing or unsupported bench_meta schema "
+            f"(expected {BENCH_SCHEMA!r}); re-record the baseline"
+        )
+    return data
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "fingerprints_match",
+    "machine_fingerprint",
+    "read_bench_json",
+    "write_bench_json",
+]

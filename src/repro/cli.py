@@ -14,7 +14,11 @@ Commands:
   enabled and show the decision/cost tree; diff two variants or two
   saved traces with ``--diff``.
 * ``bench`` — run the Table 3 suite on a machine model and print the
-  Figure 16/19-style table.
+  Figure 16/19-style table; ``--check`` gates the run against a
+  committed baseline (``--inject-slowdown`` is the CI mutation hook).
+* ``profile FILE`` — collapsed-stack (flamegraph-compatible) profile
+  of a compile: deterministic per-stage self-times by default, or a
+  wall-clock stack sampler with ``--mode sampled``.
 * ``kernels`` — list the benchmark kernels (Table 3).
 * ``verify FILE`` — structural well-formedness checks on a source file,
   then a fully-verified compile of every variant.
@@ -34,6 +38,8 @@ Examples::
     python -m repro compare saxpy.slp --machine amd
     python -m repro trace saxpy.slp --diff global:baseline
     python -m repro bench --n 64
+    python -m repro bench --check --baseline benchmarks/results/BENCH_suite.json
+    python -m repro profile --kernel cg --out cg.collapsed
     python -m repro verify saxpy.slp
     python -m repro fuzz --seed 0 --count 500
     python -m repro serve --workers 4 --cache-dir /var/cache/repro
@@ -415,6 +421,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 )
     if args.timings:
         print(PERF.report(), file=sys.stderr)
+
+    # -- the perf-regression gate (same suite run, no extra sweep) ------
+    if args.write_baseline or args.check:
+        from pathlib import Path
+
+        from .bench.regress import (
+            check_suite,
+            render_verdict,
+            write_suite_baseline,
+        )
+
+        if args.write_baseline:
+            write_suite_baseline(
+                Path(args.write_baseline), results,
+                machine=args.machine, n=args.n,
+            )
+            print(
+                f"baseline written to {args.write_baseline}",
+                file=sys.stderr,
+            )
+        if args.check:
+            try:
+                verdict = check_suite(
+                    Path(args.baseline),
+                    results,
+                    inject_slowdown=args.inject_slowdown,
+                    config={"machine": args.machine, "n": args.n},
+                )
+            except (OSError, ValueError) as exc:
+                print(f"repro bench --check: {exc}", file=sys.stderr)
+                return 2
+            if args.check_json:
+                import json
+
+                Path(args.check_json).write_text(
+                    json.dumps(verdict, indent=2, sort_keys=True) + "\n"
+                )
+            print(render_verdict(verdict))
+            if verdict["status"] != "ok":
+                status = 1
     return status
 
 
@@ -508,10 +554,73 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .perf import PERF
+    from .telemetry.profile import SamplingProfiler, stage_collapsed
+
+    if args.file:
+        program = _read_program(args.file)
+    elif args.kernel:
+        from .bench import KERNELS
+
+        if args.kernel not in KERNELS:
+            raise SystemExit(
+                f"repro profile: unknown kernel {args.kernel!r}"
+            )
+        program = KERNELS[args.kernel].build(args.n)
+    else:
+        raise SystemExit("repro profile: need a FILE or --kernel NAME")
+
+    machine = _machine(args.machine, args.datapath)
+    variant = VARIANTS[args.variant]
+    options = _options(args)
+
+    def workload() -> None:
+        result = compile_program(program, variant, machine, options)
+        if args.run:
+            Simulator(result.machine, engine=options.engine).run(
+                result.plan
+            )
+
+    if args.mode == "stages":
+        PERF.reset()
+        PERF.enable()
+        try:
+            for _ in range(args.repeat):
+                workload()
+            text = stage_collapsed(PERF.snapshot())
+        finally:
+            PERF.disable()
+    else:
+        profiler = SamplingProfiler(interval=args.interval)
+        with profiler:
+            for _ in range(args.repeat):
+                workload()
+        text = profiler.collapsed()
+        print(
+            f"{profiler.samples} samples at {args.interval * 1e3:.1f} ms",
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"collapsed stacks written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service.server import ReproService
+    from .telemetry.log import LOG
+
+    if args.log_json is not None:
+        if args.log_json == "-":
+            LOG.configure(service="repro-serve")
+        else:
+            LOG.configure(path=args.log_json, service="repro-serve")
 
     service = ReproService(
         host=args.host,
@@ -759,6 +868,33 @@ def build_parser() -> argparse.ArgumentParser:
         "fold per-kernel trace summaries into the report "
         "(bypasses the compile cache)",
     )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="gate this run against a committed baseline: deterministic"
+        " cycle/instruction metrics compare everywhere, wall-clock only"
+        " on the recording machine; nonzero exit on regression",
+    )
+    p_bench.add_argument(
+        "--baseline", default="benchmarks/results/BENCH_suite.json",
+        metavar="PATH",
+        help="baseline artifact for --check (default:"
+        " benchmarks/results/BENCH_suite.json)",
+    )
+    p_bench.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        dest="write_baseline",
+        help="record this run as a new baseline artifact",
+    )
+    p_bench.add_argument(
+        "--inject-slowdown", type=float, default=1.0,
+        dest="inject_slowdown", metavar="FACTOR",
+        help="multiply measured cycles before --check comparison"
+        " (mutation hook: CI proves FACTOR=2.0 fails the gate)",
+    )
+    p_bench.add_argument(
+        "--check-json", default=None, metavar="PATH", dest="check_json",
+        help="also write the --check verdict document to PATH",
+    )
     common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
@@ -836,7 +972,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before a silent worker is declared dead and the"
         " job retried on a fresh one (default: 300)",
     )
+    p_serve.add_argument(
+        "--log-json", nargs="?", const="-", default=None,
+        dest="log_json", metavar="PATH",
+        help="structured JSON-lines request logging, one record per"
+        " event with correlation IDs, to PATH (append) or stderr"
+        " when PATH is omitted",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="collapsed-stack (flamegraph) profile of a compile",
+    )
+    p_profile.add_argument(
+        "file", nargs="?", default=None,
+        help="a DSL source file (or use --kernel)",
+    )
+    p_profile.add_argument(
+        "--kernel", default=None, metavar="NAME",
+        help="profile a benchmark kernel by name instead of a file",
+    )
+    p_profile.add_argument(
+        "--n", type=int, default=64,
+        help="kernel size for --kernel (default: 64)",
+    )
+    p_profile.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="global"
+    )
+    p_profile.add_argument(
+        "--mode", choices=("stages", "sampled"), default="stages",
+        help="stages: deterministic per-stage self-times from the perf"
+        " registry (byte-stable, diffable); sampled: wall-clock stack"
+        " sampler (default: stages)",
+    )
+    p_profile.add_argument(
+        "--run", action="store_true",
+        help="profile the simulation too, not just the compile",
+    )
+    p_profile.add_argument(
+        "--repeat", type=int, default=1,
+        help="workload repetitions (sampled mode needs enough wall time"
+        " to collect samples; try 50)",
+    )
+    p_profile.add_argument(
+        "--interval", type=float, default=0.005,
+        help="sampling interval in seconds for --mode sampled"
+        " (default: 0.005)",
+    )
+    p_profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write collapsed stacks to PATH instead of stdout"
+        " (feed to flamegraph.pl or speedscope)",
+    )
+    common(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_submit = sub.add_parser(
         "submit",

@@ -93,7 +93,7 @@ def error_payload(exc: BaseException) -> Dict[str, Any]:
         "type": type(exc).__name__,
         "message": getattr(exc, "message", None) or str(exc),
     }
-    for attr in ("stage", "block", "provenance", "rule"):
+    for attr in ("stage", "block", "provenance", "rule", "request_id"):
         value = getattr(exc, attr, None)
         if value is not None:
             payload[attr] = value
@@ -105,7 +105,9 @@ def error_payload(exc: BaseException) -> Dict[str, Any]:
 
 
 def raise_from_payload(payload: Dict[str, Any]) -> None:
-    """Client side: re-raise the server's structured failure."""
+    """Client side: re-raise the server's structured failure. The
+    correlation ID travels next to the pickle (``ReproError.__reduce__``
+    only keeps the standard context), so it is re-stamped here."""
     blob = payload.get("pickle")
     if blob:
         try:
@@ -113,13 +115,18 @@ def raise_from_payload(payload: Dict[str, Any]) -> None:
         except Exception:
             exc = None
         if isinstance(exc, BaseException):
+            if payload.get("request_id"):
+                exc.request_id = payload["request_id"]
             raise exc
-    raise ServiceError(
+    error = ServiceError(
         f"{payload.get('type', 'Error')}: {payload.get('message', '')}",
         stage=payload.get("stage"),
         block=payload.get("block"),
         rule=payload.get("rule"),
     )
+    if payload.get("request_id"):
+        error.request_id = payload["request_id"]
+    raise error
 
 
 __all__ = [

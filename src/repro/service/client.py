@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 
 from ..compiler import CompileResult, CompilerOptions
 from ..errors import ServiceBusyError, ServiceError
+from ..telemetry.log import current_request_id, new_request_id
 from ..vm import ExecutionReport
 
 from . import (
@@ -48,6 +49,11 @@ class SubmitOutcome:
     key: str = ""
     summary: Dict[str, Any] = field(default_factory=dict)
     trace_summary: Optional[Dict[str, Any]] = None
+    #: The correlation ID this request carried end to end (client mints
+    #: it, server echoes it and stamps it on every log line and trace).
+    request_id: Optional[str] = None
+    #: When coalesced, the leader request whose compile this one shared.
+    leader_request_id: Optional[str] = None
 
 
 class ServiceClient:
@@ -122,6 +128,25 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=
+        prometheus``), returned raw — it is not JSON."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    f"HTTP {response.status} from /metrics?format="
+                    f"prometheus"
+                )
+        finally:
+            conn.close()
+        return raw.decode("utf-8")
+
     def is_up(self, timeout: float = 2.0) -> bool:
         """Is a compatible server answering? Used by ``repro submit``
         to decide between the service and local compilation."""
@@ -135,6 +160,12 @@ class ServiceClient:
     def _submit(
         self, kind: str, request: Dict[str, Any]
     ) -> SubmitOutcome:
+        # Mint the correlation ID client-side (unless an ambient one is
+        # already bound) so a caller can log it even when the request
+        # never reaches the server.
+        request.setdefault(
+            "request_id", current_request_id() or new_request_id()
+        )
         envelope = self._request("POST", f"/v1/{kind}", request)
         result = unpickle_b64(envelope["result"]["pickle"])
         outcome = SubmitOutcome(
@@ -144,6 +175,8 @@ class ServiceClient:
             key=envelope.get("key", ""),
             summary=envelope["result"].get("summary", {}),
             trace_summary=envelope.get("trace_summary"),
+            request_id=envelope.get("request_id"),
+            leader_request_id=envelope.get("leader_request_id"),
         )
         if "report" in envelope:
             outcome.report = unpickle_b64(envelope["report"]["pickle"])

@@ -8,29 +8,58 @@ who asked). The map only tracks in-flight work: once the leader
 finishes, the next identical request starts fresh (and will typically
 hit the artifact store instead).
 
+Correlation: the leader's request ID is kept alongside its future, so
+a follower's response (and log line) can carry ``leader_request_id`` —
+the N coalesced requests are joinable on one key in the logs.
+
 Single-event-loop discipline: all methods must be called from the
 owning loop. ``has``/``join``/``lead`` are split (rather than one
 ``do``) so the server can make the admission-control decision between
 them — a follower consumes no queue slot.
+
+Counters live in a :class:`~repro.telemetry.metrics.MetricsRegistry`
+(``repro_coalesce_total{role=leader|follower}``); ``leads`` and
+``coalesced`` remain as integer properties for the JSON ``/metrics``
+body and existing callers.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from ..telemetry.metrics import METRICS, MetricsRegistry
 
 
 class Coalescer:
     """Single-flight execution keyed by content hash."""
 
-    def __init__(self) -> None:
-        self._inflight: Dict[str, asyncio.Future] = {}
-        self.leads = 0
-        self.coalesced = 0
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._inflight: Dict[
+            str, Tuple[asyncio.Future, Optional[str]]
+        ] = {}
+        self._roles = (metrics or METRICS).counter(
+            "repro_coalesce_total",
+            "Requests by coalescing role",
+            labels=("role",),
+        )
+
+    @property
+    def leads(self) -> int:
+        return int(self._roles.labels(role="leader").value)
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._roles.labels(role="follower").value)
 
     def has(self, key: str) -> bool:
         """Is a leader currently running this key?"""
         return key in self._inflight
+
+    def leader_id(self, key: str) -> Optional[str]:
+        """The in-flight leader's request ID, for follower linkage."""
+        entry = self._inflight.get(key)
+        return entry[1] if entry else None
 
     @property
     def depth(self) -> int:
@@ -40,18 +69,21 @@ class Coalescer:
         """Follow the in-flight leader for ``key``. The shield keeps a
         cancelled follower (dropped connection) from cancelling the
         shared future under everyone else."""
-        self.coalesced += 1
-        return await asyncio.shield(self._inflight[key])
+        self._roles.labels(role="follower").inc()
+        return await asyncio.shield(self._inflight[key][0])
 
     async def lead(
-        self, key: str, thunk: Callable[[], Awaitable[Any]]
+        self,
+        key: str,
+        thunk: Callable[[], Awaitable[Any]],
+        request_id: Optional[str] = None,
     ) -> Any:
         """Run ``thunk`` as the leader for ``key``, publishing its
         outcome to every follower that joined meanwhile."""
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._inflight[key] = future
-        self.leads += 1
+        self._inflight[key] = (future, request_id)
+        self._roles.labels(role="leader").inc()
         try:
             result = await thunk()
         except BaseException as exc:

@@ -38,6 +38,8 @@ from typing import Any, Dict, Optional
 from ..errors import ReproError, ServiceError, WorkerCrashError
 from ..perf import PERF
 from ..store import ArtifactStore
+from ..telemetry.log import LOG, bind_request_id
+from ..telemetry.metrics import METRICS, MetricsRegistry
 from ..trace import TRACE, fold_report, summarize
 
 #: In-worker memo entries kept per shard (FIFO evicted). Small: the
@@ -75,8 +77,13 @@ def _execute_job(
         # Per-request tracing bypasses the memo and store: a cache hit
         # replays a stored plan without running the compiler, leaving
         # the trace with no compile-time decisions to attribute to.
+        # The correlation ID lands in the trace header, so a saved
+        # trace joins against the request's log lines.
         TRACE.reset()
-        TRACE.enable(key=key[:12], variant=variant.value)
+        meta = {"key": key[:12], "variant": variant.value}
+        if job.get("request_id"):
+            meta["request_id"] = job["request_id"]
+        TRACE.enable(**meta)
 
     try:
         result = None if trace else memo.get(key)
@@ -147,7 +154,8 @@ def _worker_main(conn, store_dir: Optional[str], test_hooks: bool) -> None:
         PERF.reset()
         PERF.enable()
         try:
-            payload = _execute_job(job, store, memo, test_hooks)
+            with bind_request_id(job.get("request_id")):
+                payload = _execute_job(job, store, memo, test_hooks)
             response = ("ok", payload, PERF.snapshot())
         except Exception as exc:
             response = ("error", exc, PERF.snapshot())
@@ -174,17 +182,29 @@ def _worker_main(conn, store_dir: Optional[str], test_hooks: bool) -> None:
 
 
 class _Worker:
-    """One shard: a process, its pipe, and a lock serializing jobs."""
+    """One shard: a process, its pipe, and a lock serializing jobs.
+
+    ``jobs``/``restarts`` live as per-shard labeled counters in the
+    pool's metrics registry; the integer properties keep the
+    ``stats()`` shape unchanged."""
 
     def __init__(self, index: int, pool: "WorkerPool"):
         self.index = index
         self.pool = pool
         self.lock = threading.Lock()
-        self.jobs = 0
-        self.restarts = 0
+        self._jobs = pool._jobs_family.labels(shard=index)
+        self._restarts = pool._restarts_family.labels(shard=index)
         self.process: Optional[multiprocessing.Process] = None
         self.conn = None
         self.spawn()
+
+    @property
+    def jobs(self) -> int:
+        return int(self._jobs.value)
+
+    @property
+    def restarts(self) -> int:
+        return int(self._restarts.value)
 
     def spawn(self) -> None:
         ctx = self.pool._ctx
@@ -215,7 +235,7 @@ class _Worker:
     def respawn(self) -> None:
         self.kill()
         self.spawn()
-        self.restarts += 1
+        self._restarts.inc()
 
     def stop(self) -> None:
         """Graceful: ask the loop to exit, then join."""
@@ -249,6 +269,7 @@ class WorkerPool:
         store_dir: Optional[str] = None,
         job_timeout: float = 300.0,
         test_hooks: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if shards < 1:
             raise ServiceError(f"need at least 1 worker shard, got {shards}")
@@ -257,10 +278,35 @@ class WorkerPool:
         self.test_hooks = test_hooks
         self._ctx = multiprocessing.get_context()
         self._merge_lock = threading.Lock()
-        self.crashes = 0
-        self.retries = 0
+        registry = metrics or METRICS
+        self._jobs_family = registry.counter(
+            "repro_pool_jobs_total",
+            "Jobs completed per worker shard",
+            labels=("shard",),
+        )
+        self._restarts_family = registry.counter(
+            "repro_pool_restarts_total",
+            "Worker respawns per shard",
+            labels=("shard",),
+        )
+        self._crashes = registry.counter(
+            "repro_pool_crashes_total",
+            "Worker deaths observed mid-job",
+        )
+        self._retries = registry.counter(
+            "repro_pool_retries_total",
+            "Jobs transparently retried after a worker death",
+        )
         self._closed = False
         self.workers = [_Worker(i, self) for i in range(shards)]
+
+    @property
+    def crashes(self) -> int:
+        return int(self._crashes.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
 
     # -- routing ---------------------------------------------------------------
 
@@ -276,6 +322,7 @@ class WorkerPool:
         worker death, then raises :class:`WorkerCrashError`."""
         if self._closed:
             raise ServiceError("pool is closed")
+        request_id = job.get("request_id")
         worker = self.workers[self.shard_for(job["key"])]
         with worker.lock:
             for attempt in (0, 1):
@@ -295,21 +342,49 @@ class WorkerPool:
                     OSError,
                     TimeoutError,
                 ) as transport:
-                    self.crashes += 1
+                    self._crashes.inc()
                     worker.respawn()
                     if attempt == 0:
-                        self.retries += 1
+                        self._retries.inc()
+                        if LOG.enabled:
+                            LOG.event(
+                                "pool.retry",
+                                request_id=request_id,
+                                shard=worker.index,
+                                cause=type(transport).__name__,
+                            )
                         continue
-                    raise WorkerCrashError(
+                    crash = WorkerCrashError(
                         f"worker shard {worker.index} died twice running "
                         f"one job ({type(transport).__name__}: {transport});"
                         f" giving up after one retry",
                         rule="service.worker-crash",
                     )
-                worker.jobs += 1
+                    # Correlate the structured failure with the request
+                    # (travels in the error payload next to the pickle).
+                    crash.request_id = request_id
+                    if LOG.enabled:
+                        LOG.event(
+                            "pool.crash",
+                            request_id=request_id,
+                            shard=worker.index,
+                            cause=type(transport).__name__,
+                        )
+                    raise crash
+                worker._jobs.inc()
                 if snapshot:
+                    # The worker's perf snapshot merges under the same
+                    # correlation ID the job ran with.
                     with self._merge_lock:
                         PERF.merge(snapshot)
+                    if LOG.enabled:
+                        LOG.event(
+                            "pool.perf_merge",
+                            request_id=request_id,
+                            shard=worker.index,
+                            sections=len(snapshot.get("sections", {})),
+                            counters=len(snapshot.get("counters", {})),
+                        )
                 if status == "error":
                     if isinstance(payload, BaseException):
                         raise payload

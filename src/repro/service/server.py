@@ -18,7 +18,8 @@ Endpoints (wire schema ``repro.service/1``, see
 * ``GET /healthz``      — liveness + drain state.
 * ``GET /metrics``      — service counters, per-stage latency
   histograms, pool/store stats, and the merged ``repro.perf``
-  registry from every worker.
+  registry from every worker (JSON by default;
+  ``?format=prometheus`` returns the text exposition v0.0.4).
 
 Failure and backpressure model:
 
@@ -42,6 +43,7 @@ import json
 import signal
 import sys
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
@@ -51,6 +53,12 @@ from ..ir import parse_program
 from ..ir.printer import format_program
 from ..perf import PERF
 from ..store import ArtifactStore
+from ..telemetry.log import LOG, bind_request_id, new_request_id
+from ..telemetry.metrics import Histogram, MetricsRegistry
+from ..telemetry.promtext import (
+    CONTENT_TYPE as PROM_CONTENT_TYPE,
+    render_prometheus,
+)
 from ..vm import MACHINES
 
 from . import (
@@ -82,37 +90,17 @@ MAX_BODY_BYTES = 64 << 20
 _VARIANTS = {v.value: v for v in Variant}
 
 
-class Histogram:
-    """A fixed-bucket latency histogram (milliseconds)."""
+# ``Histogram`` migrated to repro.telemetry.metrics (unchanged bucket
+# bounds and ``snapshot()`` JSON shape); the name stays importable from
+# here for existing callers.
 
-    BOUNDS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
 
-    def __init__(self) -> None:
-        self.counts = [0] * (len(self.BOUNDS_MS) + 1)
-        self.total = 0
-        self.sum_ms = 0.0
+@dataclasses.dataclass
+class _PlainText:
+    """A non-JSON response body (the Prometheus exposition)."""
 
-    def observe(self, seconds: float) -> None:
-        ms = seconds * 1e3
-        self.total += 1
-        self.sum_ms += ms
-        for index, bound in enumerate(self.BOUNDS_MS):
-            if ms <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    def snapshot(self) -> Dict[str, Any]:
-        buckets = {
-            f"le_{bound}": count
-            for bound, count in zip(self.BOUNDS_MS, self.counts)
-        }
-        buckets["inf"] = self.counts[-1]
-        return {
-            "count": self.total,
-            "sum_ms": round(self.sum_ms, 3),
-            "buckets": buckets,
-        }
+    content_type: str
+    text: str
 
 
 class ReproService:
@@ -138,8 +126,35 @@ class ReproService:
         self.job_timeout = job_timeout
         self.test_hooks = test_hooks
 
+        # Per-server registry: embedded test servers must not bleed
+        # counters into each other, so each instance owns its metrics;
+        # the process-global METRICS stays the default elsewhere.
+        self.metrics = MetricsRegistry()
+        self._requests_family = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by path",
+            labels=("path",),
+        )
+        self._served = self.metrics.counter(
+            "repro_requests_served_total",
+            "Successfully answered job requests",
+        )
+        self._rejected = self.metrics.counter(
+            "repro_requests_shed_total",
+            "Job requests shed with 429 under backpressure",
+        )
+        self._latency_family = self.metrics.histogram(
+            "repro_request_stage_latency_ms",
+            "Per-stage request latency (milliseconds)",
+            labels=("stage",),
+        )
+        self.latency = {
+            name: self._latency_family.labels(stage=name)
+            for name in ("parse", "queue_wait", "execute", "total")
+        }
+
         self.pool: Optional[WorkerPool] = None
-        self.coalescer = Coalescer()
+        self.coalescer = Coalescer(metrics=self.metrics)
         self.store = ArtifactStore(self.cache_dir) if self.cache_dir else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -149,13 +164,21 @@ class ReproService:
         self._idle = asyncio.Event()
         self._idle.set()
 
-        self.requests: Dict[str, int] = {}
-        self.served = 0
-        self.rejected = 0
-        self.latency = {
-            name: Histogram()
-            for name in ("parse", "queue_wait", "execute", "total")
+    @property
+    def requests(self) -> Dict[str, int]:
+        """Request counts by path (the JSON ``/metrics`` shape)."""
+        return {
+            values[0]: int(child.value)
+            for values, child in self._requests_family.samples()
         }
+
+    @property
+    def served(self) -> int:
+        return int(self._served.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -166,6 +189,7 @@ class ReproService:
             store_dir=self.cache_dir,
             job_timeout=self.job_timeout,
             test_hooks=self.test_hooks,
+            metrics=self.metrics,
         )
         # Threads block on worker pipes; a couple of spares keep
         # followers and metrics from queueing behind busy shards.
@@ -242,10 +266,15 @@ class ReproService:
             status, headers = 500, ()
             payload = {"schema": SCHEMA, "ok": False,
                        "error": error_payload(exc)}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _PlainText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             + "".join(f"{name}: {value}\r\n" for name, value in headers)
             + "Connection: close\r\n\r\n"
@@ -295,10 +324,14 @@ class ReproService:
             else b""
         )
 
-        self.requests[path] = self.requests.get(path, 0) + 1
+        path, _, query = path.partition("?")
+        self._requests_family.labels(path=path).inc()
         if method == "GET" and path == "/healthz":
             return 200, (), self._healthz_body()
         if method == "GET" and path == "/metrics":
+            params = urllib.parse.parse_qs(query)
+            if params.get("format", ["json"])[-1] == "prometheus":
+                return 200, (), self._metrics_prometheus()
             return 200, (), self._metrics_body()
         if method == "POST" and path in ("/v1/compile", "/v1/simulate"):
             kind = "compile" if path == "/v1/compile" else "simulate"
@@ -322,57 +355,102 @@ class ReproService:
         except ReproError as exc:
             return 400, (), self._error_body(exc)
         self.latency["parse"].observe(time.perf_counter() - started)
+        rid = job["request_id"]
 
         coalesce_key = "{}:{}:seed={}:trace={}".format(
             kind, key, job.get("seed", 0), bool(job.get("trace"))
         )
         self._active += 1
         self._idle.clear()
+        leader_rid: Optional[str] = None
         try:
-            if self.coalescer.has(coalesce_key):
-                # Followers ride the in-flight leader: no admission
-                # check, no queue slot, no worker.
-                payload = await self.coalescer.join(coalesce_key)
-                coalesced = True
-            else:
-                if self._draining:
-                    return 503, (("Retry-After", "1"),), self._error_body(
-                        ServiceError("server is draining")
-                    )
-                admitted = self.coalescer.depth
-                if admitted >= self.queue_limit:
-                    self.rejected += 1
-                    retry_after = max(1, admitted // max(1, self.shards))
-                    return (
-                        429,
-                        (("Retry-After", str(retry_after)),),
-                        self._error_body(
-                            ServiceError(
-                                f"queue full ({admitted} in flight, "
-                                f"limit {self.queue_limit})",
-                                rule="service.backpressure",
+            with bind_request_id(rid):
+                if self.coalescer.has(coalesce_key):
+                    # Followers ride the in-flight leader: no admission
+                    # check, no queue slot, no worker.
+                    leader_rid = self.coalescer.leader_id(coalesce_key)
+                    if LOG.enabled:
+                        LOG.event(
+                            "request.coalesced",
+                            kind=kind,
+                            key=key,
+                            leader_request_id=leader_rid,
+                        )
+                    payload = await self.coalescer.join(coalesce_key)
+                    coalesced = True
+                else:
+                    if self._draining:
+                        return (
+                            503,
+                            (("Retry-After", "1"),),
+                            self._error_body(
+                                ServiceError("server is draining"), rid
+                            ),
+                        )
+                    admitted = self.coalescer.depth
+                    if admitted >= self.queue_limit:
+                        self._rejected.inc()
+                        if LOG.enabled:
+                            LOG.event(
+                                "request.shed", kind=kind, key=key,
+                                depth=admitted,
                             )
-                        ),
+                        retry_after = max(
+                            1, admitted // max(1, self.shards)
+                        )
+                        return (
+                            429,
+                            (("Retry-After", str(retry_after)),),
+                            self._error_body(
+                                ServiceError(
+                                    f"queue full ({admitted} in flight, "
+                                    f"limit {self.queue_limit})",
+                                    rule="service.backpressure",
+                                ),
+                                rid,
+                            ),
+                        )
+                    if LOG.enabled:
+                        LOG.event("request.lead", kind=kind, key=key)
+                    payload = await self.coalescer.lead(
+                        coalesce_key,
+                        lambda: self._run_job(job),
+                        request_id=rid,
                     )
-                payload = await self.coalescer.lead(
-                    coalesce_key, lambda: self._run_job(job)
-                )
-                coalesced = False
+                    coalesced = False
         except WorkerCrashError as exc:
-            return 500, (), self._error_body(exc)
+            if LOG.enabled:
+                LOG.event(
+                    "request.crash", request_id=rid, kind=kind, key=key,
+                    error=str(exc),
+                )
+            return 500, (), self._error_body(exc, rid)
         except ReproError as exc:
-            return 422, (), self._error_body(exc)
+            return 422, (), self._error_body(exc, rid)
         except Exception as exc:
-            return 500, (), self._error_body(exc)
+            return 500, (), self._error_body(exc, rid)
         finally:
             self._active -= 1
             if self._active == 0:
                 self._idle.set()
 
-        self.served += 1
+        self._served.inc()
         total = time.perf_counter() - started
         self.latency["total"].observe(total)
-        return 200, (), self._success_body(kind, key, payload, coalesced)
+        if LOG.enabled:
+            LOG.event(
+                "request.done",
+                request_id=rid,
+                kind=kind,
+                key=key,
+                coalesced=coalesced,
+                leader_request_id=leader_rid,
+                cached=payload.get("cached"),
+                ms=round(total * 1e3, 3),
+            )
+        return 200, (), self._success_body(
+            kind, key, payload, coalesced, rid, leader_rid
+        )
 
     def _build_job(
         self, kind: str, body: bytes
@@ -429,6 +507,9 @@ class ReproService:
         key = ArtifactStore.key(
             program, _VARIANTS[variant_name], machine, options
         )
+        request_id = request.get("request_id")
+        if not isinstance(request_id, str) or not request_id:
+            request_id = new_request_id()
         job: Dict[str, Any] = {
             "kind": kind,
             "source": source,
@@ -439,6 +520,7 @@ class ReproService:
             "seed": int(request.get("seed") or 0),
             "trace": bool(request.get("trace")),
             "key": key,
+            "request_id": request_id,
         }
         if self.test_hooks:
             for hook in ("x_crash_once", "x_crash", "x_sleep"):
@@ -467,8 +549,18 @@ class ReproService:
     # -- response bodies -------------------------------------------------------
 
     @staticmethod
-    def _error_body(exc: BaseException) -> Dict[str, Any]:
-        return {"schema": SCHEMA, "ok": False, "error": error_payload(exc)}
+    def _error_body(
+        exc: BaseException, request_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        if request_id and getattr(exc, "request_id", None) is None:
+            try:
+                exc.request_id = request_id
+            except AttributeError:  # pragma: no cover - slotted exception
+                pass
+        body = {"schema": SCHEMA, "ok": False, "error": error_payload(exc)}
+        if request_id:
+            body["request_id"] = request_id
+        return body
 
     def _success_body(
         self,
@@ -476,6 +568,8 @@ class ReproService:
         key: str,
         payload: Dict[str, Any],
         coalesced: bool,
+        request_id: Optional[str] = None,
+        leader_request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         result = payload["result"]
         body: Dict[str, Any] = {
@@ -508,6 +602,10 @@ class ReproService:
             body["memory"] = {"pickle": pickle_b64(payload["memory"])}
         if "trace_summary" in payload:
             body["trace_summary"] = payload["trace_summary"]
+        if request_id:
+            body["request_id"] = request_id
+        if coalesced and leader_request_id:
+            body["leader_request_id"] = leader_request_id
         return body
 
     def _healthz_body(self) -> Dict[str, Any]:
@@ -548,6 +646,34 @@ class ReproService:
             },
             "perf": PERF.snapshot(),
         }
+
+    def _metrics_prometheus(self) -> _PlainText:
+        """The Prometheus exposition: the per-server registry plus a
+        handful of gauges refreshed at scrape time (queue depth, drain
+        state, store stats) and the merged ``repro.perf`` bridge."""
+        gauges = self.metrics.gauge(
+            "repro_service_state",
+            "Point-in-time service state",
+            labels=("facet",),
+        )
+        gauges.labels(facet="queue_depth").set(self.coalescer.depth)
+        gauges.labels(facet="queue_limit").set(self.queue_limit)
+        gauges.labels(facet="draining").set(1 if self._draining else 0)
+        gauges.labels(facet="shards").set(self.shards)
+        if self.store is not None:
+            stats = self.store.stats()
+            store = self.metrics.gauge(
+                "repro_store_stat",
+                "Artifact store statistics at scrape time",
+                labels=("stat",),
+            )
+            for name, value in dataclasses.asdict(stats).items():
+                if isinstance(value, (int, float)):
+                    store.labels(stat=name).set(value)
+        text = render_prometheus(
+            self.metrics, perf_snapshot=PERF.snapshot()
+        )
+        return _PlainText(PROM_CONTENT_TYPE, text)
 
 
 # -- embedding helpers (tests, benchmarks) -------------------------------------

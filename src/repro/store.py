@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
 from .perf import count
+from .telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .compiler import CompilerOptions, CompileResult, Variant
@@ -77,14 +78,46 @@ class ArtifactStore:
     #: compile key; both kinds participate in :meth:`stats`/:meth:`prune`.
     KERNEL_SUFFIX = ".kern.pkl"
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.corrupt_evictions = 0
-        self.pruned = 0
+        # Op counters live in a metrics registry — per-handle by
+        # default (a fresh private registry), preserving the documented
+        # StoreStats semantics: two processes sharing a directory each
+        # count their own traffic. Pass a shared registry to fold them
+        # into a server's Prometheus exposition instead.
+        self._ops = (metrics or MetricsRegistry()).counter(
+            "repro_store_ops_total",
+            "Artifact store operations by this handle",
+            labels=("op",),
+        )
+
+    def _op(self, name: str) -> int:
+        return int(self._ops.labels(op=name).value)
+
+    @property
+    def hits(self) -> int:
+        return self._op("hit")
+
+    @property
+    def misses(self) -> int:
+        return self._op("miss")
+
+    @property
+    def puts(self) -> int:
+        return self._op("put")
+
+    @property
+    def corrupt_evictions(self) -> int:
+        return self._op("corrupt_eviction")
+
+    @property
+    def pruned(self) -> int:
+        return self._op("pruned")
 
     # -- keying ----------------------------------------------------------------
 
@@ -123,7 +156,7 @@ class ArtifactStore:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._ops.labels(op="miss").inc()
             count("compile_cache.misses")
             return None
         except Exception:
@@ -132,8 +165,8 @@ class ArtifactStore:
             # it trips on (ValueError, KeyError, EOFError, ...). Treat
             # it as a miss, and delete the bad file so it cannot keep
             # poisoning readers (the recompile will rewrite it).
-            self.misses += 1
-            self.corrupt_evictions += 1
+            self._ops.labels(op="miss").inc()
+            self._ops.labels(op="corrupt_eviction").inc()
             count("compile_cache.misses")
             count("store.corrupt_evictions")
             try:
@@ -141,7 +174,7 @@ class ArtifactStore:
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._ops.labels(op="hit").inc()
         count("compile_cache.hits")
         try:
             # Refresh recency so prune() evicts genuinely cold entries.
@@ -156,7 +189,7 @@ class ArtifactStore:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle)
             os.replace(tmp, self._path(key))
-            self.puts += 1
+            self._ops.labels(op="put").inc()
         except OSError:  # pragma: no cover - store is best-effort
             try:
                 os.unlink(tmp)
@@ -177,12 +210,12 @@ class ArtifactStore:
             with open(path, "rb") as handle:
                 artifact = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._ops.labels(op="miss").inc()
             count("kernel_store.misses")
             return None
         except Exception:
-            self.misses += 1
-            self.corrupt_evictions += 1
+            self._ops.labels(op="miss").inc()
+            self._ops.labels(op="corrupt_eviction").inc()
             count("kernel_store.misses")
             count("store.corrupt_evictions")
             try:
@@ -190,7 +223,7 @@ class ArtifactStore:
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._ops.labels(op="hit").inc()
         count("kernel_store.hits")
         try:
             os.utime(path)
@@ -204,7 +237,7 @@ class ArtifactStore:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(artifact, handle)
             os.replace(tmp, self._kernel_path(fingerprint))
-            self.puts += 1
+            self._ops.labels(op="put").inc()
             count("kernel_store.puts")
         except OSError:  # pragma: no cover - store is best-effort
             try:
@@ -254,7 +287,8 @@ class ArtifactStore:
                 continue
             total -= size
             removed += 1
-        self.pruned += removed
+        if removed:
+            self._ops.labels(op="pruned").inc(removed)
         return removed
 
 

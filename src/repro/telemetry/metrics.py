@@ -1,0 +1,330 @@
+"""Labeled metric families: Counter, Gauge, Histogram.
+
+The model is deliberately the Prometheus one — a *family* has a name,
+a help string, a metric kind, and a fixed tuple of label names; each
+distinct label-value combination materializes a *child* holding the
+actual numbers. ``family.labels(shard="3").inc()`` is the hot call;
+families with no labels proxy the child methods directly
+(``family.inc()``), so unlabeled call sites stay one-liners.
+
+Registries own families. :data:`METRICS` is the process-global default
+every library call site shares; components that must not bleed state
+into each other — two embedded test servers in one pytest process —
+construct private :class:`MetricsRegistry` instances and pass them
+down (the service does exactly this).
+
+Children are plain mutable objects updated without locks: CPython
+attribute stores are atomic enough for monotonically-increasing
+counters, and the service's writers are short critical paths on the
+event-loop / worker threads. Snapshot readers tolerate torn reads the
+same way ``/metrics`` always has.
+
+The :class:`Histogram` here is the direct migration of the fixed-bucket
+latency histogram that previously lived privately in
+``repro.service.server`` — same default bucket bounds, same
+``snapshot()`` JSON shape, byte-for-byte, so the service's JSON
+``/metrics`` stayed backward compatible when it moved. It gains
+``merge`` (cross-process aggregation) and ``cumulative`` (Prometheus
+exposition needs cumulative bucket counts).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (bad name, label mismatch, kind
+    conflict). Raised at registration/update time, never at read time."""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise MetricError(f"counter increment must be >= 0, got {delta}")
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.value -= delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (milliseconds).
+
+    ``observe`` takes *seconds* (what ``time.perf_counter`` math hands
+    you) and buckets in milliseconds — the exact semantics of the
+    service histogram this class migrated from.
+    """
+
+    BOUNDS_MS: Tuple[float, ...] = (
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+    )
+
+    __slots__ = ("bounds", "counts", "total", "sum_ms")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds or self.BOUNDS_MS)
+        if list(self.bounds) != sorted(self.bounds) or len(
+            set(self.bounds)
+        ) != len(self.bounds):
+            raise MetricError(
+                f"histogram bounds must be strictly increasing:"
+                f" {self.bounds}"
+            )
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        self.total += 1
+        self.sum_ms += ms
+        for index, bound in enumerate(self.bounds):
+            if ms <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        if other.bounds != self.bounds:
+            raise MetricError(
+                f"cannot merge histograms with different bounds:"
+                f" {self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum_ms += other.sum_ms
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound_ms, cumulative_count)`` pairs ending with
+        ``(inf, total)`` — the shape Prometheus exposition needs."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.bounds, self.counts)
+        }
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "buckets": buckets,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its per-label-combination children."""
+
+    __slots__ = ("name", "help", "kind", "label_names", "_bounds", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        label_names: Tuple[str, ...],
+        bounds: Optional[Sequence[float]] = None,
+    ):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricError(f"invalid label name {label!r}")
+        if len(set(label_names)) != len(label_names):
+            raise MetricError(f"duplicate label names in {label_names}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label_names = label_names
+        self._bounds = tuple(bounds) if bounds else None
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any):
+        """The child for one label-value combination, created on first
+        use. Values are coerced to strings (Prometheus labels are)."""
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name} takes labels {self.label_names},"
+                f" got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            factory = _KINDS[self.kind]
+            child = (
+                factory(self._bounds)
+                if self.kind == "histogram"
+                else factory()
+            )
+            self._children[key] = child
+        return child
+
+    # Unlabeled families proxy the single child so call sites read
+    # ``family.inc()`` / ``family.observe()`` / ``family.set()``.
+
+    def _solo(self):
+        if self.label_names:
+            raise MetricError(
+                f"{self.name} is labeled {self.label_names};"
+                f" use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, delta: float = 1.0) -> None:
+        self._solo().inc(delta)
+
+    def dec(self, delta: float = 1.0) -> None:
+        self._solo().dec(delta)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, seconds: float) -> None:
+        self._solo().observe(seconds)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def samples(self) -> Iterator[Tuple[Tuple[str, ...], Any]]:
+        """``(label_values, child)`` pairs in insertion order."""
+        return iter(sorted(self._children.items()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            ",".join(values) if values else "": child.snapshot()
+            for values, child in self._children.items()
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family, provided kind and label names agree (a mismatch is
+    a programming error and raises). This lets every call site declare
+    the metric it uses without an init-order dance.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labels: Sequence[str],
+        bounds: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != label_names:
+                raise MetricError(
+                    f"metric {name!r} already registered as"
+                    f" {existing.kind}{existing.label_names}, cannot"
+                    f" re-register as {kind}{label_names}"
+                )
+            return existing
+        family = MetricFamily(name, help, kind, label_names, bounds)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, help, "counter", labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, help, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        bounds: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._register(name, help, "histogram", labels, bounds)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe dump of every family (used by tests and debug
+        endpoints; the service's ``/metrics`` JSON keeps its own
+        pinned shape)."""
+        return {
+            family.name: {
+                "kind": family.kind,
+                "labels": list(family.label_names),
+                "values": family.snapshot(),
+            }
+            for family in self.families()
+        }
+
+    def reset(self) -> None:
+        """Drop every family. Test isolation only — production code
+        never resets the global registry."""
+        self._families.clear()
+
+
+#: The process-global default registry.
+METRICS = MetricsRegistry()
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+]

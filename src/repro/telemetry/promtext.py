@@ -1,0 +1,372 @@
+"""Prometheus text exposition (format version 0.0.4) + validator.
+
+:func:`render_prometheus` turns one or more
+:class:`~repro.telemetry.metrics.MetricsRegistry` instances — plus an
+optional ``repro.perf`` snapshot — into the plain-text exposition
+format every Prometheus-compatible scraper speaks. The service serves
+it at ``GET /metrics?format=prometheus`` (the JSON body stays the
+default and unchanged).
+
+:func:`validate_exposition` is a pure-python checker of the same
+format: line grammar, label syntax and escaping, ``# TYPE`` placement,
+sample grouping, histogram bucket monotonicity, the mandatory
+``le="+Inf"`` bucket, and ``_count``/``+Inf`` agreement. Tests pin the
+server's exposition with it, and CI runs it against a live ``repro
+serve`` instance (``python -m repro.telemetry.promtext`` reads a file
+or stdin and exits non-zero on violations) — so a scraper-breaking
+regression fails the build, not the fleet.
+
+The ``repro.perf`` bridge keeps one source of truth: compile/simulate
+stage timings and engine counters already flow through ``PERF``
+(including worker-process snapshots merged by the pool), so the
+exposition derives ``repro_perf_*`` series from a snapshot instead of
+double-instrumenting the hot paths. Only flat section names are
+exported — the ``;``-joined nesting paths are unbounded-cardinality
+and belong to the profiler (:mod:`repro.telemetry.profile`), not a
+scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{(.*)\})?"                        # optional label block
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf|-Inf)"
+    r"(?: (-?[0-9]+))?$"                    # optional timestamp
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _render_family(family, lines: List[str]) -> None:
+    if family.help:
+        lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for values, child in family.samples():
+        block = _label_block(family.label_names, values)
+        if family.kind == "histogram":
+            for bound, cumulative in child.cumulative():
+                le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                bucket_labels = list(zip(family.label_names, values))
+                pairs = ",".join(
+                    f'{name}="{escape_label_value(value)}"'
+                    for name, value in bucket_labels
+                )
+                pairs = pairs + "," if pairs else ""
+                lines.append(
+                    f'{family.name}_bucket{{{pairs}le="{le}"}} {cumulative}'
+                )
+            lines.append(
+                f"{family.name}_sum{block} {_format_value(child.sum_ms)}"
+            )
+            lines.append(f"{family.name}_count{block} {child.total}")
+        else:
+            lines.append(
+                f"{family.name}{block} {_format_value(child.value)}"
+            )
+
+
+def perf_registry(perf_snapshot: Dict[str, Any]) -> MetricsRegistry:
+    """A throwaway registry derived from a ``PerfRegistry.snapshot()``,
+    exporting flat sections as seconds/calls counters and perf counters
+    as plain counters."""
+    registry = MetricsRegistry()
+    seconds = registry.counter(
+        "repro_perf_section_seconds_total",
+        "Cumulative wall time per repro.perf section (flat names)",
+        labels=("section",),
+    )
+    calls = registry.counter(
+        "repro_perf_section_calls_total",
+        "Entry count per repro.perf section (flat names)",
+        labels=("section",),
+    )
+    counters = registry.counter(
+        "repro_perf_counter_total",
+        "repro.perf event counters (compile, engines, caches)",
+        labels=("counter",),
+    )
+    for name, (secs, count) in sorted(
+        perf_snapshot.get("sections", {}).items()
+    ):
+        if ";" in name:
+            continue  # nesting paths: profiler territory, not scrapes
+        seconds.labels(section=name).inc(secs)
+        calls.labels(section=name).inc(count)
+    for name, value in sorted(perf_snapshot.get("counters", {}).items()):
+        counters.labels(counter=name).inc(value)
+    return registry
+
+
+def render_prometheus(
+    *registries: MetricsRegistry,
+    perf_snapshot: Optional[Dict[str, Any]] = None,
+) -> str:
+    """The exposition body for one scrape. Families across registries
+    must not collide (the service keeps its instance registry and the
+    perf bridge disjoint by prefix)."""
+    lines: List[str] = []
+    seen: set = set()
+    sources = list(registries)
+    if perf_snapshot is not None:
+        sources.append(perf_registry(perf_snapshot))
+    for registry in sources:
+        for family in registry.families():
+            if family.name in seen:
+                raise ValueError(
+                    f"metric {family.name!r} exposed by two registries"
+                )
+            seen.add(family.name)
+            _render_family(family, lines)
+    return "\n".join(lines) + "\n"
+
+
+CONTENT_TYPE = _CONTENT_TYPE
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def _parse_labels(block: str, where: str, errors: List[str]) -> Optional[
+    Tuple[Tuple[str, str], ...]
+]:
+    """Parse a label block's ``name="value"`` pairs; None on syntax
+    errors (already appended to ``errors``)."""
+    if block is None:
+        return ()
+    rest = block
+    pairs: List[Tuple[str, str]] = []
+    while rest:
+        match = _LABEL_PAIR_RE.match(rest)
+        if not match:
+            errors.append(f"{where}: bad label syntax near {rest[:30]!r}")
+            return None
+        pairs.append((match.group(1), match.group(2)))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"{where}: expected ',' between labels")
+            return None
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        errors.append(f"{where}: duplicate label name")
+        return None
+    return tuple(pairs)
+
+
+def _base_name(name: str) -> str:
+    """The family a sample belongs to (strips histogram/summary
+    suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check a text exposition; returns human-readable problems (empty
+    list = valid)."""
+    errors: List[str] = []
+    if not text:
+        return ["exposition is empty"]
+    if not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    types: Dict[str, str] = {}
+    sampled: set = set()       # families that already emitted samples
+    finished: set = set()      # families whose sample group has closed
+    last_family: Optional[str] = None
+    seen_samples: set = set()  # (name, labels) duplicates
+    # histogram family -> {non-le labels -> [(le, value), ...]}
+    buckets: Dict[str, Dict[Tuple, List[Tuple[str, float]]]] = {}
+    sums: Dict[str, Dict[Tuple, float]] = {}
+    counts: Dict[str, Dict[Tuple, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed {parts[1]} comment")
+                    continue
+                name = parts[2]
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _TYPES:
+                        errors.append(
+                            f"{where}: unknown metric type {kind!r}"
+                        )
+                    if name in types:
+                        errors.append(f"{where}: duplicate TYPE for {name}")
+                    if name in sampled:
+                        errors.append(
+                            f"{where}: TYPE for {name} after its samples"
+                        )
+                    types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{where}: malformed sample line {line[:60]!r}")
+            continue
+        name, label_block, value_text = (
+            match.group(1), match.group(2), match.group(3),
+        )
+        pairs = _parse_labels(label_block, where, errors)
+        if pairs is None:
+            continue
+        try:
+            value = float(value_text.replace("Inf", "inf"))
+        except ValueError:
+            errors.append(f"{where}: unparsable value {value_text!r}")
+            continue
+        family = _base_name(name) if _base_name(name) in types else name
+        if family != last_family:
+            if last_family is not None:
+                finished.add(last_family)
+            if family in finished:
+                errors.append(
+                    f"{where}: samples of {family} are not contiguous"
+                )
+            last_family = family
+        sampled.add(family)
+        sample_key = (name, pairs)
+        if sample_key in seen_samples:
+            errors.append(f"{where}: duplicate sample {name}{dict(pairs)}")
+        seen_samples.add(sample_key)
+
+        if types.get(family) == "histogram":
+            rest = tuple(
+                (label, val) for label, val in pairs if label != "le"
+            )
+            if name == f"{family}_bucket":
+                le = dict(pairs).get("le")
+                if le is None:
+                    errors.append(f"{where}: bucket without le label")
+                    continue
+                buckets.setdefault(family, {}).setdefault(rest, []).append(
+                    (le, value)
+                )
+            elif name == f"{family}_sum":
+                sums.setdefault(family, {})[rest] = value
+            elif name == f"{family}_count":
+                counts.setdefault(family, {})[rest] = value
+            else:
+                errors.append(
+                    f"{where}: stray sample {name} in histogram {family}"
+                )
+
+    for family, by_labels in buckets.items():
+        for rest, series in by_labels.items():
+            label_note = f"{family}{dict(rest)}"
+            les = [le for le, _ in series]
+            if les[-1] != "+Inf":
+                errors.append(f"{label_note}: last bucket must be +Inf")
+            numeric = []
+            for le in les[:-1] if les[-1] == "+Inf" else les:
+                try:
+                    numeric.append(float(le))
+                except ValueError:
+                    errors.append(f"{label_note}: bad le value {le!r}")
+            if numeric != sorted(numeric):
+                errors.append(f"{label_note}: bucket bounds not sorted")
+            values = [value for _, value in series]
+            if any(b > a for b, a in zip(values, values[1:])):
+                errors.append(f"{label_note}: bucket counts not cumulative")
+            count = counts.get(family, {}).get(rest)
+            if count is None:
+                errors.append(f"{label_note}: histogram without _count")
+            elif les[-1] == "+Inf" and values[-1] != count:
+                errors.append(
+                    f"{label_note}: _count {count:g} != +Inf bucket"
+                    f" {values[-1]:g}"
+                )
+            if rest not in sums.get(family, {}):
+                errors.append(f"{label_note}: histogram without _sum")
+    for family, kind in types.items():
+        if kind == "histogram" and family in sampled:
+            if family not in buckets:
+                errors.append(f"{family}: histogram without buckets")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.telemetry.promtext [FILE]`` — validate an
+    exposition from FILE (or stdin), printing problems; exit 1 if any."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] not in ("-",):
+        with open(args[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(f"invalid: {problem}", file=sys.stderr)
+    if not problems:
+        samples = sum(
+            1
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        print(f"valid: {samples} samples", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_help",
+    "escape_label_value",
+    "main",
+    "perf_registry",
+    "render_prometheus",
+    "validate_exposition",
+]

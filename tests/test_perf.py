@@ -150,3 +150,65 @@ def test_compile_populates_registry():
     assert "grouping" in PERF.sections
     assert PERF.counters.get("grouping.rounds", 0) > 0
     PERF.reset()
+
+
+def test_snapshot_merge_is_associative():
+    """Shard perf snapshots may arrive in any order; the merged result
+    must not depend on it — (a+b)+c == a+(b+c)."""
+
+    from repro.perf import SectionStat
+
+    def registry(seconds, calls, kernels):
+        reg = PerfRegistry()
+        reg.enable()
+        stat = reg.sections["compile"] = SectionStat()
+        stat.seconds, stat.calls = seconds, calls
+        reg.counters["kernels"] = kernels
+        return reg
+
+    snaps = [
+        registry(0.5, 1, 2).snapshot(),
+        registry(0.25, 3, 5).snapshot(),
+        registry(1.0, 2, 1).snapshot(),
+    ]
+
+    left = PerfRegistry()
+    left.enable()
+    left.merge(snaps[0])
+    left.merge(snaps[1])
+    left.merge(snaps[2])
+
+    inner = PerfRegistry()
+    inner.enable()
+    inner.merge(snaps[1])
+    inner.merge(snaps[2])
+    right = PerfRegistry()
+    right.enable()
+    right.merge(snaps[0])
+    right.merge(inner.snapshot())
+
+    assert left.snapshot() == right.snapshot()
+    assert left.counters["kernels"] == 8
+    assert left.sections["compile"].calls == 6
+    assert left.sections["compile"].seconds == 1.75
+
+
+def test_report_nested_renders_paths_with_timings():
+    reg = PerfRegistry()
+    reg.enable()
+    with reg.section("outer"):
+        with reg.section("inner"):
+            time.sleep(0.001)
+    reg.count("events", 7)
+
+    flat = reg.report()
+    nested = reg.report(nested=True)
+    for text in (flat, nested):
+        assert text.startswith("-- timings --")
+        assert "-- counters --" in text
+        assert "events" in text and "7" in text
+    # Flat view lists only top-level names; nested adds the `;` paths.
+    assert "outer;inner" not in flat
+    nested_lines = [l for l in nested.splitlines() if "outer;inner" in l]
+    assert len(nested_lines) == 1
+    assert "ms" in nested_lines[0] and "x1" in nested_lines[0]

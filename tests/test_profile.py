@@ -1,0 +1,167 @@
+"""Tests for the collapsed-stack profilers and ``repro profile``."""
+
+from __future__ import annotations
+
+import time
+
+from repro.cli import main
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    stage_collapsed,
+    stage_tree,
+)
+
+# A synthetic perf snapshot shaped exactly like PerfRegistry.snapshot():
+# flat totals include every nested occurrence; nested paths carry the
+# ``;``-joined dynamic nesting.
+SNAPSHOT = {
+    "sections": {
+        "compile": (1.0, 2),
+        "grouping": (0.4, 2),
+        "codegen": (0.2, 2),
+        "compile;grouping": (0.4, 2),
+        "compile;grouping;decide": (0.1, 6),
+        "compile;codegen": (0.2, 2),
+    },
+    "counters": {},
+}
+
+
+# -- deterministic stage profile -----------------------------------------------
+
+
+def test_stage_tree_attributes_root_share():
+    tree = stage_tree(SNAPSHOT)
+    # grouping/codegen totals are fully explained by their nested
+    # occurrences under compile, so they get no root-level node.
+    assert ("grouping",) not in tree
+    assert ("codegen",) not in tree
+    assert tree[("compile",)] == 1.0
+    assert tree[("compile", "grouping")] == 0.4
+    assert tree[("compile", "grouping", "decide")] == 0.1
+    assert tree[("compile", "codegen")] == 0.2
+
+
+def test_stage_tree_keeps_genuine_top_level_sections():
+    snapshot = {
+        "sections": {"simulate": (0.5, 1), "compile": (1.0, 1)},
+        "counters": {},
+    }
+    tree = stage_tree(snapshot)
+    assert tree[("simulate",)] == 0.5
+    assert tree[("compile",)] == 1.0
+
+
+def test_stage_collapsed_emits_self_times_in_microseconds():
+    lines = dict(
+        line.rsplit(" ", 1)
+        for line in stage_collapsed(SNAPSHOT).splitlines()
+    )
+    # compile self = 1.0 - (0.4 grouping + 0.2 codegen) = 0.4s
+    assert int(lines["compile"]) == 400_000
+    # grouping self = 0.4 - 0.1 = 0.3s
+    assert int(lines["compile;grouping"]) == 300_000
+    assert int(lines["compile;grouping;decide"]) == 100_000
+    assert int(lines["compile;codegen"]) == 200_000
+
+
+def test_stage_collapsed_totals_reconstruct_by_summation():
+    lines = stage_collapsed(SNAPSHOT).splitlines()
+    total_us = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+    # Every self-time sums back to the root total — the flame-graph
+    # invariant a viewer relies on.
+    assert total_us == 1_000_000
+
+
+def test_stage_collapsed_is_deterministic():
+    assert stage_collapsed(SNAPSHOT) == stage_collapsed(SNAPSHOT)
+
+
+def test_stage_collapsed_empty_snapshot():
+    assert stage_collapsed({"sections": {}, "counters": {}}) == ""
+
+
+# -- wall-clock sampler --------------------------------------------------------
+
+
+def _busy(deadline: float) -> None:
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+def test_sampling_profiler_catches_a_busy_function():
+    profiler = SamplingProfiler(interval=0.001)
+    with profiler:
+        _busy(time.perf_counter() + 0.15)
+    assert profiler.samples > 10
+    text = profiler.collapsed(trim_prefix=False)
+    assert "_busy" in text
+    for line in text.splitlines():
+        stack, count = line.rsplit(" ", 1)
+        assert stack
+        assert int(count) > 0
+
+
+def test_sampling_profiler_restart_guard():
+    import pytest
+
+    profiler = SamplingProfiler(interval=0.01).start()
+    try:
+        with pytest.raises(RuntimeError):
+            profiler.start()
+    finally:
+        profiler.stop()
+    # A stopped profiler may be started again.
+    profiler.start()
+    profiler.stop()
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+def test_profile_cli_stages_mode(tmp_path, capsys):
+    out = tmp_path / "cg.collapsed"
+    status = main(
+        ["profile", "--kernel", "cg", "--n", "8", "--out", str(out)]
+    )
+    assert status == 0
+    lines = out.read_text().splitlines()
+    assert lines, "stage profile must not be empty"
+    assert any(line.startswith("compile") for line in lines)
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) > 0
+
+
+def test_profile_cli_run_includes_simulation(tmp_path):
+    out = tmp_path / "cg_run.collapsed"
+    assert (
+        main(
+            [
+                "profile", "--kernel", "cg", "--n", "8", "--run",
+                "--out", str(out),
+            ]
+        )
+        == 0
+    )
+    assert any(
+        line.startswith("simulate")
+        for line in out.read_text().splitlines()
+    )
+
+
+def test_profile_cli_sampled_mode(tmp_path):
+    out = tmp_path / "sampled.collapsed"
+    status = main(
+        [
+            "profile", "--kernel", "cg", "--n", "8", "--mode", "sampled",
+            "--repeat", "30", "--interval", "0.001", "--out", str(out),
+        ]
+    )
+    assert status == 0
+    # Sampling is statistical; the file exists and every present line
+    # is well-formed collapsed-stack syntax.
+    for line in out.read_text().splitlines():
+        stack, count = line.rsplit(" ", 1)
+        assert ";" in stack or stack
+        assert int(count) > 0

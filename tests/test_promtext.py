@@ -1,0 +1,192 @@
+"""Tests for the Prometheus text exposition and its validator.
+
+The renderer and the validator check each other: everything the
+service renders must validate clean, and the validator must reject the
+classic exposition mistakes (non-cumulative buckets, missing ``+Inf``,
+duplicate samples, TYPE after samples) — otherwise the CI step that
+runs it against a live server proves nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.promtext import (
+    CONTENT_TYPE,
+    escape_label_value,
+    perf_registry,
+    render_prometheus,
+    validate_exposition,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_http_requests_total", "Requests by path", labels=("path",)
+    ).labels(path="/metrics").inc(3)
+    registry.gauge("repro_queue_depth", "In-flight jobs").set(2)
+    hist = registry.histogram(
+        "repro_latency_ms", "Latency", labels=("stage",)
+    )
+    hist.labels(stage="total").observe(0.004)
+    hist.labels(stage="total").observe(1.5)
+    return registry
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def test_rendered_exposition_validates_clean():
+    text = render_prometheus(_registry())
+    assert validate_exposition(text) == []
+
+
+def test_content_type_pins_format_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_histogram_renders_cumulative_buckets_and_inf():
+    text = render_prometheus(_registry())
+    lines = [l for l in text.splitlines() if "repro_latency_ms" in l]
+    bucket_values = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if "_bucket" in line
+    ]
+    assert bucket_values == sorted(bucket_values)
+    assert any('le="+Inf"' in line for line in lines)
+    assert any(line.startswith("repro_latency_ms_sum") for line in lines)
+    count_line = next(
+        line for line in lines if line.startswith("repro_latency_ms_count")
+    )
+    assert count_line.endswith(" 2")
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("weird_total", labels=("key",)).labels(
+        key='a"b\\c\nd'
+    ).inc()
+    text = render_prometheus(registry)
+    assert r'key="a\"b\\c\nd"' in text
+    assert validate_exposition(text) == []
+
+
+def test_escape_label_value_round_trip_forms():
+    assert escape_label_value('say "hi"\\') == r'say \"hi\"\\'
+    assert escape_label_value("two\nlines") == r"two\nlines"
+
+
+def test_colliding_families_across_registries_raise():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("same_total").inc()
+    b.counter("same_total").inc()
+    with pytest.raises(ValueError):
+        render_prometheus(a, b)
+
+
+# -- the repro.perf bridge -----------------------------------------------------
+
+
+def test_perf_bridge_exports_flat_sections_only():
+    snapshot = {
+        "sections": {
+            "compile": (1.5, 3),
+            "compile;grouping": (0.5, 3),  # nesting path: excluded
+        },
+        "counters": {"compile_cache.hits": 7},
+    }
+    text = render_prometheus(perf_snapshot=snapshot)
+    assert (
+        'repro_perf_section_seconds_total{section="compile"} 1.5' in text
+    )
+    assert 'repro_perf_section_calls_total{section="compile"} 3' in text
+    assert (
+        'repro_perf_counter_total{counter="compile_cache.hits"} 7' in text
+    )
+    assert "compile;grouping" not in text
+    assert validate_exposition(text) == []
+
+
+# -- the validator's teeth -----------------------------------------------------
+
+
+def test_validator_accepts_minimal_valid_exposition():
+    assert validate_exposition(
+        "# TYPE up gauge\nup 1\n"
+    ) == []
+
+
+def test_validator_rejects_missing_trailing_newline():
+    assert validate_exposition("# TYPE up gauge\nup 1") != []
+
+
+def test_validator_rejects_malformed_sample():
+    problems = validate_exposition("# TYPE up gauge\nup one\n")
+    assert any("malformed" in p or "unparsable" in p for p in problems)
+
+
+def test_validator_rejects_type_after_samples():
+    text = "up 1\n# TYPE up gauge\n"
+    assert any("after its samples" in p for p in validate_exposition(text))
+
+
+def test_validator_rejects_duplicate_samples():
+    text = '# TYPE a counter\na{x="1"} 1\na{x="1"} 2\n'
+    assert any("duplicate sample" in p for p in validate_exposition(text))
+
+
+def test_validator_rejects_non_contiguous_family():
+    text = (
+        "# TYPE a counter\n# TYPE b counter\n"
+        "a 1\nb 1\na 2\n"
+    )
+    problems = validate_exposition(text)
+    assert any("not contiguous" in p for p in problems)
+
+
+def test_validator_rejects_non_cumulative_histogram():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+        "h_sum 1\nh_count 5\n"
+    )
+    assert any(
+        "not cumulative" in p for p in validate_exposition(text)
+    )
+
+
+def test_validator_rejects_histogram_without_inf_bucket():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 1\nh_bucket{le="2"} 2\n'
+        "h_sum 1\nh_count 2\n"
+    )
+    assert any("+Inf" in p for p in validate_exposition(text))
+
+
+def test_validator_rejects_count_inf_disagreement():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\n'
+        "h_sum 1\nh_count 9\n"
+    )
+    assert any("_count" in p for p in validate_exposition(text))
+
+
+def test_validator_rejects_bad_label_syntax():
+    text = "# TYPE a counter\na{x=unquoted} 1\n"
+    assert validate_exposition(text) != []
+
+
+def test_validator_cli_entry(tmp_path, capsys):
+    from repro.telemetry.promtext import main
+
+    good = tmp_path / "good.prom"
+    good.write_text(render_prometheus(_registry()))
+    assert main([str(good)]) == 0
+    bad = tmp_path / "bad.prom"
+    bad.write_text("up one\n")
+    assert main([str(bad)]) == 1

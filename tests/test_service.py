@@ -15,6 +15,7 @@ starts it with ``test_hooks=True``.
 
 from __future__ import annotations
 
+import io
 import threading
 import time
 
@@ -35,6 +36,8 @@ from repro.errors import ServiceBusyError
 from repro.ir.printer import format_program
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceThread
+from repro.telemetry import LOG, bind_request_id, validate_exposition
+from repro.telemetry.log import parse_jsonl
 from repro.vm import MACHINES
 
 #: Small problem size: the full 16-kernel × 5-variant matrix stays in
@@ -164,6 +167,14 @@ def test_concurrent_identical_requests_coalesce(server, client):
     assert after["coalesced"] - before["coalesced"] == fan_out - 1
     assert sum(1 for o in outcomes if o.coalesced) == fan_out - 1
 
+    # Correlation linkage: every follower names the leader's request ID.
+    (leader,) = [o for o in outcomes if not o.coalesced]
+    assert leader.leader_request_id is None
+    for follower in outcomes:
+        if follower.coalesced:
+            assert follower.request_id != leader.request_id
+            assert follower.leader_request_id == leader.request_id
+
 
 # -- failure model -------------------------------------------------------------
 
@@ -190,6 +201,10 @@ def test_worker_crash_twice_is_structured(server, client):
         submit_with_hooks(client, "compile", unique_source(4004), x_crash=True)
     assert excinfo.value.rule == "service.worker-crash"
     assert excinfo.value.stage == "service"
+    # The diagnostic carries the request's correlation ID across the
+    # pickle boundary, so client logs join to server/worker logs.
+    assert excinfo.value.request_id
+    int(excinfo.value.request_id, 16)
     # The pool recovered: the same server keeps serving.
     assert client.healthz()["ok"]
     assert client.compile(source=unique_source(4005)).result is not None
@@ -280,8 +295,62 @@ def test_healthz_and_metrics_shape(server, client):
     assert service["store"]["entries"] > 0
     assert service["latency_ms"]["total"]["count"] > 0
     assert service["latency_ms"]["execute"]["count"] > 0
+    # The JSON bucket keys are pinned: deployed consumers parse them.
+    assert list(service["latency_ms"]["total"]["buckets"]) == [
+        "le_1", "le_2", "le_5", "le_10", "le_20", "le_50", "le_100",
+        "le_200", "le_500", "le_1000", "le_2000", "le_5000", "inf",
+    ]
     # The merged cross-worker perf registry is exported too.
     assert client.metrics()["perf"]
+
+
+def test_request_ids_minted_and_echoed(client):
+    """Every response carries a request ID: client-minted by default,
+    caller-supplied when one is already bound."""
+    outcome = client.compile(source=unique_source(7007))
+    assert outcome.request_id and len(outcome.request_id) == 16
+    int(outcome.request_id, 16)
+
+    with bind_request_id("feedc0de00001111"):
+        echoed = client.compile(source=unique_source(7007))
+    assert echoed.request_id == "feedc0de00001111"
+    assert echoed.cached
+
+
+def test_log_events_share_the_request_correlation_id(server, client):
+    """The structured log joins on request_id: the admission decision
+    and the completion record for one request carry the same ID."""
+    sink = io.StringIO()
+    LOG.configure(stream=sink, service="test-serve")
+    try:
+        outcome = client.compile(source=unique_source(8008))
+    finally:
+        LOG.disable()
+    records = [
+        record
+        for record in parse_jsonl(sink.getvalue())
+        if record.get("request_id") == outcome.request_id
+    ]
+    events = {record["event"] for record in records}
+    assert "request.lead" in events
+    assert "request.done" in events
+    done = next(r for r in records if r["event"] == "request.done")
+    assert done["service"] == "test-serve"
+    assert done["ms"] >= 0
+
+
+def test_prometheus_exposition_is_valid_and_opt_in(server, client):
+    """``?format=prometheus`` serves exposition-format text that the
+    validator accepts; the default ``/metrics`` stays JSON."""
+    client.compile(kernel="cg", n=N, variant="global")
+    text = client.metrics_prometheus()
+    assert validate_exposition(text) == []
+    assert "# TYPE repro_requests_served_total counter" in text
+    assert "repro_request_stage_latency_ms_bucket" in text
+    assert 'repro_service_state{facet="shards"} 2' in text
+    assert "repro_perf_section_seconds_total" in text
+    # JSON default unchanged by the new format.
+    assert client.metrics()["service"]["served"] > 0
 
 
 def test_trace_requests_carry_a_summary(client):

@@ -1,0 +1,212 @@
+"""Unit tests for :mod:`repro.telemetry.metrics`.
+
+The Histogram contract matters most: it is the direct migration of the
+latency histogram that lived in ``repro.service.server``, and the JSON
+``/metrics`` body is pinned to its ``snapshot()`` shape — bucket keys,
+boundary semantics, everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+# -- primitives ----------------------------------------------------------------
+
+
+def test_counter_is_monotonic():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+    assert counter.value == 3.5
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13.0
+
+
+# -- histogram: the migrated service latency histogram -------------------------
+
+
+def test_histogram_bucket_boundary_is_inclusive():
+    """An observation landing exactly on a bound goes in that bucket
+    (``ms <= bound``) — the original server histogram's semantics."""
+    hist = Histogram()
+    hist.observe(0.001)   # exactly 1 ms -> le_1
+    hist.observe(0.0010001)  # just over -> le_2
+    snap = hist.snapshot()
+    assert snap["buckets"]["le_1"] == 1
+    assert snap["buckets"]["le_2"] == 1
+
+
+def test_histogram_overflow_goes_to_inf():
+    hist = Histogram()
+    hist.observe(6.0)  # 6000 ms, past the last 5000 ms bound
+    snap = hist.snapshot()
+    assert snap["buckets"]["inf"] == 1
+    assert snap["count"] == 1
+
+
+def test_histogram_snapshot_shape_is_the_service_json_shape():
+    """The exact keys the service's JSON ``/metrics`` has always
+    exposed; changing any of these breaks deployed consumers."""
+    hist = Histogram()
+    hist.observe(0.003)
+    snap = hist.snapshot()
+    assert set(snap) == {"count", "sum_ms", "buckets"}
+    assert list(snap["buckets"]) == [
+        "le_1", "le_2", "le_5", "le_10", "le_20", "le_50", "le_100",
+        "le_200", "le_500", "le_1000", "le_2000", "le_5000", "inf",
+    ]
+    assert snap["count"] == 1
+    assert snap["sum_ms"] == 3.0
+
+
+def test_histogram_merge_adds_everything():
+    a, b = Histogram(), Histogram()
+    a.observe(0.001)
+    a.observe(0.5)
+    b.observe(0.001)
+    b.observe(9.0)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["count"] == 4
+    assert snap["buckets"]["le_1"] == 2
+    assert snap["buckets"]["le_500"] == 1
+    assert snap["buckets"]["inf"] == 1
+    assert snap["sum_ms"] == pytest.approx(1 + 500 + 1 + 9000)
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    with pytest.raises(MetricError):
+        Histogram().merge(Histogram(bounds=(1, 10)))
+
+
+def test_histogram_bounds_must_increase():
+    with pytest.raises(MetricError):
+        Histogram(bounds=(10, 5))
+    with pytest.raises(MetricError):
+        Histogram(bounds=(5, 5))
+
+
+def test_histogram_cumulative_ends_at_inf_total():
+    hist = Histogram(bounds=(1, 10))
+    for seconds in (0.0005, 0.005, 0.5):
+        hist.observe(seconds)
+    pairs = hist.cumulative()
+    assert pairs[0] == (1, 1)
+    assert pairs[1] == (10, 2)
+    assert pairs[-1] == (float("inf"), 3)
+    cumulative = [count for _, count in pairs]
+    assert cumulative == sorted(cumulative)
+
+
+# -- families and labels -------------------------------------------------------
+
+
+def test_labeled_family_children_are_distinct():
+    registry = MetricsRegistry()
+    family = registry.counter("jobs_total", labels=("shard",))
+    family.labels(shard=0).inc()
+    family.labels(shard=1).inc(2)
+    family.labels(shard=0).inc()
+    assert family.labels(shard=0).value == 2
+    assert family.labels(shard=1).value == 2
+    # Label values coerce to strings — shard=0 and shard="0" are one child.
+    assert family.labels(shard="0").value == 2
+
+
+def test_family_rejects_wrong_label_names():
+    registry = MetricsRegistry()
+    family = registry.counter("x_total", labels=("shard",))
+    with pytest.raises(MetricError):
+        family.labels(worker=1)
+    with pytest.raises(MetricError):
+        family.labels()
+
+
+def test_unlabeled_family_proxies_child_methods():
+    registry = MetricsRegistry()
+    counter = registry.counter("plain_total")
+    counter.inc(3)
+    assert counter.value == 3
+    hist = registry.histogram("lat_ms")
+    hist.observe(0.001)
+    assert hist.labels().total == 1
+
+
+def test_labeled_family_refuses_bare_proxy():
+    registry = MetricsRegistry()
+    family = registry.counter("y_total", labels=("a",))
+    with pytest.raises(MetricError):
+        family.inc()
+
+
+def test_invalid_names_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricError):
+        registry.counter("0bad")
+    with pytest.raises(MetricError):
+        registry.counter("ok_total", labels=("0bad",))
+    with pytest.raises(MetricError):
+        registry.counter("ok_total", labels=("__reserved",))
+    with pytest.raises(MetricError):
+        registry.counter("dup_total", labels=("a", "a"))
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registration_is_idempotent():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total", labels=("path",))
+    again = registry.counter("hits_total", labels=("path",))
+    assert first is again
+
+
+def test_registration_conflicts_raise():
+    registry = MetricsRegistry()
+    registry.counter("m_total", labels=("a",))
+    with pytest.raises(MetricError):
+        registry.gauge("m_total", labels=("a",))  # kind conflict
+    with pytest.raises(MetricError):
+        registry.counter("m_total", labels=("b",))  # label conflict
+
+
+def test_registry_snapshot_is_json_safe():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("a_total", "help a", labels=("k",)).labels(k="v").inc()
+    registry.gauge("b").set(2)
+    registry.histogram("c_ms").observe(0.002)
+    snap = registry.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["a_total"]["kind"] == "counter"
+    assert snap["a_total"]["values"]["v"] == 1
+    assert snap["c_ms"]["values"][""]["count"] == 1
+
+
+def test_instance_registries_do_not_bleed():
+    """Two registries with the same metric names stay independent —
+    the property embedded test servers rely on."""
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.counter("served_total").inc(5)
+    r2.counter("served_total").inc(1)
+    assert r1.counter("served_total").value == 5
+    assert r2.counter("served_total").value == 1
