@@ -147,6 +147,44 @@ def test_service_latency(results_dir):
             f"(cold {cold_median * 1e3:.1f}ms, warm {warm_median * 1e3:.1f}ms)"
         )
 
+    # -- connection reuse: the warm path's remaining TCP tax -------------------
+    # A warm hit costs the server well under a millisecond, so connect
+    # + slow-start is a visible fraction of each request. Measure the
+    # same cached request through one keep-alive connection vs a fresh
+    # connection per request (the pre-reuse client behavior).
+    with tempfile.TemporaryDirectory() as scratch:
+        with ServiceThread(
+            shards=2, cache_dir=os.path.join(scratch, "store")
+        ) as thread:
+            source = format_program(KERNELS[KERNEL_NAMES[0]].build(N))
+            reuse = ServiceClient(thread.url, timeout=120.0)
+            fresh = ServiceClient(
+                thread.url, timeout=120.0, keep_alive=False
+            )
+            reuse.compile(source=source, variant=VARIANT.value)  # prime
+
+            def _measure(client):
+                samples = []
+                for _ in range(max(REQUESTS * 3, 9)):
+                    started = time.perf_counter()
+                    outcome = client.compile(
+                        source=source, variant=VARIANT.value
+                    )
+                    samples.append(time.perf_counter() - started)
+                    assert outcome.cached
+                return samples
+
+            reused_median = statistics.median(_measure(reuse))
+            per_request_median = statistics.median(_measure(fresh))
+            assert reuse.connections_opened == 1
+            payload["summary"]["keep_alive"] = {
+                "reused_median_s": reused_median,
+                "per_request_median_s": per_request_median,
+                "saving_ms": (per_request_median - reused_median) * 1e3,
+                "connections_reused_client": reuse.connections_opened,
+                "connections_fresh_client": fresh.connections_opened,
+            }
+
     write_bench_json(results_dir / "BENCH_service.json", payload)
     rows = [
         (
@@ -161,11 +199,16 @@ def test_service_latency(results_dir):
         ("kernel", "cold CLI (median)", "warm serve (median)", "speedup"),
         rows,
     )
+    keep_alive = payload["summary"]["keep_alive"]
     body += (
         f"\n\nmedian over all requests: cold {cold_median * 1e3:.1f} ms "
         f"-> warm {warm_median * 1e3:.1f} ms ({speedup:.1f}x)"
         f"\n{REQUESTS} request(s) per kernel at n={N}, "
         f"variant={VARIANT.value}"
+        f"\n\nkeep-alive: warm hit "
+        f"{keep_alive['per_request_median_s'] * 1e3:.2f} ms per fresh "
+        f"connection -> {keep_alive['reused_median_s'] * 1e3:.2f} ms "
+        f"reused ({keep_alive['saving_ms']:.2f} ms saved/request)"
     )
     write_result(
         results_dir / "service.txt",

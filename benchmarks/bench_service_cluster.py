@@ -1,0 +1,334 @@
+"""Cluster latency: three ``repro serve`` processes behind the router.
+
+The distributed tier exists to scale the warm path horizontally
+without giving up its latency: a consistent-hash router keeps each
+artifact's requests on the node whose L1 already holds it, and the
+shared L2 store refills any node that has to take over. This harness
+measures the cost of that indirection directly:
+
+* **single** — warm cache hits against one node, measured on a direct
+  keep-alive connection (the ``bench_service`` warm path);
+* **cluster** — the same artifacts through a real
+  :class:`~repro.service.router.RouterService` fronting **three
+  separate ``repro serve`` OS processes** sharing an L2
+  :class:`~repro.store.remote.StoreServer`, hammered by 1000+
+  concurrent submits from a thread herd.
+
+Acceptance gates (asserted, not just recorded):
+
+* every response is dataclass-``==`` to a local
+  :func:`repro.compiler.compile_program` of the same source — the
+  cluster never serves a wrong result;
+* cluster warm p50 stays within **2x** the single-node warm p50;
+* SIGKILLing one of the three nodes mid-load loses **zero** accepted
+  requests — the router fails the key space over to the survivors.
+
+Results land in ``results/service_cluster.txt`` and machine-readable
+``results/BENCH_service_cluster.json``. ``REPRO_BENCH_SMOKE=1`` (CI)
+shrinks the herd but keeps every gate except the latency ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from conftest import write_result
+
+from repro import (
+    FLOAT32,
+    ProgramBuilder,
+    Variant,
+    compile_program,
+    parse_program,
+)
+from repro.bench.record import write_bench_json
+from repro.ir.printer import format_program
+from repro.service.client import ServiceClient
+from repro.service.router import RouterThread
+from repro.store import StoreServer
+from repro.vm import MACHINES
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+NODES = 3
+KEYS = 6 if SMOKE else 12
+SUBMITS = 150 if SMOKE else 1200
+THREADS = 8 if SMOKE else 32
+KILL_SUBMITS = 60 if SMOKE else 240
+VARIANT = Variant.GLOBAL
+
+_SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _unique_source(tag: int) -> str:
+    builder = ProgramBuilder(f"cluster{tag}")
+    X = builder.array("X", (32,), FLOAT32)
+    Y = builder.array("Y", (32,), FLOAT32)
+    with builder.loop("i", 0, 32) as i:
+        builder.assign(Y[i], X[i] * (tag + 2) + Y[i])
+    return format_program(builder.build())
+
+
+def _spawn_node(port: int, cache_dir: str, l2_url: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [_SRC_DIR, env.get("PYTHONPATH")])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--workers", "2", "--queue-limit", "128",
+            "--cache-dir", cache_dir, "--remote-store", l2_url,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_up(url: str, deadline_s: float = 30.0) -> None:
+    probe = ServiceClient(url, timeout=5.0, keep_alive=False)
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        if probe.is_up(timeout=2.0):
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"node at {url} never became healthy")
+
+
+def _herd(url: str, sources, truths, submits: int, threads: int):
+    """``submits`` round-robin warm submits from ``threads`` threads.
+    Returns (latencies, wrong, errors): every accepted response is
+    checked dataclass-== against the local ground truth."""
+    latencies = []
+    wrong = []
+    errors = []
+    lock = threading.Lock()
+    counter = iter(range(submits))
+
+    def worker():
+        client = ServiceClient(url, timeout=120.0)
+        while True:
+            with lock:
+                slot = next(counter, None)
+            if slot is None:
+                return
+            index = slot % len(sources)
+            started = time.perf_counter()
+            try:
+                out = client.compile(
+                    source=sources[index], variant=VARIANT.value,
+                    retries=8,
+                )
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if out.result != truths[index]:
+                    wrong.append(index)
+
+    herd = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in herd:
+        thread.start()
+    for thread in herd:
+        thread.join()
+    return latencies, wrong, errors
+
+
+def test_cluster_latency(results_dir):
+    machine = MACHINES["intel"]()
+    sources = [_unique_source(tag) for tag in range(KEYS)]
+    truths = [
+        compile_program(parse_program(source), VARIANT, machine)
+        for source in sources
+    ]
+
+    payload = {
+        "smoke": SMOKE,
+        "nodes": NODES,
+        "keys": KEYS,
+        "submits": SUBMITS,
+        "threads": THREADS,
+        "summary": {},
+    }
+
+    procs = []
+    with tempfile.TemporaryDirectory() as scratch:
+        l2 = StoreServer(os.path.join(scratch, "l2")).start()
+        try:
+            ports = [_free_port() for _ in range(NODES)]
+            node_urls = [f"http://127.0.0.1:{port}" for port in ports]
+            procs = [
+                _spawn_node(
+                    port, os.path.join(scratch, f"n{index}"), l2.url
+                )
+                for index, port in enumerate(ports)
+            ]
+            for url in node_urls:
+                _wait_up(url)
+
+            with RouterThread(node_urls, health_interval=0.5) as router:
+                # -- single-node baseline: direct warm hits ----------------
+                direct = ServiceClient(node_urls[0], timeout=120.0)
+                for source in sources:
+                    direct.compile(source=source, variant=VARIANT.value)
+                # Same thread herd as the cluster run: the comparison
+                # is pure topology (router hop + 3 nodes vs 1 node),
+                # not two different concurrency levels.
+                single_lat, single_wrong, single_err = _herd(
+                    node_urls[0], sources, truths,
+                    max(SUBMITS // 4, 50), THREADS,
+                )
+                assert not single_err and not single_wrong
+                single_p50 = statistics.median(single_lat)
+
+                # -- cluster warm path through the router ------------------
+                through = ServiceClient(router.url, timeout=120.0)
+                for source in sources:  # prime each key on its owner
+                    through.compile(
+                        source=source, variant=VARIANT.value, retries=8
+                    )
+                cluster_lat, cluster_wrong, cluster_err = _herd(
+                    router.url, sources, truths, SUBMITS, THREADS
+                )
+                assert not cluster_err, cluster_err[:3]
+                assert not cluster_wrong, (
+                    f"cluster served wrong results for keys "
+                    f"{sorted(set(cluster_wrong))}"
+                )
+                assert len(cluster_lat) == SUBMITS
+                cluster_p50 = statistics.median(cluster_lat)
+                ratio = cluster_p50 / single_p50
+
+                # -- kill one node mid-load: zero lost requests ------------
+                kill_outcome = {"killed": None}
+
+                def assassin():
+                    time.sleep(0.15)
+                    procs[2].kill()  # SIGKILL: no drain, no goodbye
+                    kill_outcome["killed"] = time.time()
+
+                killer = threading.Thread(target=assassin)
+                killer.start()
+                kill_lat, kill_wrong, kill_err = _herd(
+                    router.url, sources, truths, KILL_SUBMITS,
+                    max(THREADS // 4, 4),
+                )
+                killer.join()
+                procs[2].wait(timeout=10)
+                assert kill_outcome["killed"], "the kill never fired"
+                assert not kill_err, (
+                    f"lost {len(kill_err)} requests to the node kill: "
+                    f"{kill_err[:3]}"
+                )
+                assert not kill_wrong
+                assert len(kill_lat) == KILL_SUBMITS
+
+                # The router noticed: survivors carry the key space.
+                deadline = time.time() + 10.0
+                alive = []
+                while time.time() < deadline:
+                    health = through.healthz()
+                    alive = [
+                        url
+                        for url, node in health["nodes"].items()
+                        if node["alive"]
+                    ]
+                    if len(alive) == NODES - 1:
+                        break
+                    time.sleep(0.2)
+                assert len(alive) == NODES - 1, alive
+                assert node_urls[2] not in alive
+
+                router_metrics = through.metrics()["router"]
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            # The SIGKILLed node never drains its pool, so its worker
+            # processes are orphaned (sibling pipe fds keep them from
+            # seeing EOF). Every process of this run carries the
+            # scratch dir on its command line; reap the stragglers.
+            try:
+                subprocess.run(
+                    ["pkill", "-9", "-f", scratch],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                    check=False,
+                )
+            except FileNotFoundError:
+                pass
+            l2_stats = dict(l2.stats)
+            l2.stop()
+
+    payload["summary"] = {
+        "single_p50_s": single_p50,
+        "cluster_p50_s": cluster_p50,
+        "cluster_over_single": ratio,
+        "cluster_p90_s": sorted(cluster_lat)[
+            int(len(cluster_lat) * 0.9)
+        ],
+        "kill_submits": KILL_SUBMITS,
+        "kill_lost": len(kill_err),
+        "kill_p50_s": statistics.median(kill_lat),
+        "router_retries": router_metrics["retries"],
+        "l2_gets": l2_stats["gets"],
+        "l2_puts": l2_stats["puts"],
+    }
+
+    if not SMOKE:
+        assert ratio <= 2.0, (
+            f"cluster warm p50 {cluster_p50 * 1e3:.2f}ms exceeds 2x the "
+            f"single-node warm p50 {single_p50 * 1e3:.2f}ms "
+            f"({ratio:.2f}x)"
+        )
+
+    write_bench_json(
+        results_dir / "BENCH_service_cluster.json", payload
+    )
+    summary = payload["summary"]
+    body = (
+        f"topology: {NODES} serve processes x 2 workers, shared L2 "
+        f"store, consistent-hash router\n"
+        f"load: {SUBMITS} submits over {KEYS} keys from {THREADS} "
+        f"threads (warm path)\n\n"
+        f"single-node warm p50: {single_p50 * 1e3:8.2f} ms\n"
+        f"cluster warm p50:     {cluster_p50 * 1e3:8.2f} ms "
+        f"({ratio:.2f}x single)\n"
+        f"cluster warm p90:     "
+        f"{summary['cluster_p90_s'] * 1e3:8.2f} ms\n\n"
+        f"node kill: {KILL_SUBMITS} submits while SIGKILLing 1 of "
+        f"{NODES} nodes -> {len(kill_err)} lost, "
+        f"p50 {summary['kill_p50_s'] * 1e3:.2f} ms, "
+        f"{summary['router_retries']} router retries\n"
+        f"L2 traffic: {l2_stats['gets']} gets, {l2_stats['puts']} puts"
+    )
+    write_result(
+        results_dir / "service_cluster.txt",
+        "Cluster latency: 3-node repro serve behind the router",
+        body,
+    )

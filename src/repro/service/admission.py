@@ -1,0 +1,202 @@
+"""Admission control: per-tenant token buckets and priority lanes.
+
+``repro serve`` admits or rejects each request *before* it touches the
+coalescer or the worker pool. Two orthogonal policies compose here:
+
+* **Per-tenant rate limits.** Every request carries a ``tenant`` wire
+  field (default ``"default"``). Each tenant owns a token bucket of
+  ``burst`` capacity refilled at ``rate`` tokens/second; an empty
+  bucket maps to a 429 whose ``Retry-After`` is the exact time until
+  one token exists. Buckets are created lazily and the tenant map is
+  bounded (LRU eviction) so an adversarial stream of fresh tenant
+  names cannot grow server memory without bound — an evicted tenant
+  simply restarts with a full bucket, which errs toward admitting.
+
+* **Priority lanes.** The queue limit is not one number but three
+  nested thresholds. ``high`` traffic (and coalescing followers, which
+  cost no worker time) may fill the whole queue; ``normal`` traffic
+  stops short of the last quarter, reserving headroom so high-priority
+  submits still land under saturation; ``bulk`` traffic only uses the
+  first half. The lanes are *admission* thresholds, not a scheduler —
+  jobs already admitted run in arrival order, which keeps the worker
+  pool's single-flight and sharding behavior untouched.
+
+The controller is deliberately lock-cheap: one mutex around the bucket
+map, arithmetic only, no syscalls — it sits on the request hot path in
+front of every submit.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..telemetry.metrics import METRICS, MetricsRegistry
+
+#: Wire-legal tenant names: bounded, filesystem/label safe.
+TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Admission lanes, strongest first. Order matters only for docs; the
+#: thresholds in :class:`AdmissionController` define the semantics.
+LANES = ("high", "normal", "bulk")
+
+#: Most tenants tracked at once; beyond this the stalest bucket is
+#: dropped (restarting that tenant with a full bucket).
+MAX_TENANTS = 1024
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Not thread-safe on its own — the controller serializes access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def take(self, now: float) -> float:
+        """Consume one token. Returns ``0.0`` on success, else the
+        seconds until one token will exist (the Retry-After hint)."""
+        elapsed = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate <= 0.0:
+            return 60.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The controller's verdict for one request."""
+
+    admitted: bool
+    #: ``tenant-limit`` or ``queue-full`` when rejected, else ``ok``.
+    reason: str = "ok"
+    #: Retry-After seconds when rejected (pre-jitter).
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Combines tenant buckets with lane-aware queue thresholds."""
+
+    def __init__(
+        self,
+        queue_limit: int,
+        tenant_rate: float = 0.0,
+        tenant_burst: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ):
+        self.queue_limit = queue_limit
+        #: rate <= 0 disables per-tenant limiting entirely.
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst) if tenant_burst > 0 else max(
+            1.0, self.tenant_rate
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        registry = metrics or METRICS
+        self._decisions = registry.counter(
+            "repro_admission_total",
+            "Admission verdicts by decision and priority lane",
+            labels=("decision", "lane"),
+        )
+        self._tenants = registry.counter(
+            "repro_tenant_requests_total",
+            "Requests per tenant (admitted or not)",
+            labels=("tenant",),
+        )
+
+    # -- lane thresholds -------------------------------------------------------
+
+    def lane_limit(self, lane: str) -> int:
+        """How deep the queue may be for this lane to still admit."""
+        if lane == "high":
+            return self.queue_limit
+        if lane == "bulk":
+            return max(1, self.queue_limit // 2)
+        # normal: reserve the top quarter (at least one slot) for high.
+        return max(1, self.queue_limit - max(1, self.queue_limit // 4))
+
+    # -- the verdict -----------------------------------------------------------
+
+    def check(
+        self, tenant: str, lane: str, queue_depth: int, follower: bool = False
+    ) -> Admission:
+        """Admit or reject one request.
+
+        ``follower`` marks a coalescing join: it consumes no worker
+        time, so it bypasses the lane threshold (the leader already
+        paid for the slot) but still charges the tenant's bucket —
+        otherwise a single tenant could amplify itself for free by
+        resubmitting warm keys.
+        """
+        self._tenants.labels(tenant=tenant).inc()
+        if self.tenant_rate > 0.0:
+            now = self._clock()
+            with self._lock:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    if len(self._buckets) >= MAX_TENANTS:
+                        stalest = min(
+                            self._buckets, key=lambda t: self._buckets[t].stamp
+                        )
+                        del self._buckets[stalest]
+                    bucket = TokenBucket(
+                        self.tenant_rate, self.tenant_burst, now
+                    )
+                    self._buckets[tenant] = bucket
+                wait = bucket.take(now)
+            if wait > 0.0:
+                self._decisions.labels(
+                    decision="tenant-limit", lane=lane
+                ).inc()
+                return Admission(False, "tenant-limit", wait)
+        if not follower and queue_depth >= self.lane_limit(lane):
+            self._decisions.labels(decision="queue-full", lane=lane).inc()
+            return Admission(False, "queue-full", 1.0)
+        self._decisions.labels(decision="admit", lane=lane).inc()
+        return Admission(True)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            tenants = len(self._buckets)
+        return {
+            "queue_limit": self.queue_limit,
+            "tenant_rate": self.tenant_rate,
+            "tenant_burst": self.tenant_burst,
+            "tenants_tracked": tenants,
+            "lane_limits": {lane: self.lane_limit(lane) for lane in LANES},
+        }
+
+
+def validate_tenant(tenant: object) -> Tuple[bool, str]:
+    """Normalize the wire ``tenant`` field. Returns (ok, value-or-why)."""
+    if tenant is None:
+        return True, "default"
+    if not isinstance(tenant, str) or not TENANT_RE.match(tenant):
+        return False, "tenant must match ^[A-Za-z0-9._-]{1,64}$"
+    return True, tenant
+
+
+def validate_priority(priority: object) -> Tuple[bool, str]:
+    """Normalize the wire ``priority`` field. Returns (ok, lane-or-why)."""
+    if priority is None:
+        return True, "normal"
+    if not isinstance(priority, str) or priority not in LANES:
+        return False, f"priority must be one of {', '.join(LANES)}"
+    return True, priority

@@ -1,0 +1,161 @@
+"""Worker-pool autoscaling from the service's own latency histograms.
+
+The signal is deliberately the *public* telemetry — the same
+``repro_request_stage_latency_ms{stage="queue_wait"}`` histogram and
+coalescer depth exposed on ``/metrics`` — so the scaling decision is
+always explainable from a metrics scrape: no hidden internal state.
+
+Policy (classic hysteresis so the pool doesn't flap):
+
+* Each tick, diff the ``queue_wait`` histogram against the previous
+  tick's snapshot and estimate the *recent* p50 from the bucket-count
+  deltas (not the process-lifetime p50, which goes inert as counts
+  accumulate).
+* **Scale up** one shard when the tick was hot — recent queue-wait p50
+  above ``hot_ms`` *or* queue depth at/above 2x the shard count — for
+  ``up_ticks`` consecutive ticks, bounded by ``max_shards``.
+* **Scale down** one shard when the tick was idle — no new requests
+  and an empty queue — for ``down_ticks`` consecutive ticks, bounded
+  by ``min_shards``. Idle-based (not p50-based) because a healthy warm
+  path has near-zero p50 too; only genuine silence should shrink.
+* A ``cooldown`` tick count after any resize suppresses both
+  directions, so a resize's own warm-up transient cannot trigger the
+  next resize.
+
+The evaluator is pure (state in, decision out) so tests drive it with
+synthetic snapshots — no sleeping, no real pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..telemetry.log import LOG
+from ..telemetry.metrics import METRICS, MetricsRegistry
+
+
+def _bucket_bound(key: str) -> float:
+    """``le_50`` -> 50.0, ``inf`` -> +inf (Histogram.snapshot keys)."""
+    if key == "inf":
+        return float("inf")
+    return float(key[3:])
+
+
+def recent_p50_ms(
+    prev: Optional[Dict[str, object]], cur: Dict[str, object]
+) -> Optional[float]:
+    """Median latency of the requests *between* two histogram
+    snapshots, from per-bucket-count deltas. ``None`` when no requests
+    landed in the window. Buckets are ``Histogram.snapshot()`` shape:
+    ``{"le_<bound>": count, ..., "inf": count}`` (non-cumulative)."""
+    prev_buckets = dict(prev["buckets"]) if prev else {}
+    deltas = []
+    for key, count in cur["buckets"].items():
+        delta = count - prev_buckets.get(key, 0)
+        if delta > 0:
+            deltas.append((_bucket_bound(key), delta))
+    deltas.sort()
+    total = sum(d for _, d in deltas)
+    if total == 0:
+        return None
+    seen = 0
+    for bound, delta in deltas:
+        seen += delta
+        if seen * 2 >= total:
+            return bound
+    return deltas[-1][0]  # pragma: no cover - loop always returns
+
+
+@dataclass
+class AutoscalerConfig:
+    min_shards: int = 1
+    max_shards: int = 8
+    #: Recent queue-wait p50 above this marks a tick "hot".
+    hot_ms: float = 50.0
+    #: Consecutive hot ticks before growing.
+    up_ticks: int = 2
+    #: Consecutive idle ticks before shrinking.
+    down_ticks: int = 6
+    #: Ticks after any resize during which both directions are held.
+    cooldown: int = 3
+    #: Seconds between ticks (used by the service loop, not the math).
+    interval: float = 2.0
+
+
+@dataclass
+class Autoscaler:
+    """Pure hysteresis evaluator; the service owns the clock and the
+    actual :meth:`WorkerPool.resize` call."""
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    metrics: Optional[MetricsRegistry] = None
+
+    def __post_init__(self):
+        self._prev_snapshot: Optional[Dict[str, object]] = None
+        self._hot = 0
+        self._idle = 0
+        self._cooldown = 0
+        registry = self.metrics or METRICS
+        self._resizes = registry.counter(
+            "repro_autoscale_resizes_total",
+            "Autoscaler resize decisions by direction",
+            labels=("direction",),
+        )
+        self._shards_gauge = registry.gauge(
+            "repro_autoscale_shards",
+            "Worker shard count chosen by the autoscaler",
+        )
+
+    def tick(
+        self,
+        shards: int,
+        queue_depth: int,
+        queue_wait_snapshot: Dict[str, object],
+    ) -> int:
+        """One evaluation. Returns the desired shard count (== current
+        when no change). ``queue_wait_snapshot`` is ``Histogram.
+        snapshot()`` of the ``queue_wait`` stage."""
+        cfg = self.config
+        p50 = recent_p50_ms(self._prev_snapshot, queue_wait_snapshot)
+        new_requests = queue_wait_snapshot["count"] - (
+            self._prev_snapshot["count"] if self._prev_snapshot else 0
+        )
+        self._prev_snapshot = queue_wait_snapshot
+        self._shards_gauge.set(shards)
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._hot = self._idle = 0
+            return shards
+
+        hot = (p50 is not None and p50 > cfg.hot_ms) or (
+            queue_depth >= 2 * shards
+        )
+        idle = new_requests == 0 and queue_depth == 0
+
+        self._hot = self._hot + 1 if hot else 0
+        self._idle = self._idle + 1 if idle else 0
+
+        if self._hot >= cfg.up_ticks and shards < cfg.max_shards:
+            self._hot = self._idle = 0
+            self._cooldown = cfg.cooldown
+            self._resizes.labels(direction="up").inc()
+            target = shards + 1
+            if LOG.enabled:
+                LOG.event(
+                    "autoscale.up", shards=target, p50_ms=p50,
+                    queue_depth=queue_depth,
+                )
+            self._shards_gauge.set(target)
+            return target
+        if self._idle >= cfg.down_ticks and shards > cfg.min_shards:
+            self._hot = self._idle = 0
+            self._cooldown = cfg.cooldown
+            self._resizes.labels(direction="down").inc()
+            target = shards - 1
+            if LOG.enabled:
+                LOG.event("autoscale.down", shards=target)
+            self._shards_gauge.set(target)
+            return target
+        return shards

@@ -1,8 +1,13 @@
 """The blocking Python client for a running ``repro serve``.
 
 ``ServiceClient`` speaks the ``repro.service/1`` wire schema over
-plain ``http.client`` (one connection per request; the server closes
-after responding). Job methods return a :class:`SubmitOutcome` whose
+plain ``http.client`` with **keep-alive connection reuse**: each
+thread holds one persistent ``HTTPConnection``, reconnecting
+transparently (exactly once per request) when the server closed it
+between uses — TCP connect + slow-start used to dominate the warm
+path, where a cache hit costs well under a millisecond of server
+time. ``keep_alive=False`` restores the old one-connection-per-request
+behavior. Job methods return a :class:`SubmitOutcome` whose
 ``result``/``report``/``memory`` are the *exact* objects a local
 in-process :func:`repro.compiler.compile_program` + simulation run
 would produce — dataclass ``==`` equal, which the end-to-end tests
@@ -12,13 +17,18 @@ Failures re-raise server-side: a structured :class:`repro.errors.
 ReproError` arrives pickled in the error envelope and is raised as its
 original type with stage/block/rule context intact; backpressure (429)
 raises :class:`repro.errors.ServiceBusyError` carrying the server's
-``Retry-After``.
+``Retry-After`` — or, with ``retries=N``, the client sleeps the
+advertised backoff (plus decorrelating jitter) and resubmits before
+giving up.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
+import time
 import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -57,13 +67,14 @@ class SubmitOutcome:
 
 
 class ServiceClient:
-    """Blocking client; safe to share across threads (every request
-    opens its own connection)."""
+    """Blocking client; safe to share across threads (each thread
+    keeps its own persistent connection)."""
 
     def __init__(
         self,
         url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
         timeout: float = 600.0,
+        keep_alive: bool = True,
     ):
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http", ""):
@@ -71,8 +82,81 @@ class ServiceClient:
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or DEFAULT_PORT
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        #: TCP connects performed — the benchmark's reuse evidence.
+        self.connections_opened = 0
+        self._local = threading.local()
+        #: Patchable in tests so retry loops don't really sleep.
+        self._sleep = time.sleep
 
     # -- transport -------------------------------------------------------------
+
+    def _connect(self, timeout: float) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        self.connections_opened += 1
+        return conn
+
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+        timeout: float,
+    ):
+        """One HTTP exchange, reusing this thread's keep-alive
+        connection. A send/recv failure on a *reused* connection means
+        the server closed it between requests (idle timeout, restart,
+        drain) — retry exactly once on a fresh socket; a failure on a
+        fresh connection propagates."""
+        if not self.keep_alive:
+            conn = self._connect(timeout)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read(), response.headers
+            finally:
+                conn.close()
+        conn = getattr(self._local, "conn", None)
+        reused = conn is not None
+        if conn is None:
+            conn = self._connect(timeout)
+            self._local.conn = conn
+        try:
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            status = response.status
+            raw = response.read()
+            resp_headers = response.headers
+        except (http.client.HTTPException, ConnectionError, OSError):
+            conn.close()
+            self._local.conn = None
+            if not reused:
+                raise
+            conn = self._connect(timeout)
+            self._local.conn = conn
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            status = response.status
+            raw = response.read()
+            resp_headers = response.headers
+        if (resp_headers.get("Connection") or "").lower() == "close":
+            conn.close()
+            self._local.conn = None
+        return status, raw, resp_headers
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (other threads'
+        connections die with their thread)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     def _request(
         self,
@@ -81,29 +165,18 @@ class ServiceClient:
         payload: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=timeout or self.timeout
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
         )
-        try:
-            body = (
-                json.dumps(payload).encode("utf-8")
-                if payload is not None
-                else None
-            )
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"}
-                if body
-                else {},
-            )
-            response = conn.getresponse()
-            raw = response.read()
-            status = response.status
-            retry_after = response.getheader("Retry-After")
-        finally:
-            conn.close()
+        headers = (
+            {"Content-Type": "application/json"} if body else {}
+        )
+        status, raw, resp_headers = self._round_trip(
+            method, path, body, headers, timeout or self.timeout
+        )
+        retry_after = resp_headers.get("Retry-After")
         try:
             envelope = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -131,20 +204,13 @@ class ServiceClient:
     def metrics_prometheus(self) -> str:
         """The Prometheus text exposition (``/metrics?format=
         prometheus``), returned raw — it is not JSON."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        status, raw, _headers = self._round_trip(
+            "GET", "/metrics?format=prometheus", None, {}, self.timeout
         )
-        try:
-            conn.request("GET", "/metrics?format=prometheus")
-            response = conn.getresponse()
-            raw = response.read()
-            if response.status != 200:
-                raise ServiceError(
-                    f"HTTP {response.status} from /metrics?format="
-                    f"prometheus"
-                )
-        finally:
-            conn.close()
+        if status != 200:
+            raise ServiceError(
+                f"HTTP {status} from /metrics?format=prometheus"
+            )
         return raw.decode("utf-8")
 
     def is_up(self, timeout: float = 2.0) -> bool:
@@ -158,7 +224,7 @@ class ServiceClient:
     # -- jobs ------------------------------------------------------------------
 
     def _submit(
-        self, kind: str, request: Dict[str, Any]
+        self, kind: str, request: Dict[str, Any], retries: int = 0
     ) -> SubmitOutcome:
         # Mint the correlation ID client-side (unless an ambient one is
         # already bound) so a caller can log it even when the request
@@ -166,7 +232,20 @@ class ServiceClient:
         request.setdefault(
             "request_id", current_request_id() or new_request_id()
         )
-        envelope = self._request("POST", f"/v1/{kind}", request)
+        attempt = 0
+        while True:
+            try:
+                envelope = self._request("POST", f"/v1/{kind}", request)
+                break
+            except ServiceBusyError as busy:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                # Honor the server's Retry-After, decorrelated with
+                # jitter so a herd of shed clients doesn't resubmit in
+                # lockstep and get shed again together.
+                backoff = busy.retry_after * (0.5 + random.random())
+                self._sleep(backoff)
         result = unpickle_b64(envelope["result"]["pickle"])
         outcome = SubmitOutcome(
             result=result,
@@ -194,6 +273,8 @@ class ServiceClient:
         options: Optional[CompilerOptions],
         seed: int,
         trace: bool,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         if (source is None) == (kernel is None):
             raise ServiceError(
@@ -218,6 +299,10 @@ class ServiceClient:
             request["options"] = opts
         if trace:
             request["trace"] = True
+        if tenant:
+            request["tenant"] = tenant
+        if priority:
+            request["priority"] = priority
         return request
 
     def compile(
@@ -230,6 +315,9 @@ class ServiceClient:
         datapath: Optional[int] = None,
         options: Optional[CompilerOptions] = None,
         trace: bool = False,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        retries: int = 0,
     ) -> SubmitOutcome:
         """Compile on the server; ``outcome.result`` is dataclass-equal
         to a local ``compile_program`` of the same inputs."""
@@ -237,8 +325,9 @@ class ServiceClient:
             "compile",
             self._job_request(
                 source, kernel, n, variant, machine, datapath, options,
-                seed=0, trace=trace,
+                seed=0, trace=trace, tenant=tenant, priority=priority,
             ),
+            retries=retries,
         )
 
     def simulate(
@@ -252,6 +341,9 @@ class ServiceClient:
         options: Optional[CompilerOptions] = None,
         seed: int = 0,
         trace: bool = False,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        retries: int = 0,
     ) -> SubmitOutcome:
         """Compile + simulate on the server; additionally fills
         ``outcome.report`` and ``outcome.memory``."""
@@ -259,8 +351,9 @@ class ServiceClient:
             "simulate",
             self._job_request(
                 source, kernel, n, variant, machine, datapath, options,
-                seed=seed, trace=trace,
+                seed=seed, trace=trace, tenant=tenant, priority=priority,
             ),
+            retries=retries,
         )
 
 

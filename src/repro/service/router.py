@@ -1,0 +1,717 @@
+"""Consistent-hash routing over a fleet of ``repro serve`` nodes.
+
+``repro route --node URL --node URL ...`` runs a stdlib-only asyncio
+proxy that maps each job's **content key** onto the fleet, so every
+node's worker memos and on-disk L1 store stay hot for the keys it
+owns, and cross-client coalescing keeps working fleet-wide (two
+clients submitting the same program always land on the same node
+while it is healthy).
+
+Pieces:
+
+* :class:`HashRing` — classic consistent hashing with virtual nodes.
+  ``preference(key)`` returns *all* nodes in ring order, so the
+  caller can walk the preference list on failure; adding or removing
+  one node remaps only ~1/N of the key space (the property that keeps
+  L1 stores warm through membership changes).
+* **Bounded load** — the router tracks in-flight forwards per node
+  and skips a preferred node whose load exceeds ``load_factor`` times
+  the fleet average (the "consistent hashing with bounded loads"
+  refinement), so one hot key cannot starve a node's unrelated
+  traffic.
+* **Health checking** — a background task polls each node's
+  ``/healthz``; a node that fails the probe (or a forward) is marked
+  down and skipped until a probe succeeds again. Draining nodes count
+  as down for *new* leaders.
+* **Retry with jitter** — a transport error, a 429, or a structured
+  ``WorkerCrashError`` 500 moves to the next node in the preference
+  list after a short decorrelated sleep. Anything else (400/422/200)
+  is the job's real answer and is returned as-is.
+
+The router is L7 but *schema-thin*: it parses just enough of the JSON
+body to compute the routing key and forwards the original bytes
+untouched, so it never needs updating when the job schema grows
+fields.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import sys
+import time
+import urllib.parse
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..telemetry.log import LOG
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.promtext import (
+    CONTENT_TYPE as PROM_CONTENT_TYPE,
+    render_prometheus,
+)
+
+from . import SCHEMA, error_payload
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+#: Virtual nodes per physical node: enough that the key-space split
+#: stays within a few percent of even for small fleets.
+VNODES = 64
+
+#: Body bytes the router is willing to buffer (matches the server).
+MAX_BODY_BYTES = 64 << 20
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over opaque node names."""
+
+    def __init__(self, nodes: List[str], vnodes: int = VNODES):
+        if not nodes:
+            raise ServiceError("hash ring needs at least one node")
+        self.nodes = list(dict.fromkeys(nodes))
+        self._ring: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                point = self._hash(f"{node}#{replica}")
+                self._ring.append((point, node))
+        self._ring.sort()
+        self._points = [point for point, _ in self._ring]
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def preference(self, key: str) -> List[str]:
+        """Every node, ordered by ring distance from ``key`` — the
+        failover walk order. The first entry is the key's home node."""
+        import bisect
+
+        start = bisect.bisect_left(self._points, self._hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._ring)):
+            _, node = self._ring[(start + offset) % len(self._ring)]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen
+
+
+class _Node:
+    """A backend's live state: health, in-flight load, and a small
+    keep-alive connection pool (router → node)."""
+
+    def __init__(self, url: str):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported node URL scheme: {url!r}")
+        self.url = url.rstrip("/")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.alive = True
+        self.draining = False
+        self.in_flight = 0
+        self.forwards = 0
+        self.failures = 0
+        self._pool: List[Tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+
+    async def acquire(self, timeout: float):
+        while self._pool:
+            reader, writer = self._pool.pop()
+            if writer.is_closing():
+                writer.close()
+                continue
+            return reader, writer, True
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout
+        )
+        return reader, writer, False
+
+    def release(self, reader, writer, reusable: bool) -> None:
+        if reusable and not writer.is_closing() and len(self._pool) < 8:
+            self._pool.append((reader, writer))
+        else:
+            writer.close()
+
+    def close_pool(self) -> None:
+        while self._pool:
+            _, writer = self._pool.pop()
+            writer.close()
+
+
+async def _read_response(reader) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one backend HTTP response (our servers always send
+    Content-Length)."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("backend closed the connection")
+    parts = status_line.decode("ascii").split(" ", 2)
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    if length > MAX_BODY_BYTES:
+        raise ConnectionError("backend response too large")
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+class RouterService:
+    """The proxy itself; same lifecycle shape as
+    :class:`repro.service.server.ReproService`."""
+
+    #: Paths proxied by content key; everything else is router-local.
+    JOB_PATHS = ("/v1/compile", "/v1/simulate")
+
+    def __init__(
+        self,
+        nodes: List[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        load_factor: float = 1.25,
+        health_interval: float = 1.0,
+        retries: int = 3,
+        forward_timeout: float = 600.0,
+    ):
+        self.host = host
+        self.port = port
+        self.load_factor = load_factor
+        self.health_interval = health_interval
+        self.retries = retries
+        self.forward_timeout = forward_timeout
+        self.nodes = [_Node(url) for url in nodes]
+        self._by_url = {node.url: node for node in self.nodes}
+        self.ring = HashRing([node.url for node in self.nodes])
+        self.metrics = MetricsRegistry()
+        self._forwards = self.metrics.counter(
+            "repro_router_forwards_total",
+            "Forward attempts by node and outcome",
+            labels=("node", "outcome"),
+        )
+        self._retries_total = self.metrics.counter(
+            "repro_router_retries_total",
+            "Forwards retried on another node",
+        )
+        self._node_up = self.metrics.gauge(
+            "repro_router_node_up",
+            "1 when the node's last health probe succeeded",
+            labels=("node",),
+        )
+        self._latency = self.metrics.histogram(
+            "repro_router_forward_latency_ms",
+            "End-to-end forward latency through the router",
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        #: Open client connections; drain force-closes stragglers.
+        self._conns: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        await self._probe_all()
+        self._health_task = loop.create_task(self._health_loop())
+
+    async def serve_forever(self) -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        print(
+            f"repro.router listening on http://{self.host}:{self.port} "
+            f"({len(self.nodes)} node(s): "
+            + ", ".join(node.url for node in self.nodes)
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        )
+        await self._shutdown.wait()
+        await self.drain()
+        print(
+            "repro.router drained cleanly",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def request_shutdown(self) -> None:
+        self._draining = True
+        self._shutdown.set()
+
+    async def drain(self) -> None:
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._conns):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        # Let the unblocked connection tasks observe EOF and finish
+        # before their loop closes.
+        await asyncio.sleep(0.05)
+        for node in self.nodes:
+            node.close_pool()
+
+    # -- health ----------------------------------------------------------------
+
+    async def _probe(self, node: _Node) -> None:
+        try:
+            status, _headers, body = await asyncio.wait_for(
+                self._forward_once(node, b"GET", b"/healthz", b""),
+                timeout=max(2.0, self.health_interval),
+            )
+            payload = json.loads(body.decode("utf-8"))
+            was_alive = node.alive
+            node.alive = status == 200 and bool(payload.get("ok"))
+            node.draining = bool(payload.get("draining"))
+            if node.alive and not was_alive and LOG.enabled:
+                LOG.event("router.node_up", node=node.url)
+        except Exception:
+            if node.alive and LOG.enabled:
+                LOG.event("router.node_down", node=node.url)
+            node.alive = False
+        self._node_up.labels(node=node.url).set(1 if node.alive else 0)
+
+    async def _probe_all(self) -> None:
+        await asyncio.gather(*(self._probe(node) for node in self.nodes))
+
+    async def _health_loop(self) -> None:
+        while not self._draining:
+            await asyncio.sleep(self.health_interval)
+            await self._probe_all()
+
+    # -- routing ---------------------------------------------------------------
+
+    def routing_key(self, path: str, body: bytes) -> str:
+        """A stable key over the fields that determine the content key,
+        without compiling anything: same program+config → same node →
+        node-local coalescing keeps working through the router."""
+        try:
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError
+        except (UnicodeDecodeError, json.JSONDecodeError, ValueError):
+            # Malformed bodies still need *a* node (it will 400 there).
+            return hashlib.sha256(body).hexdigest()
+        fields = [
+            path,
+            str(request.get("program")),
+            str(request.get("kernel")),
+            str(request.get("n")),
+            str(request.get("variant")),
+            str(request.get("machine")),
+            str(request.get("datapath")),
+            json.dumps(request.get("options") or {}, sort_keys=True),
+            str(request.get("seed")),
+            str(bool(request.get("trace"))),
+        ]
+        return hashlib.sha256("\x00".join(fields).encode()).hexdigest()
+
+    def _candidates(self, key: str) -> List[_Node]:
+        """The preference walk, bounded-load adjusted: skip (but keep
+        as fallback) alive nodes whose in-flight load exceeds
+        ``load_factor`` times the fleet average."""
+        preferred = [
+            self._by_url[url]
+            for url in self.ring.preference(key)
+            if self._by_url[url].alive and not self._by_url[url].draining
+        ]
+        if not preferred:
+            # Degraded fleet: try every non-drained node anyway rather
+            # than failing outright (probes may simply be stale).
+            return [n for n in self.nodes if not n.draining] or list(
+                self.nodes
+            )
+        total = sum(node.in_flight for node in preferred)
+        limit = self.load_factor * (total + 1) / len(preferred)
+        light = [n for n in preferred if n.in_flight < max(1.0, limit)]
+        heavy = [n for n in preferred if n not in light]
+        return light + heavy
+
+    # -- forwarding ------------------------------------------------------------
+
+    async def _forward_once(
+        self, node: _Node, method: bytes, path: bytes, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer, _reused = await node.acquire(5.0)
+        try:
+            head = (
+                method + b" " + path + b" HTTP/1.1\r\n"
+                b"Host: " + node.host.encode() + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n"
+            )
+            writer.write(head + body)
+            await writer.drain()
+            status, headers, payload = await asyncio.wait_for(
+                _read_response(reader), timeout=self.forward_timeout
+            )
+        except BaseException:
+            node.release(reader, writer, reusable=False)
+            raise
+        keep = headers.get("connection", "").lower() != "close"
+        node.release(reader, writer, reusable=keep)
+        return status, headers, payload
+
+    @staticmethod
+    def _is_crash_500(status: int, body: bytes) -> bool:
+        if status != 500:
+            return False
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            return (
+                payload.get("error", {}).get("type") == "WorkerCrashError"
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+            return False
+
+    async def _forward_job(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """Walk the preference list until a node gives a real answer.
+
+        Retryable: transport errors (node loss), 429 (that node is
+        saturated; another may not be), and crash-shaped 500s (the
+        satellite case: the leader's worker died — a sibling node can
+        run the same job). Every hop after the first sleeps a short
+        decorrelated jitter so a dying node's traffic doesn't stampede
+        onto one survivor."""
+        started = time.perf_counter()
+        key = self.routing_key(path, body)
+        last_error: Optional[BaseException] = None
+        last_response: Optional[Tuple[int, Dict[str, str], bytes]] = None
+        attempts = 0
+        for node in self._candidates(key)[: self.retries + 1]:
+            if attempts:
+                self._retries_total.inc()
+                await asyncio.sleep(random.uniform(0.005, 0.05) * attempts)
+            attempts += 1
+            node.in_flight += 1
+            node.forwards += 1
+            try:
+                status, headers, payload = await self._forward_once(
+                    node, method.encode(), path.encode(), body
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                node.failures += 1
+                node.alive = False
+                self._node_up.labels(node=node.url).set(0)
+                self._forwards.labels(
+                    node=node.url, outcome="error"
+                ).inc()
+                if LOG.enabled:
+                    LOG.event(
+                        "router.forward_error", node=node.url,
+                        error=str(exc) or type(exc).__name__,
+                    )
+                last_error = exc
+                continue
+            finally:
+                node.in_flight -= 1
+            if status == 429 or self._is_crash_500(status, payload):
+                self._forwards.labels(
+                    node=node.url, outcome="retryable"
+                ).inc()
+                last_response = (status, headers, payload)
+                continue
+            self._forwards.labels(node=node.url, outcome="ok").inc()
+            self._latency.observe(time.perf_counter() - started)
+            return status, headers, payload
+        # Preference list exhausted: surface the last real response if
+        # any node produced one, else a structured 502.
+        if last_response is not None:
+            return last_response
+        error = ServiceError(
+            f"no node could serve the request "
+            f"(last error: {last_error})",
+            rule="router.no-node",
+        )
+        body_out = json.dumps(
+            {"schema": SCHEMA, "ok": False, "error": error_payload(error)}
+        ).encode("utf-8")
+        return 502, {"content-type": "application/json"}, body_out
+
+    # -- client side -----------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                try:
+                    (method, path, body,
+                     client_close) = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                except ValueError as exc:
+                    await self._respond(
+                        writer, 400, {}, self._error_json(exc), close=True
+                    )
+                    break
+                path_only, _, query = path.partition("?")
+                if method == "POST" and path_only in self.JOB_PATHS:
+                    status, headers, payload = await self._forward_job(
+                        method, path, body
+                    )
+                    out_headers = {
+                        "Content-Type": headers.get(
+                            "content-type", "application/json"
+                        ),
+                    }
+                    if "retry-after" in headers:
+                        out_headers["Retry-After"] = headers["retry-after"]
+                    await self._respond(
+                        writer, status, out_headers, payload,
+                        close=client_close or self._draining,
+                    )
+                elif method == "GET" and path_only == "/healthz":
+                    await self._respond(
+                        writer, 200, {}, self._healthz_json(),
+                        close=client_close,
+                    )
+                elif method == "GET" and path_only == "/metrics":
+                    params = urllib.parse.parse_qs(query)
+                    if params.get("format", ["json"])[-1] == "prometheus":
+                        text = render_prometheus(self.metrics)
+                        await self._respond(
+                            writer, 200,
+                            {"Content-Type": PROM_CONTENT_TYPE},
+                            text.encode("utf-8"), close=client_close,
+                        )
+                    else:
+                        payload = await self._metrics_json()
+                        await self._respond(
+                            writer, 200, {}, payload, close=client_close,
+                        )
+                else:
+                    await self._respond(
+                        writer, 404, {},
+                        self._error_json(
+                            ServiceError(f"no such endpoint: {path_only}")
+                        ),
+                        close=True,
+                    )
+                    break
+                if client_close or self._draining:
+                    break
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        method, path, _version = (
+            request_line.decode("ascii").strip().split(" ", 2)
+        )
+        content_length = 0
+        client_close = False
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length = int(value.strip())
+            elif name == "connection":
+                client_close = value.strip().lower() == "close"
+        if content_length > MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body, client_close
+
+    async def _respond(
+        self, writer, status, headers, body: bytes, close: bool
+    ) -> None:
+        base = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close" if close else "keep-alive",
+        }
+        base.update(headers)
+        base["Content-Length"] = str(len(body))
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            + "".join(f"{k}: {v}\r\n" for k, v in base.items())
+            + "\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+    @staticmethod
+    def _error_json(exc: BaseException) -> bytes:
+        return json.dumps(
+            {"schema": SCHEMA, "ok": False, "error": error_payload(exc)}
+        ).encode("utf-8")
+
+    def _healthz_json(self) -> bytes:
+        alive = [node.url for node in self.nodes if node.alive]
+        return json.dumps(
+            {
+                "schema": SCHEMA,
+                "ok": bool(alive),
+                "role": "router",
+                "draining": self._draining,
+                "nodes": {
+                    node.url: {
+                        "alive": node.alive,
+                        "draining": node.draining,
+                        "in_flight": node.in_flight,
+                        "forwards": node.forwards,
+                        "failures": node.failures,
+                    }
+                    for node in self.nodes
+                },
+            }
+        ).encode("utf-8")
+
+    async def _metrics_json(self) -> bytes:
+        """Router counters plus each live node's own /metrics summary
+        — the single scrape that describes the whole cluster."""
+        async def node_metrics(node: _Node):
+            try:
+                status, _h, body = await asyncio.wait_for(
+                    self._forward_once(node, b"GET", b"/metrics", b""),
+                    timeout=5.0,
+                )
+                if status != 200:
+                    return node.url, {"error": f"HTTP {status}"}
+                service = json.loads(body.decode("utf-8")).get(
+                    "service", {}
+                )
+                return node.url, {
+                    "served": service.get("served"),
+                    "coalesced": service.get("coalesced"),
+                    "queue": service.get("queue"),
+                    "pool": service.get("pool"),
+                    "store": service.get("store"),
+                }
+            except Exception as exc:
+                return node.url, {"error": str(exc) or type(exc).__name__}
+
+        per_node = dict(
+            await asyncio.gather(
+                *(node_metrics(n) for n in self.nodes if n.alive)
+            )
+        )
+        payload = {
+            "schema": SCHEMA,
+            "ok": True,
+            "router": {
+                "nodes": {
+                    node.url: {
+                        "alive": node.alive,
+                        "in_flight": node.in_flight,
+                        "forwards": node.forwards,
+                        "failures": node.failures,
+                        "metrics": per_node.get(node.url),
+                    }
+                    for node in self.nodes
+                },
+                "retries": int(self._retries_total.value),
+                "forward_latency_ms": self._latency.snapshot(),
+            },
+        }
+        return json.dumps(payload).encode("utf-8")
+
+
+# -- embedding helper (tests, benchmarks) --------------------------------------
+
+
+class RouterThread:
+    """Run a :class:`RouterService` on a background thread with its
+    own event loop — mirrors ``ServiceThread``."""
+
+    def __init__(self, nodes: List[str], **kwargs: Any):
+        import threading
+
+        kwargs.setdefault("port", 0)
+        self._nodes = nodes
+        self._kwargs = kwargs
+        self.router: Optional[RouterService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.router = RouterService(self._nodes, **self._kwargs)
+        self._loop.run_until_complete(self.router.start())
+        self._ready.set()
+        self._loop.run_until_complete(self.router._shutdown.wait())
+        self._loop.run_until_complete(self.router.drain())
+        self._loop.close()
+
+    def start(self) -> "RouterThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ServiceError("router thread failed to start")
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.router.host}:{self.router.port}"
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self.router.request_shutdown)
+        self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "RouterThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["HashRing", "RouterService", "RouterThread", "VNODES"]

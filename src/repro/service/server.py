@@ -53,6 +53,7 @@ from ..ir import parse_program
 from ..ir.printer import format_program
 from ..perf import PERF
 from ..store import ArtifactStore
+from ..store.remote import open_store
 from ..telemetry.log import LOG, bind_request_id, new_request_id
 from ..telemetry.metrics import Histogram, MetricsRegistry
 from ..telemetry.promtext import (
@@ -68,6 +69,12 @@ from . import (
     options_from_dict,
     pickle_b64,
 )
+from .admission import (
+    AdmissionController,
+    validate_priority,
+    validate_tenant,
+)
+from .autoscale import Autoscaler, AutoscalerConfig
 from .coalesce import Coalescer
 from .pool import WorkerPool
 
@@ -103,6 +110,15 @@ class _PlainText:
     text: str
 
 
+class _CloseRequested(Exception):
+    """Carries a response that must be the connection's last (the
+    client sent ``Connection: close``)."""
+
+    def __init__(self, response):
+        super().__init__("connection close requested")
+        self.response = response
+
+
 class ReproService:
     """The server object; create, ``await start()``, then either
     ``await serve_forever()`` (CLI) or drive requests and finally
@@ -117,6 +133,11 @@ class ReproService:
         cache_dir: Optional[str] = None,
         job_timeout: float = 300.0,
         test_hooks: bool = False,
+        remote_store_url: Optional[str] = None,
+        tenant_rate: float = 0.0,
+        tenant_burst: float = 0.0,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
     ):
         self.host = host
         self.port = port
@@ -125,6 +146,9 @@ class ReproService:
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.job_timeout = job_timeout
         self.test_hooks = test_hooks
+        self.remote_store_url = remote_store_url
+        self.min_workers = min_workers
+        self.max_workers = max_workers
 
         # Per-server registry: embedded test servers must not bleed
         # counters into each other, so each instance owns its metrics;
@@ -155,7 +179,32 @@ class ReproService:
 
         self.pool: Optional[WorkerPool] = None
         self.coalescer = Coalescer(metrics=self.metrics)
-        self.store = ArtifactStore(self.cache_dir) if self.cache_dir else None
+        # The server's own store handle (stats + scrape-time gauges):
+        # tiered when a remote L2 is configured, so /metrics shows the
+        # cluster-wide hit picture, not just this node's disk.
+        self.store = open_store(
+            self.cache_dir, remote_store_url, metrics=self.metrics
+        )
+        self.admission = AdmissionController(
+            queue_limit=queue_limit,
+            tenant_rate=tenant_rate,
+            tenant_burst=tenant_burst,
+            metrics=self.metrics,
+        )
+        self.autoscaler: Optional[Autoscaler] = None
+        if min_workers is not None and max_workers is not None:
+            if not 1 <= min_workers <= max_workers:
+                raise ServiceError(
+                    f"need 1 <= min_workers <= max_workers, got "
+                    f"{min_workers}..{max_workers}"
+                )
+            self.autoscaler = Autoscaler(
+                AutoscalerConfig(
+                    min_shards=min_workers, max_shards=max_workers
+                ),
+                metrics=self.metrics,
+            )
+        self._autoscale_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._shutdown = asyncio.Event()
@@ -163,6 +212,8 @@ class ReproService:
         self._active = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        #: Open keep-alive connections; drain force-closes stragglers.
+        self._conns: set = set()
 
     @property
     def requests(self) -> Dict[str, int]:
@@ -182,6 +233,11 @@ class ReproService:
 
     # -- lifecycle -------------------------------------------------------------
 
+    @property
+    def live_shards(self) -> int:
+        """Current worker count — tracks autoscaler resizes."""
+        return len(self.pool.workers) if self.pool else self.shards
+
     async def start(self) -> None:
         PERF.enable()
         self.pool = WorkerPool(
@@ -190,17 +246,41 @@ class ReproService:
             job_timeout=self.job_timeout,
             test_hooks=self.test_hooks,
             metrics=self.metrics,
+            remote_store_url=self.remote_store_url,
         )
-        # Threads block on worker pipes; a couple of spares keep
-        # followers and metrics from queueing behind busy shards.
+        # Threads block on worker pipes; spares sized to the scaling
+        # ceiling keep followers and metrics from queueing behind busy
+        # shards even after the autoscaler grows the pool.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.shards + 4,
+            max_workers=(self.max_workers or self.shards) + 4,
             thread_name_prefix="repro-serve",
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.autoscaler is not None:
+            self._autoscale_task = asyncio.get_running_loop().create_task(
+                self._autoscale_loop()
+            )
+
+    async def _autoscale_loop(self) -> None:
+        """Periodic tick: evaluate the hysteresis policy against the
+        queue-wait histogram and resize the pool off the event loop."""
+        interval = self.autoscaler.config.interval
+        while not self._draining:
+            await asyncio.sleep(interval)
+            if self._draining or self.pool is None:
+                break
+            desired = self.autoscaler.tick(
+                shards=self.live_shards,
+                queue_depth=self.coalescer.depth,
+                queue_wait_snapshot=self.latency["queue_wait"].snapshot(),
+            )
+            if desired != self.live_shards:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self.pool.resize, desired
+                )
 
     async def serve_forever(self) -> None:
         loop = asyncio.get_running_loop()
@@ -237,6 +317,13 @@ class ReproService:
         """Stop accepting, let in-flight requests finish, stop the
         pool."""
         self._draining = True
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                pass
+            self._autoscale_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -247,44 +334,80 @@ class ReproService:
             )
         except asyncio.TimeoutError:  # pragma: no cover - stuck worker
             pass
+        # Idle keep-alive connections are parked in readline(); closing
+        # the transport unblocks them so their tasks can finish.
+        for writer in list(self._conns):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        if self._conns:
+            await asyncio.sleep(0.05)
         if self.pool is not None:
             await asyncio.get_running_loop().run_in_executor(
                 self._executor, self.pool.close
             )
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self.store is not None and hasattr(self.store, "close"):
+            self.store.close()
 
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        """One client connection: HTTP/1.1 keep-alive, so a
+        :class:`ServiceClient` reuses the socket across submits. The
+        loop ends on ``Connection: close``, a parse-level error (our
+        framing may be out of sync with the client's), EOF, or drain."""
+        self._conns.add(writer)
         try:
-            status, headers, payload = await self._handle_request(reader)
-        except asyncio.IncompleteReadError:
-            writer.close()
-            return
-        except Exception as exc:  # pragma: no cover - defensive
-            status, headers = 500, ()
-            payload = {"schema": SCHEMA, "ok": False,
-                       "error": error_payload(exc)}
-        if isinstance(payload, _PlainText):
-            body = payload.text.encode("utf-8")
-            content_type = payload.content_type
-        else:
-            body = json.dumps(payload).encode("utf-8")
-            content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            + "".join(f"{name}: {value}\r\n" for name, value in headers)
-            + "Connection: close\r\n\r\n"
-        ).encode("ascii")
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except ConnectionError:  # pragma: no cover - client went away
-            pass
+            while True:
+                close_after = False
+                try:
+                    status, headers, payload = await self._handle_request(
+                        reader
+                    )
+                except asyncio.IncompleteReadError:
+                    break
+                except _CloseRequested as req:
+                    status, headers, payload = req.response
+                    close_after = True
+                except Exception as exc:  # pragma: no cover - defensive
+                    status, headers = 500, ()
+                    payload = {"schema": SCHEMA, "ok": False,
+                               "error": error_payload(exc)}
+                    close_after = True
+                if status >= 400 or self._draining:
+                    # Error framing may be desynchronized (e.g. an
+                    # oversized body we never read); never risk parsing
+                    # the next request against a stale stream.
+                    close_after = True
+                if isinstance(payload, _PlainText):
+                    body = payload.text.encode("utf-8")
+                    content_type = payload.content_type
+                else:
+                    body = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
+                connection = "close" if close_after else "keep-alive"
+                head = (
+                    f"HTTP/1.1 {status} "
+                    f"{_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    + "".join(
+                        f"{name}: {value}\r\n" for name, value in headers
+                    )
+                    + f"Connection: {connection}\r\n\r\n"
+                ).encode("ascii")
+                try:
+                    writer.write(head + body)
+                    await writer.drain()
+                except ConnectionError:  # pragma: no cover - client gone
+                    break
+                if close_after:
+                    break
         finally:
+            self._conns.discard(writer)
             writer.close()
 
     async def _handle_request(
@@ -302,18 +425,22 @@ class ReproService:
                 ServiceError("malformed request line")
             )
         content_length = 0
+        client_close = False
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _sep, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     return 400, (), self._error_body(
                         ServiceError("bad Content-Length")
                     )
+            elif name == "connection":
+                client_close = value.strip().lower() == "close"
         if content_length > MAX_BODY_BYTES:
             return 413, (), self._error_body(
                 ServiceError("request body too large")
@@ -325,6 +452,14 @@ class ReproService:
         )
 
         path, _, query = path.partition("?")
+        response = await self._dispatch(method, path, query, body)
+        if client_close:
+            raise _CloseRequested(response)
+        return response
+
+    async def _dispatch(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> Tuple[int, Tuple, Dict[str, Any]]:
         self._requests_family.labels(path=path).inc()
         if method == "GET" and path == "/healthz":
             return 200, (), self._healthz_body()
@@ -360,14 +495,25 @@ class ReproService:
         coalesce_key = "{}:{}:seed={}:trace={}".format(
             kind, key, job.get("seed", 0), bool(job.get("trace"))
         )
+        tenant = job["tenant"]
+        lane = job["priority"]
         self._active += 1
         self._idle.clear()
         leader_rid: Optional[str] = None
         try:
             with bind_request_id(rid):
                 if self.coalescer.has(coalesce_key):
-                    # Followers ride the in-flight leader: no admission
-                    # check, no queue slot, no worker.
+                    # Followers ride the in-flight leader: no queue
+                    # slot, no worker — but the tenant bucket is still
+                    # charged, so warm-key resubmits can't amplify one
+                    # tenant for free.
+                    verdict = self.admission.check(
+                        tenant, lane, self.coalescer.depth, follower=True
+                    )
+                    if not verdict.admitted:
+                        return self._shed(
+                            kind, key, rid, tenant, lane, verdict
+                        )
                     leader_rid = self.coalescer.leader_id(coalesce_key)
                     if LOG.enabled:
                         LOG.event(
@@ -387,28 +533,12 @@ class ReproService:
                                 ServiceError("server is draining"), rid
                             ),
                         )
-                    admitted = self.coalescer.depth
-                    if admitted >= self.queue_limit:
-                        self._rejected.inc()
-                        if LOG.enabled:
-                            LOG.event(
-                                "request.shed", kind=kind, key=key,
-                                depth=admitted,
-                            )
-                        retry_after = max(
-                            1, admitted // max(1, self.shards)
-                        )
-                        return (
-                            429,
-                            (("Retry-After", str(retry_after)),),
-                            self._error_body(
-                                ServiceError(
-                                    f"queue full ({admitted} in flight, "
-                                    f"limit {self.queue_limit})",
-                                    rule="service.backpressure",
-                                ),
-                                rid,
-                            ),
+                    verdict = self.admission.check(
+                        tenant, lane, self.coalescer.depth
+                    )
+                    if not verdict.admitted:
+                        return self._shed(
+                            kind, key, rid, tenant, lane, verdict
                         )
                     if LOG.enabled:
                         LOG.event("request.lead", kind=kind, key=key)
@@ -510,6 +640,12 @@ class ReproService:
         request_id = request.get("request_id")
         if not isinstance(request_id, str) or not request_id:
             request_id = new_request_id()
+        ok, tenant = validate_tenant(request.get("tenant"))
+        if not ok:
+            raise ServiceError(tenant, rule="service.tenant")
+        ok, priority = validate_priority(request.get("priority"))
+        if not ok:
+            raise ServiceError(priority, rule="service.priority")
         job: Dict[str, Any] = {
             "kind": kind,
             "source": source,
@@ -521,9 +657,13 @@ class ReproService:
             "trace": bool(request.get("trace")),
             "key": key,
             "request_id": request_id,
+            "tenant": tenant,
+            "priority": priority,
         }
         if self.test_hooks:
-            for hook in ("x_crash_once", "x_crash", "x_sleep"):
+            for hook in (
+                "x_crash_once", "x_crash", "x_crash_times", "x_sleep"
+            ):
                 if hook in request:
                     job[hook] = request[hook]
         return job, key
@@ -546,6 +686,45 @@ class ReproService:
 
         return await loop.run_in_executor(self._executor, run)
 
+    def _shed(
+        self,
+        kind: str,
+        key: str,
+        rid: str,
+        tenant: str,
+        lane: str,
+        verdict,
+    ) -> Tuple[int, Tuple, Dict[str, Any]]:
+        """Build the 429 for a rejected request (queue full or tenant
+        over its rate), with an honest ``Retry-After``."""
+        self._rejected.inc()
+        depth = self.coalescer.depth
+        if verdict.reason == "queue-full":
+            retry_after = float(max(1, depth // max(1, self.live_shards)))
+            message = (
+                f"queue full ({depth} in flight, lane {lane!r} limit "
+                f"{self.admission.lane_limit(lane)} of "
+                f"{self.queue_limit})"
+            )
+            rule = "service.backpressure"
+        else:
+            retry_after = max(0.05, round(verdict.retry_after, 3))
+            message = (
+                f"tenant {tenant!r} over its rate limit "
+                f"({self.admission.tenant_rate:g}/s)"
+            )
+            rule = "service.tenant-limit"
+        if LOG.enabled:
+            LOG.event(
+                "request.shed", kind=kind, key=key, depth=depth,
+                tenant=tenant, lane=lane, reason=verdict.reason,
+            )
+        return (
+            429,
+            (("Retry-After", f"{retry_after:g}"),),
+            self._error_body(ServiceError(message, rule=rule), rid),
+        )
+
     # -- response bodies -------------------------------------------------------
 
     @staticmethod
@@ -559,6 +738,10 @@ class ReproService:
                 pass
         body = {"schema": SCHEMA, "ok": False, "error": error_payload(exc)}
         if request_id:
+            # Every response names its OWN request, even when the
+            # exception object is shared — a coalescing follower must
+            # not see the leader's id in its error envelope.
+            body["error"]["request_id"] = request_id
             body["request_id"] = request_id
         return body
 
@@ -613,7 +796,7 @@ class ReproService:
             "schema": SCHEMA,
             "ok": True,
             "draining": self._draining,
-            "workers": self.shards,
+            "workers": self.live_shards,
             "queue_depth": self.coalescer.depth,
             "queue_limit": self.queue_limit,
             "served": self.served,
@@ -623,6 +806,8 @@ class ReproService:
         store_stats: Dict[str, Any] = {}
         if self.store is not None:
             store_stats = dataclasses.asdict(self.store.stats())
+            if hasattr(self.store, "remote_stats"):
+                store_stats["remote"] = self.store.remote_stats()
         return {
             "schema": SCHEMA,
             "ok": True,
@@ -636,6 +821,7 @@ class ReproService:
                     "limit": self.queue_limit,
                     "rejected": self.rejected,
                 },
+                "admission": self.admission.stats(),
                 "pool": self.pool.stats() if self.pool else {},
                 "store": store_stats,
                 "latency_ms": {
@@ -659,7 +845,7 @@ class ReproService:
         gauges.labels(facet="queue_depth").set(self.coalescer.depth)
         gauges.labels(facet="queue_limit").set(self.queue_limit)
         gauges.labels(facet="draining").set(1 if self._draining else 0)
-        gauges.labels(facet="shards").set(self.shards)
+        gauges.labels(facet="shards").set(self.live_shards)
         if self.store is not None:
             stats = self.store.stats()
             store = self.metrics.gauge(

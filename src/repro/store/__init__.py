@@ -44,12 +44,12 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
-from .perf import count
-from .telemetry.metrics import MetricsRegistry
+from ..perf import count
+from ..telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from .compiler import CompilerOptions, CompileResult, Variant
-    from .vm import MachineModel
+    from ..compiler import CompilerOptions, CompileResult, Variant
+    from ..vm import MachineModel
 
 
 @dataclass(frozen=True)
@@ -128,8 +128,8 @@ class ArtifactStore:
         machine: "MachineModel",
         options: Optional["CompilerOptions"],
     ) -> str:
-        from .compiler import CompilerOptions
-        from .ir.printer import format_program
+        from ..compiler import CompilerOptions
+        from ..ir.printer import format_program
 
         # The simulation engine plays no part in compilation, so it is
         # normalized out of the key: reference and batched runs share
@@ -274,7 +274,13 @@ class ArtifactStore:
 
     def prune(self, max_bytes: int) -> int:
         """Evict least-recently-used entries until the store holds at
-        most ``max_bytes``; returns the number of entries removed."""
+        most ``max_bytes``; returns the number of entries removed.
+
+        Safe under concurrency: another pruner (or a corrupt-entry
+        eviction in a reader) may delete an entry between our scan and
+        our unlink. A vanished file no longer occupies space, so it
+        still counts toward the byte budget we are reclaiming — but not
+        toward *our* removed count."""
         entries = sorted(self._entries(), key=lambda e: e[1])
         total = sum(size for _, _, size in entries)
         removed = 0
@@ -283,6 +289,11 @@ class ArtifactStore:
                 break
             try:
                 os.unlink(path)
+            except FileNotFoundError:
+                # Lost the race to a concurrent pruner/evictor: the
+                # bytes are gone either way.
+                total -= size
+                continue
             except OSError:
                 continue
             total -= size
@@ -297,4 +308,20 @@ class ArtifactStore:
 #: ``CompileResult`` objects, never the store class itself).
 CompileCache = ArtifactStore
 
-__all__ = ["ArtifactStore", "CompileCache", "StoreStats"]
+# The multi-node tier: an HTTP remote store (L2) layered under the
+# on-disk store (L1). Imported at the bottom so ``repro.store`` keeps
+# its historical import cost and ``remote`` can import ArtifactStore.
+from .remote import (  # noqa: E402
+    RemoteStore,
+    StoreServer,
+    TieredStore,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CompileCache",
+    "RemoteStore",
+    "StoreServer",
+    "StoreStats",
+    "TieredStore",
+]

@@ -1,0 +1,557 @@
+"""The remote artifact-store tier: L2 over HTTP under the on-disk L1.
+
+goSLP-style offline-solve/online-reuse applied across machines: one
+node pays for a compile, every node reuses the artifact. Three pieces:
+
+* :class:`StoreServer` — a threaded stdlib HTTP server exposing a
+  content-addressed blob namespace (``GET/PUT /v1/artifacts/<key>``,
+  ``?kind=kernel`` for compiled-engine kernels) over an
+  :class:`~repro.store.ArtifactStore` directory. Blobs are moved as raw
+  bytes — the store node never unpickles what it holds, so a hostile
+  artifact cannot execute there. ``repro store serve`` runs one.
+* :class:`RemoteStore` — the blocking client: per-thread keep-alive
+  connections, short timeouts, and a *never-raise* contract (a dead or
+  slow remote degrades to a miss / dropped put; the L2 is an
+  optimization, not a dependency). Hit/miss/error counts and get/put
+  latency histograms land in a :class:`~repro.telemetry.metrics.
+  MetricsRegistry` and in ``repro.perf`` counters, so worker-side
+  traffic surfaces in the merged ``/metrics`` view.
+* :class:`TieredStore` — the read-through / write-behind composition
+  the service workers actually hold: ``get`` tries L1, then L2
+  (populating L1 on an L2 hit); ``put`` writes L1 synchronously and
+  queues the remote put onto a background writer thread, so the
+  request path never waits on the network. The queue is bounded;
+  overflow drops the remote copy (counted) rather than blocking.
+"""
+
+from __future__ import annotations
+
+import http.client
+import http.server
+import os
+import pickle
+import queue
+import re
+import tempfile
+import threading
+import time
+import urllib.parse
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..perf import count
+from ..telemetry.metrics import MetricsRegistry
+
+from . import ArtifactStore
+
+#: Keys are hex digests (compile keys and kernel fingerprints are both
+#: sha256-derived); anything else is rejected before touching the
+#: filesystem, so the blob namespace cannot traverse directories.
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Artifact kinds and the on-disk suffix each maps to.
+KINDS = {
+    "compile": ArtifactStore.SUFFIX,
+    "kernel": ArtifactStore.KERNEL_SUFFIX,
+}
+
+#: Upper bound on a single artifact blob (pure abuse protection; real
+#: pickled CompileResults are tens of KB).
+MAX_BLOB_BYTES = 256 << 20
+
+
+def _blob_path(root: Path, key: str, kind: str) -> Path:
+    if not _KEY_RE.match(key):
+        raise ValueError(f"malformed artifact key {key!r}")
+    try:
+        suffix = KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown artifact kind {kind!r}")
+    return root / f"{key}{suffix}"
+
+
+class _StoreHandler(http.server.BaseHTTPRequestHandler):
+    """One request to the store server. The handler is stateless; all
+    state lives on ``server`` (a :class:`_StoreHTTPServer`)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-store/1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, *args: Any) -> None:  # noqa: D102 - quiet
+        pass
+
+    def _reply(
+        self, status: int, body: bytes,
+        content_type: str = "application/octet-stream",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, status: int, payload: Dict[str, Any]) -> None:
+        import json
+
+        self._reply(
+            status, json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+        )
+
+    def _artifact_target(self) -> Optional[Tuple[Path, str]]:
+        path, _, query = self.path.partition("?")
+        if not path.startswith("/v1/artifacts/"):
+            self._reply_json(404, {"ok": False, "error": "no such endpoint"})
+            return None
+        key = path[len("/v1/artifacts/"):]
+        params = urllib.parse.parse_qs(query)
+        kind = params.get("kind", ["compile"])[-1]
+        try:
+            blob_path = _blob_path(self.server.root, key, kind)
+        except ValueError as exc:
+            self._reply_json(400, {"ok": False, "error": str(exc)})
+            return None
+        return blob_path, kind
+
+    # -- endpoints -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.partition("?")[0]
+        if path == "/healthz":
+            self._reply_json(
+                200, {"ok": True, "schema": "repro.store/1"}
+            )
+            return
+        if path == "/metrics":
+            server = self.server
+            stats = server.store.stats()
+            self._reply_json(
+                200,
+                {
+                    "ok": True,
+                    "schema": "repro.store/1",
+                    "entries": stats.entries,
+                    "bytes": stats.bytes,
+                    "gets": server.gets,
+                    "puts": server.puts,
+                    "not_found": server.not_found,
+                },
+            )
+            return
+        target = self._artifact_target()
+        if target is None:
+            return
+        blob_path, _kind = target
+        try:
+            blob = blob_path.read_bytes()
+        except (FileNotFoundError, OSError):
+            self.server.not_found += 1
+            self._reply_json(404, {"ok": False, "error": "no such artifact"})
+            return
+        self.server.gets += 1
+        try:
+            os.utime(blob_path)  # recency for the server-side pruner
+        except OSError:
+            pass
+        self._reply(200, blob)
+
+    def do_PUT(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        target = self._artifact_target()
+        if target is None:
+            return
+        blob_path, _kind = target
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._reply_json(400, {"ok": False, "error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BLOB_BYTES:
+            self._reply_json(
+                400, {"ok": False, "error": f"bad blob size {length}"}
+            )
+            return
+        blob = self.rfile.read(length)
+        server = self.server
+        # Torn-write safety, same discipline as ArtifactStore.put:
+        # temp file in the same directory, then an atomic rename.
+        fd, tmp = tempfile.mkstemp(dir=server.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, blob_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._reply_json(500, {"ok": False, "error": "write failed"})
+            return
+        server.puts += 1
+        server.maybe_prune()
+        self._reply_json(200, {"ok": True})
+
+
+class _StoreHTTPServer(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, root: Path, max_bytes: Optional[int]):
+        super().__init__(address, _StoreHandler)
+        self.root = root
+        self.store = ArtifactStore(root)
+        self.max_bytes = max_bytes
+        self.gets = 0
+        self.puts = 0
+        self.not_found = 0
+        self._prune_lock = threading.Lock()
+
+    #: Puts between byte-budget checks (stat-ing the whole directory
+    #: per put would make writes O(entries)).
+    PRUNE_EVERY = 32
+
+    def maybe_prune(self) -> None:
+        if self.max_bytes is None or self.puts % self.PRUNE_EVERY:
+            return
+        with self._prune_lock:
+            self.store.prune(self.max_bytes)
+
+
+class StoreServer:
+    """An HTTP blob server over one artifact-store directory.
+
+    Runs its handler threads as daemons; ``serve_forever`` blocks (the
+    CLI path), ``start``/``stop`` run it on a background thread (tests
+    and embedded topologies)."""
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_bytes: Optional[int] = None,
+    ):
+        root_path = Path(root)
+        root_path.mkdir(parents=True, exist_ok=True)
+        self._server = _StoreHTTPServer((host, port), root_path, max_bytes)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        server = self._server
+        return {
+            "gets": server.gets,
+            "puts": server.puts,
+            "not_found": server.not_found,
+        }
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "StoreServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-store", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "StoreServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+class RemoteStore:
+    """Blocking client for a :class:`StoreServer`; never raises on
+    remote failure — a broken L2 degrades to misses and dropped puts."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 5.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme {parsed.scheme!r}")
+        self.url = url
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._local = threading.local()
+        registry = metrics or MetricsRegistry()
+        self._ops = registry.counter(
+            "repro_remote_store_ops_total",
+            "Remote (L2) artifact store operations by this handle",
+            labels=("op",),
+        )
+        self._latency = registry.histogram(
+            "repro_remote_store_latency_ms",
+            "Remote (L2) artifact store round-trip latency",
+            labels=("op",),
+        )
+
+    def op_count(self, name: str) -> int:
+        return int(self._ops.labels(op=name).value)
+
+    # -- transport -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._local.conn = None
+
+    def _round_trip(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Optional[Tuple[int, bytes]]:
+        """One request on the per-thread keep-alive connection,
+        transparently reconnecting once when the server closed it.
+        Returns ``None`` on transport failure (the remote is down)."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            reused = conn.sock is not None
+            try:
+                conn.request(method, path, body=body)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except (http.client.HTTPException, OSError):
+                self._drop_connection()
+                if attempt == 0 and reused:
+                    continue  # stale keep-alive: retry on a fresh socket
+                return None
+        return None  # pragma: no cover - loop always returns
+
+    # -- blob API --------------------------------------------------------------
+
+    def _blob_url(self, key: str, kind: str) -> str:
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return f"/v1/artifacts/{key}?kind={kind}"
+
+    def get_bytes(self, key: str, kind: str = "compile") -> Optional[bytes]:
+        started = time.perf_counter()
+        outcome = self._round_trip("GET", self._blob_url(key, kind))
+        self._latency.labels(op="get").observe(
+            time.perf_counter() - started
+        )
+        if outcome is None:
+            self._ops.labels(op="error").inc()
+            count("remote_store.errors")
+            return None
+        status, blob = outcome
+        if status != 200:
+            self._ops.labels(op="miss").inc()
+            count("remote_store.misses")
+            return None
+        self._ops.labels(op="hit").inc()
+        count("remote_store.hits")
+        return blob
+
+    def put_bytes(
+        self, key: str, blob: bytes, kind: str = "compile"
+    ) -> bool:
+        started = time.perf_counter()
+        outcome = self._round_trip(
+            "PUT", self._blob_url(key, kind), body=blob
+        )
+        self._latency.labels(op="put").observe(
+            time.perf_counter() - started
+        )
+        if outcome is None or outcome[0] != 200:
+            self._ops.labels(op="error").inc()
+            count("remote_store.errors")
+            return False
+        self._ops.labels(op="put").inc()
+        count("remote_store.puts")
+        return True
+
+    def is_up(self, timeout: float = 2.0) -> bool:
+        outcome = self._round_trip("GET", "/healthz")
+        return bool(outcome and outcome[0] == 200)
+
+    def close(self) -> None:
+        self._drop_connection()
+
+
+class TieredStore:
+    """Read-through / write-behind composition of a local
+    :class:`ArtifactStore` (L1) and a :class:`RemoteStore` (L2).
+
+    Duck-compatible with ``ArtifactStore`` everywhere the service uses
+    one (``get``/``put``/``get_kernel``/``put_kernel``/``stats``/
+    ``prune``/``key``), so a worker holds either interchangeably."""
+
+    #: Bounded write-behind queue; overflow drops the *remote* copy
+    #: only (the L1 write already happened synchronously).
+    QUEUE_SIZE = 256
+
+    key = staticmethod(ArtifactStore.key)
+
+    def __init__(
+        self,
+        local: ArtifactStore,
+        remote: RemoteStore,
+        queue_size: int = QUEUE_SIZE,
+    ):
+        self.local = local
+        self.remote = remote
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._writer = threading.Thread(
+            target=self._drain, name="repro-store-writeback", daemon=True
+        )
+        self._writer.start()
+
+    # -- write-behind ----------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                key, blob, kind = item
+                self.remote.put_bytes(key, blob, kind)
+            finally:
+                self._queue.task_done()
+
+    def _enqueue(self, key: str, obj: Any, kind: str) -> None:
+        try:
+            blob = pickle.dumps(obj)
+        except Exception:  # pragma: no cover - artifacts pickle by design
+            return
+        try:
+            self._queue.put_nowait((key, blob, kind))
+        except queue.Full:
+            count("remote_store.dropped_puts")
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until queued remote puts have drained (tests, graceful
+        worker exit). Returns False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._queue.unfinished_tasks == 0:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def close(self, flush_timeout: float = 5.0) -> None:
+        self.flush(flush_timeout)
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:  # pragma: no cover - queue just drained
+            pass
+        self._writer.join(timeout=flush_timeout)
+        self.remote.close()
+
+    # -- read-through ----------------------------------------------------------
+
+    def _read_through(self, key: str, kind: str, local_get, local_put):
+        result = local_get(key)
+        if result is not None:
+            return result
+        blob = self.remote.get_bytes(key, kind)
+        if blob is None:
+            return None
+        try:
+            obj = pickle.loads(blob)
+        except Exception:
+            # A corrupt remote blob is a miss here and everywhere.
+            count("remote_store.corrupt")
+            return None
+        # Populate L1 so the next read never leaves the machine.
+        local_put(key, obj)
+        count("remote_store.l1_fills")
+        return obj
+
+    def get(self, key: str):
+        return self._read_through(
+            key, "compile", self.local.get, self.local.put
+        )
+
+    def get_kernel(self, fingerprint: str):
+        return self._read_through(
+            fingerprint, "kernel",
+            self.local.get_kernel, self.local.put_kernel,
+        )
+
+    def put(self, key: str, result: Any) -> None:
+        self.local.put(key, result)
+        self._enqueue(key, result, "compile")
+
+    def put_kernel(self, fingerprint: str, artifact: Any) -> None:
+        self.local.put_kernel(fingerprint, artifact)
+        self._enqueue(fingerprint, artifact, "kernel")
+
+    # -- maintenance (delegates to L1) -----------------------------------------
+
+    @property
+    def root(self):
+        return self.local.root
+
+    def stats(self):
+        return self.local.stats()
+
+    def remote_stats(self) -> Dict[str, int]:
+        """L2 traffic counters for this handle (the ``/metrics`` body
+        nests them next to the L1 StoreStats)."""
+        return {
+            "url": self.remote.url,
+            "hits": self.remote.op_count("hit"),
+            "misses": self.remote.op_count("miss"),
+            "puts": self.remote.op_count("put"),
+            "errors": self.remote.op_count("error"),
+        }
+
+    def prune(self, max_bytes: int) -> int:
+        return self.local.prune(max_bytes)
+
+
+def open_store(
+    cache_dir: Optional[str],
+    remote_url: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+):
+    """The one place that decides which store a component holds:
+    ``None`` (no caching), a plain :class:`ArtifactStore` (L1 only), or
+    a :class:`TieredStore` (L1 + remote L2)."""
+    if cache_dir is None:
+        return None
+    local = ArtifactStore(cache_dir, metrics=metrics)
+    if not remote_url:
+        return local
+    return TieredStore(local, RemoteStore(remote_url, metrics=metrics))
+
+
+__all__ = [
+    "KINDS",
+    "MAX_BLOB_BYTES",
+    "RemoteStore",
+    "StoreServer",
+    "TieredStore",
+    "open_store",
+]

@@ -1,0 +1,220 @@
+"""Tests for admission control: tenant token buckets, priority lanes,
+and their wiring into the live server (429s with honest Retry-After,
+validation of the new wire fields).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import FLOAT32, ProgramBuilder, ServiceError
+from repro.errors import ServiceBusyError
+from repro.ir.printer import format_program
+from repro.service.admission import (
+    AdmissionController,
+    TokenBucket,
+    validate_priority,
+    validate_tenant,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def unique_source(tag: int) -> str:
+    builder = ProgramBuilder(f"admit{tag}")
+    X = builder.array("X", (16,), FLOAT32)
+    Y = builder.array("Y", (16,), FLOAT32)
+    with builder.loop("i", 0, 16) as i:
+        builder.assign(Y[i], X[i] * (tag + 2) + Y[i])
+    return format_program(builder.build())
+
+
+# -- token buckets -------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_throttle():
+    bucket = TokenBucket(rate=2.0, burst=3.0, now=0.0)
+    assert bucket.take(0.0) == 0.0
+    assert bucket.take(0.0) == 0.0
+    assert bucket.take(0.0) == 0.0  # burst exhausted
+    wait = bucket.take(0.0)
+    assert wait == pytest.approx(0.5)  # 1 token at 2/s
+    # After the advertised wait, exactly one token exists.
+    assert bucket.take(0.5) == 0.0
+    assert bucket.take(0.5) > 0.0
+
+
+def test_token_bucket_refills_to_burst_cap():
+    bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+    bucket.take(0.0)
+    bucket.take(0.0)
+    # A long idle period refills to the cap, not beyond.
+    assert bucket.take(100.0) == 0.0
+    assert bucket.take(100.0) == 0.0
+    assert bucket.take(100.0) > 0.0
+
+
+def test_zero_rate_bucket_never_refills():
+    bucket = TokenBucket(rate=0.0, burst=1.0, now=0.0)
+    assert bucket.take(0.0) == 0.0
+    assert bucket.take(1000.0) == 60.0  # the sentinel backoff
+
+
+# -- the controller ------------------------------------------------------------
+
+
+def test_lane_thresholds_nest():
+    ac = AdmissionController(queue_limit=32)
+    assert ac.lane_limit("high") == 32
+    assert ac.lane_limit("normal") == 24
+    assert ac.lane_limit("bulk") == 16
+    # bulk saturates first, then normal, then high.
+    assert ac.check("t", "bulk", 16).reason == "queue-full"
+    assert ac.check("t", "normal", 16).admitted
+    assert ac.check("t", "normal", 24).reason == "queue-full"
+    assert ac.check("t", "high", 24).admitted
+    assert ac.check("t", "high", 32).reason == "queue-full"
+
+
+def test_tenant_isolation():
+    """One tenant exhausting its bucket must not affect another."""
+    now = {"t": 0.0}
+    ac = AdmissionController(
+        queue_limit=100, tenant_rate=1.0, tenant_burst=2.0,
+        metrics=MetricsRegistry(), clock=lambda: now["t"],
+    )
+    assert ac.check("alice", "normal", 0).admitted
+    assert ac.check("alice", "normal", 0).admitted
+    denied = ac.check("alice", "normal", 0)
+    assert denied.reason == "tenant-limit"
+    assert denied.retry_after > 0.0
+    assert ac.check("bob", "normal", 0).admitted  # bob is untouched
+    now["t"] = 5.0
+    assert ac.check("alice", "normal", 0).admitted  # refilled
+
+
+def test_follower_charges_tenant_but_skips_lane():
+    """Coalescing followers bypass the queue threshold (no worker
+    cost) but still consume tenant tokens."""
+    ac = AdmissionController(
+        queue_limit=4, tenant_rate=1.0, tenant_burst=1.0,
+        metrics=MetricsRegistry(), clock=lambda: 0.0,
+    )
+    # Queue far beyond every lane limit: follower still admitted.
+    assert ac.check("t1", "normal", 99, follower=True).admitted
+    # ...but its token is gone: the next follower is rate-limited.
+    assert ac.check("t1", "normal", 99, follower=True).reason == (
+        "tenant-limit"
+    )
+
+
+def test_tenant_map_is_bounded():
+    from repro.service.admission import MAX_TENANTS
+
+    ac = AdmissionController(
+        queue_limit=4, tenant_rate=100.0, metrics=MetricsRegistry(),
+        clock=lambda: 0.0,
+    )
+    for i in range(MAX_TENANTS + 50):
+        ac.check(f"tenant-{i}", "normal", 0)
+    assert ac.stats()["tenants_tracked"] <= MAX_TENANTS
+
+
+def test_wire_field_validation():
+    assert validate_tenant(None) == (True, "default")
+    assert validate_tenant("team.a-1") == (True, "team.a-1")
+    assert not validate_tenant("bad tenant!")[0]
+    assert not validate_tenant("x" * 65)[0]
+    assert not validate_tenant(42)[0]
+    assert validate_priority(None) == (True, "normal")
+    assert validate_priority("bulk") == (True, "bulk")
+    assert not validate_priority("urgent")[0]
+
+
+# -- through the live server ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def limited_server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("admission-store")
+    with ServiceThread(
+        shards=1,
+        cache_dir=str(cache_dir),
+        test_hooks=True,
+        tenant_rate=2.0,
+        tenant_burst=2.0,
+    ) as thread:
+        yield thread
+
+
+def test_tenant_rate_limit_end_to_end(limited_server):
+    client = ServiceClient(limited_server.url, timeout=60.0)
+    source = unique_source(1)
+    seen_429 = None
+    for attempt in range(6):
+        try:
+            client.compile(source=source, tenant="hammer")
+        except ServiceBusyError as busy:
+            seen_429 = busy
+            break
+    assert seen_429 is not None, "tenant never hit its rate limit"
+    assert seen_429.retry_after > 0.0
+    # A different tenant is admitted immediately.
+    out = client.compile(source=source, tenant="other")
+    assert out.result is not None
+
+
+def test_invalid_tenant_and_priority_are_400(limited_server):
+    client = ServiceClient(limited_server.url, timeout=60.0)
+    with pytest.raises(ServiceError):
+        client.compile(source=unique_source(2), tenant="bad tenant!")
+    with pytest.raises(ServiceError):
+        client.compile(source=unique_source(2), priority="urgent")
+
+
+def test_client_retries_honor_retry_after(limited_server):
+    """--wait semantics: with retries, the client sleeps the server's
+    backoff (patched here) and eventually succeeds."""
+    client = ServiceClient(limited_server.url, timeout=60.0)
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        time.sleep(min(seconds, 1.0))
+
+    client._sleep = fake_sleep
+    source = unique_source(3)
+    outcomes = []
+    for _ in range(8):
+        outcomes.append(
+            client.compile(source=source, tenant="retrier", retries=5)
+        )
+    assert all(out.result is not None for out in outcomes)
+    assert sleeps, "the retry path never slept"
+    # Jittered backoff stays within [0.5, 1.5] x Retry-After, and the
+    # advertised Retry-After for a 2/s bucket is at most ~0.5s.
+    assert all(0.0 < s <= 1.5 for s in sleeps), sleeps
+
+
+def test_retries_exhausted_reraises(limited_server):
+    client = ServiceClient(limited_server.url, timeout=60.0)
+    client._sleep = lambda _s: None  # no real waiting: bucket stays dry
+    source = unique_source(4)
+    with pytest.raises(ServiceBusyError):
+        for _ in range(10):
+            client.compile(source=source, tenant="dry", retries=2)
+
+
+def test_admission_metrics_exposed(limited_server):
+    client = ServiceClient(limited_server.url, timeout=60.0)
+    metrics = client.metrics()
+    admission = metrics["service"]["admission"]
+    assert admission["tenant_rate"] == 2.0
+    assert set(admission["lane_limits"]) == {"high", "normal", "bulk"}
+    prom = client.metrics_prometheus()
+    assert "repro_admission_total" in prom
+    assert "repro_tenant_requests_total" in prom

@@ -1,0 +1,224 @@
+"""Tests for worker-pool elasticity: the pure hysteresis evaluator
+(``repro.service.autoscale``), live ``WorkerPool.resize``, and the
+autoscaler running inside a real server.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import FLOAT32, ProgramBuilder, ServiceError
+from repro.ir.printer import format_program
+from repro.service.autoscale import (
+    Autoscaler,
+    AutoscalerConfig,
+    recent_p50_ms,
+)
+from repro.service.client import ServiceClient
+from repro.service.pool import WorkerPool
+from repro.service.server import ServiceThread
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+def snapshot_of(*latencies_ms: float):
+    hist = Histogram()
+    for ms in latencies_ms:
+        hist.observe(ms / 1e3)
+    return hist.snapshot()
+
+
+def unique_source(tag: int) -> str:
+    builder = ProgramBuilder(f"scale{tag}")
+    X = builder.array("X", (16,), FLOAT32)
+    Y = builder.array("Y", (16,), FLOAT32)
+    with builder.loop("i", 0, 16) as i:
+        builder.assign(Y[i], X[i] * (tag + 2) + Y[i])
+    return format_program(builder.build())
+
+
+# -- the p50 estimator ---------------------------------------------------------
+
+
+def test_recent_p50_uses_the_delta_not_the_lifetime():
+    old = snapshot_of(*([1.0] * 1000))  # a long fast history
+    new_hist = Histogram()
+    for _ in range(1000):
+        new_hist.observe(0.001)
+    for _ in range(10):
+        new_hist.observe(0.4)  # recent slow burst: 400ms
+    assert recent_p50_ms(old, new_hist.snapshot()) == 500.0
+
+
+def test_recent_p50_none_when_no_traffic():
+    snap = snapshot_of(1.0, 2.0)
+    assert recent_p50_ms(snap, snap) is None
+    assert recent_p50_ms(None, snapshot_of()) is None
+
+
+def test_recent_p50_without_baseline():
+    assert recent_p50_ms(None, snapshot_of(3.0, 3.0, 3.0)) == 5.0
+
+
+# -- the hysteresis policy -----------------------------------------------------
+
+
+def make(config=None):
+    return Autoscaler(
+        config or AutoscalerConfig(), metrics=MetricsRegistry()
+    )
+
+
+def test_scale_up_needs_consecutive_hot_ticks():
+    auto = make(AutoscalerConfig(up_ticks=2, max_shards=4))
+    hot = snapshot_of(200.0)
+
+    assert auto.tick(2, 0, hot) == 2  # first hot tick: hold
+    hot2 = Histogram()
+    for ms in (200.0, 200.0):
+        hot2.observe(ms / 1e3)
+    assert auto.tick(2, 0, hot2.snapshot()) == 3  # second: grow
+
+
+def test_queue_depth_alone_is_hot():
+    auto = make(AutoscalerConfig(up_ticks=1, max_shards=4))
+    idle_hist = snapshot_of()
+    assert auto.tick(2, 10, idle_hist) == 3  # depth 10 >= 2x2 shards
+
+
+def test_scale_up_respects_ceiling():
+    auto = make(AutoscalerConfig(up_ticks=1, max_shards=2, cooldown=0))
+    assert auto.tick(2, 50, snapshot_of()) == 2
+
+
+def test_cooldown_suppresses_flapping():
+    auto = make(
+        AutoscalerConfig(up_ticks=1, cooldown=2, max_shards=8)
+    )
+    assert auto.tick(2, 50, snapshot_of()) == 3  # grow, enter cooldown
+    assert auto.tick(3, 50, snapshot_of()) == 3  # held by cooldown
+    assert auto.tick(3, 50, snapshot_of()) == 3  # held by cooldown
+    assert auto.tick(3, 50, snapshot_of()) == 4  # hot again: grow
+
+
+def test_scale_down_after_sustained_idle():
+    auto = make(
+        AutoscalerConfig(
+            min_shards=1, down_ticks=3, cooldown=0, up_ticks=99
+        )
+    )
+    snap = snapshot_of(1.0)  # constant: no new traffic after tick 0
+    assert auto.tick(3, 0, snap) == 3  # baseline tick (delta unknown)
+    assert auto.tick(3, 0, snap) == 3  # idle 1... (needs 3)
+    assert auto.tick(3, 0, snap) == 3  # idle 2
+    assert auto.tick(3, 0, snap) == 2  # idle 3: shrink
+    assert auto.tick(2, 0, snap) == 2  # floor counting restarts
+    assert auto.tick(2, 0, snap) == 2
+    assert auto.tick(2, 0, snap) == 1
+    assert auto.tick(1, 0, snap) == 1  # at min_shards: hold forever
+    assert auto.tick(1, 0, snap) == 1
+    assert auto.tick(1, 0, snap) == 1
+
+
+# -- live pool resize ----------------------------------------------------------
+
+
+def test_pool_resize_grow_and_shrink(tmp_path):
+    pool = WorkerPool(shards=1, store_dir=str(tmp_path / "store"))
+    try:
+        source = unique_source(1)
+        job = {
+            "kind": "compile", "source": source, "variant": "global",
+            "machine": "intel", "datapath": None, "options": {},
+            "seed": 0, "trace": False,
+            "key": "ab" * 16, "request_id": "r1",
+        }
+        assert pool.submit(dict(job))["result"] is not None
+        assert pool.resize(3) == 3
+        assert pool.stats()["shards"] == 3
+        # All three shards accept work (route distinct keys).
+        for tag in range(2, 8):
+            job2 = dict(job)
+            job2["source"] = unique_source(tag)
+            job2["key"] = f"{tag:02x}" * 16
+            assert pool.submit(job2)["result"] is not None
+        assert pool.resize(1) == 1
+        assert pool.stats()["shards"] == 1
+        # Shrunk pool still serves everything.
+        for tag in range(8, 12):
+            job3 = dict(job)
+            job3["source"] = unique_source(tag)
+            job3["key"] = f"{tag:02x}" * 16
+            assert pool.submit(job3)["result"] is not None
+    finally:
+        pool.close()
+
+
+def test_pool_resize_validates(tmp_path):
+    pool = WorkerPool(shards=1)
+    try:
+        with pytest.raises(ServiceError):
+            pool.resize(0)
+    finally:
+        pool.close()
+
+
+# -- inside a real server ------------------------------------------------------
+
+
+def test_server_autoscales_up_under_load(tmp_path):
+    """Drive a 1-shard server hard with slow jobs; the autoscaler
+    (tight tick interval, 1 hot tick to grow) must raise the live
+    worker count, visible in /healthz."""
+    with ServiceThread(
+        shards=1,
+        cache_dir=str(tmp_path / "store"),
+        test_hooks=True,
+        min_workers=1,
+        max_workers=3,
+    ) as thread:
+        service = thread.service
+        service.autoscaler.config.interval = 0.1
+        service.autoscaler.config.up_ticks = 1
+        service.autoscaler.config.hot_ms = 5.0
+        service.autoscaler.config.cooldown = 0
+
+        client = ServiceClient(thread.url, timeout=120.0)
+        import threading as _threading
+
+        def slow_submit(tag):
+            request = ServiceClient._job_request(
+                unique_source(100 + tag), None, 0, "global", "intel",
+                None, None, seed=0, trace=False,
+            )
+            request["x_sleep"] = 0.4
+            ServiceClient(thread.url, timeout=120.0)._submit(
+                "compile", request
+            )
+
+        threads = [
+            _threading.Thread(target=slow_submit, args=(i,))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        grew = False
+        for _ in range(100):
+            if client.healthz()["workers"] > 1:
+                grew = True
+                break
+            time.sleep(0.05)
+        for t in threads:
+            t.join()
+        assert grew, "autoscaler never grew the pool"
+        assert client.healthz()["workers"] <= 3
+        prom = client.metrics_prometheus()
+        assert "repro_autoscale_resizes_total" in prom
+
+
+def test_server_autoscale_bounds_validated():
+    with pytest.raises(ServiceError):
+        from repro.service.server import ReproService
+
+        ReproService(min_workers=3, max_workers=2)

@@ -1,0 +1,231 @@
+"""Tests for the L2 remote artifact store (``repro.store.remote``).
+
+A real :class:`StoreServer` runs on an ephemeral port; the
+:class:`RemoteStore` client and the :class:`TieredStore` composition
+are exercised over actual HTTP. The L2 contract under test: raw-bytes
+transport (the server never unpickles), read-through L1 fills,
+write-behind puts, and *graceful degradation* — a dead or lying remote
+is a miss, never an exception on the request path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro import FLOAT32, ProgramBuilder, Variant, compile_program
+from repro.perf import PERF
+from repro.store import ArtifactStore, RemoteStore, StoreServer, TieredStore
+from repro.store.remote import open_store
+from repro.vm import MACHINES
+
+
+def small_result(tag: int = 0):
+    builder = ProgramBuilder(f"remote{tag}")
+    X = builder.array("X", (8,), FLOAT32)
+    Y = builder.array("Y", (8,), FLOAT32)
+    with builder.loop("i", 0, 8) as i:
+        builder.assign(Y[i], X[i] + (tag + 1))
+    program = builder.build()
+    machine = MACHINES["intel"]()
+    result = compile_program(program, Variant.GLOBAL, machine, None)
+    key = ArtifactStore.key(program, Variant.GLOBAL, machine, None)
+    return key, result
+
+
+@pytest.fixture()
+def store_server(tmp_path):
+    with StoreServer(str(tmp_path / "l2")) as server:
+        yield server
+
+
+def test_round_trip_bytes(store_server):
+    remote = RemoteStore(store_server.url)
+    key, result = small_result(1)
+    blob = pickle.dumps(result)
+    assert remote.get_bytes(key) is None  # miss first
+    assert remote.put_bytes(key, blob)
+    assert remote.get_bytes(key) == blob
+    assert store_server.stats["puts"] == 1
+    assert store_server.stats["gets"] == 1
+    assert store_server.stats["not_found"] == 1
+    assert remote.op_count("hit") == 1
+    assert remote.op_count("miss") == 1
+    assert remote.op_count("put") == 1
+
+
+def test_kernel_kind_is_a_separate_namespace(store_server):
+    remote = RemoteStore(store_server.url)
+    key = "ab" * 16
+    assert remote.put_bytes(key, b"compile-blob", kind="compile")
+    assert remote.get_bytes(key, kind="kernel") is None
+    assert remote.put_bytes(key, b"kernel-blob", kind="kernel")
+    assert remote.get_bytes(key, kind="compile") == b"compile-blob"
+    assert remote.get_bytes(key, kind="kernel") == b"kernel-blob"
+
+
+def test_malformed_keys_and_kinds_rejected(store_server):
+    remote = RemoteStore(store_server.url)
+    # Path traversal shapes must be rejected server-side (400 → miss).
+    assert remote.get_bytes("../../etc/passwd".replace("/", "2f")) is None
+    assert not remote.put_bytes("not hex!", b"x")
+    with pytest.raises(ValueError):
+        remote.get_bytes("ab" * 16, kind="nope")
+
+
+def test_remote_down_degrades_to_misses():
+    remote = RemoteStore("http://127.0.0.1:1")  # nothing listens here
+    assert remote.get_bytes("ab" * 16) is None
+    assert not remote.put_bytes("ab" * 16, b"x")
+    assert not remote.is_up()
+    assert remote.op_count("error") == 2
+
+
+def test_keep_alive_reconnects_after_server_restart(tmp_path):
+    root = str(tmp_path / "l2")
+    server = StoreServer(root).start()
+    url = server.url
+    remote = RemoteStore(url)
+    assert remote.is_up()
+    server.stop()
+    # The old socket is stale now; a fresh server on the same port
+    # (rebind) must be reachable through the same client.
+    host, port = server.host, server.port
+    server2 = StoreServer(root, host=host, port=port).start()
+    try:
+        assert remote.is_up()
+    finally:
+        server2.stop()
+
+
+def test_tiered_read_through_populates_l1(tmp_path, store_server):
+    key, result = small_result(2)
+    # Seed the remote directly, as if another node had compiled it.
+    seeder = RemoteStore(store_server.url)
+    assert seeder.put_bytes(key, pickle.dumps(result))
+
+    local = ArtifactStore(tmp_path / "l1")
+    tiered = TieredStore(local, RemoteStore(store_server.url))
+    PERF.enable()
+    got = tiered.get(key)
+    assert got == result
+    # ...and the L1 copy now answers without the network.
+    assert local.get(key) == result
+    assert tiered.remote_stats()["hits"] == 1
+    tiered.close()
+
+
+def test_tiered_write_behind_reaches_remote(tmp_path, store_server):
+    key, result = small_result(3)
+    tiered = TieredStore(
+        ArtifactStore(tmp_path / "l1"), RemoteStore(store_server.url)
+    )
+    tiered.put(key, result)
+    assert tiered.flush(timeout=10.0)
+    # A second node (fresh L1) sees the artifact via L2.
+    other = TieredStore(
+        ArtifactStore(tmp_path / "other-l1"),
+        RemoteStore(store_server.url),
+    )
+    assert other.get(key) == result
+    tiered.close()
+    other.close()
+
+
+def test_tiered_kernel_artifacts(tmp_path, store_server):
+    tiered = TieredStore(
+        ArtifactStore(tmp_path / "l1"), RemoteStore(store_server.url)
+    )
+    fingerprint = "cd" * 16
+    tiered.put_kernel(fingerprint, {"fake": "kernel"})
+    assert tiered.flush()
+    other = TieredStore(
+        ArtifactStore(tmp_path / "other-l1"),
+        RemoteStore(store_server.url),
+    )
+    assert other.get_kernel(fingerprint) == {"fake": "kernel"}
+    tiered.close()
+    other.close()
+
+
+def test_corrupt_remote_blob_is_a_miss(tmp_path, store_server):
+    key, _result = small_result(4)
+    seeder = RemoteStore(store_server.url)
+    assert seeder.put_bytes(key, b"this is not a pickle")
+    tiered = TieredStore(
+        ArtifactStore(tmp_path / "l1"), RemoteStore(store_server.url)
+    )
+    PERF.enable()
+    PERF.reset()
+    assert tiered.get(key) is None
+    counters = PERF.snapshot()["counters"]
+    assert counters.get("remote_store.corrupt") == 1
+    tiered.close()
+
+
+def test_tiered_with_dead_remote_still_serves_l1(tmp_path):
+    key, result = small_result(5)
+    tiered = TieredStore(
+        ArtifactStore(tmp_path / "l1"),
+        RemoteStore("http://127.0.0.1:1"),
+    )
+    tiered.put(key, result)
+    assert tiered.get(key) == result  # L1 answers; L2 errors are silent
+    assert tiered.remote_stats()["errors"] >= 0
+    tiered.close(flush_timeout=5.0)
+
+
+def test_concurrent_tiered_clients(tmp_path, store_server):
+    """Many threads sharing one TieredStore: no lost writes, no
+    exceptions from the per-thread connection handling."""
+    tiered = TieredStore(
+        ArtifactStore(tmp_path / "l1"), RemoteStore(store_server.url)
+    )
+    keys = []
+    for tag in range(8):
+        key, result = small_result(100 + tag)
+        keys.append((key, result))
+
+    errors = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for key, result in keys:
+                tiered.put(key, result)
+                assert tiered.get(key) == result
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert tiered.flush()
+    assert store_server.stats["puts"] >= len(keys)
+    tiered.close()
+
+
+def test_open_store_factory(tmp_path, store_server):
+    assert open_store(None) is None
+    plain = open_store(str(tmp_path / "a"))
+    assert isinstance(plain, ArtifactStore)
+    tiered = open_store(str(tmp_path / "b"), store_server.url)
+    assert isinstance(tiered, TieredStore)
+    tiered.close()
+
+
+def test_store_server_metrics_endpoint(store_server):
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(store_server.url + "/metrics") as resp:
+        payload = json.loads(resp.read().decode("utf-8"))
+    assert payload["schema"] == "repro.store/1"
+    assert payload["ok"]
+    assert {"entries", "bytes", "gets", "puts"} <= set(payload)

@@ -1,0 +1,218 @@
+"""Tests for the consistent-hash router (``repro.service.router``).
+
+The :class:`HashRing` properties are tested directly (distribution,
+minimal remap on membership change). The :class:`RouterService` is
+tested end to end: real ``ServiceThread`` backends, real HTTP through
+a ``RouterThread``, with node failure injected by stopping a backend
+mid-run — including the satellite case where a leader's worker crash
+on one node is retried on a sibling node and succeeds.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro import FLOAT32, ProgramBuilder
+from repro.ir.printer import format_program
+from repro.service.client import ServiceClient
+from repro.service.router import HashRing, RouterThread
+from repro.service.server import ServiceThread
+
+
+def unique_source(tag: int) -> str:
+    builder = ProgramBuilder(f"routed{tag}")
+    X = builder.array("X", (16,), FLOAT32)
+    Y = builder.array("Y", (16,), FLOAT32)
+    with builder.loop("i", 0, 16) as i:
+        builder.assign(Y[i], X[i] * (tag + 2) + Y[i])
+    return format_program(builder.build())
+
+
+# -- the ring ------------------------------------------------------------------
+
+
+def test_ring_spreads_keys_roughly_evenly():
+    ring = HashRing(["a", "b", "c"])
+    owners = collections.Counter(
+        ring.preference(f"key-{i}")[0] for i in range(3000)
+    )
+    assert set(owners) == {"a", "b", "c"}
+    for node, hits in owners.items():
+        assert 500 < hits < 1700, (node, owners)
+
+
+def test_ring_preference_is_stable_and_complete():
+    ring = HashRing(["a", "b", "c", "d"])
+    for i in range(50):
+        prefs = ring.preference(f"key-{i}")
+        assert sorted(prefs) == ["a", "b", "c", "d"]
+        assert prefs == ring.preference(f"key-{i}")
+
+
+def test_ring_minimal_remap_on_node_loss():
+    """Consistent hashing's defining property: removing one of N nodes
+    remaps only the lost node's keys — every key owned by a survivor
+    keeps its owner, so survivors' L1 stores stay warm."""
+    before = HashRing(["a", "b", "c"])
+    after = HashRing(["a", "b"])
+    moved = 0
+    for i in range(2000):
+        key = f"key-{i}"
+        owner_before = before.preference(key)[0]
+        owner_after = after.preference(key)[0]
+        if owner_before != "c":
+            assert owner_after == owner_before, key
+        else:
+            moved += 1
+    assert 300 < moved < 1400  # ~1/3 of the key space
+
+
+def test_ring_failover_owner_matches_shrunk_ring():
+    """The failover walk is itself consistent: key owned by the dead
+    node falls to the *same* node the shrunk ring would pick."""
+    ring = HashRing(["a", "b", "c"])
+    shrunk = HashRing(["a", "b"])
+    for i in range(500):
+        key = f"key-{i}"
+        prefs = ring.preference(key)
+        if prefs[0] == "c":
+            fallback = prefs[1]
+            assert shrunk.preference(key)[0] == fallback, key
+
+
+def test_ring_rejects_empty():
+    with pytest.raises(Exception):
+        HashRing([])
+
+
+# -- the router, end to end ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    """Two serve nodes + a router, all embedded; test_hooks on so the
+    crash-injection tests can run through the stack."""
+    base = tmp_path_factory.mktemp("router-cluster")
+    node1 = ServiceThread(
+        shards=1, cache_dir=str(base / "n1"), test_hooks=True
+    ).start()
+    node2 = ServiceThread(
+        shards=1, cache_dir=str(base / "n2"), test_hooks=True
+    ).start()
+    router = RouterThread(
+        [node1.url, node2.url], health_interval=0.2
+    ).start()
+    yield router, node1, node2
+    router.stop()
+    node1.stop()
+    node2.stop()
+
+
+def submit_with_hooks(client, source, **hooks):
+    request = ServiceClient._job_request(
+        source, None, 0, "global", "intel", None, None, seed=0,
+        trace=False,
+    )
+    request.update(hooks)
+    return client._submit("compile", request)
+
+
+def test_routed_submit_round_trips(cluster):
+    router, _n1, _n2 = cluster
+    client = ServiceClient(router.url, timeout=120.0)
+    out = client.simulate(source=unique_source(1))
+    assert out.result is not None and out.report is not None
+    # Same key → same node → the repeat is a warm store hit.
+    again = client.simulate(source=unique_source(1))
+    assert again.cached
+    assert again.result == out.result
+
+
+def test_router_healthz_and_metrics(cluster):
+    router, _n1, _n2 = cluster
+    client = ServiceClient(router.url, timeout=30.0)
+    health = client.healthz()
+    assert health["ok"] and health["role"] == "router"
+    assert len(health["nodes"]) == 2
+    assert all(n["alive"] for n in health["nodes"].values())
+    metrics = client.metrics()
+    assert set(metrics["router"]["nodes"]) == set(health["nodes"])
+    prom = client.metrics_prometheus()
+    assert "repro_router_node_up" in prom
+
+
+def test_router_spreads_distinct_keys(cluster):
+    router, node1, node2 = cluster
+    client = ServiceClient(router.url, timeout=120.0)
+    for tag in range(10, 22):
+        client.compile(source=unique_source(tag))
+    metrics = client.metrics()
+    forwards = {
+        url: info["forwards"]
+        for url, info in metrics["router"]["nodes"].items()
+    }
+    # 12 distinct keys over 2 nodes: both sides must see traffic.
+    assert all(count > 0 for count in forwards.values()), forwards
+
+
+def test_worker_crash_on_one_node_retried_on_sibling(
+    cluster, tmp_path
+):
+    """The satellite case: the leader's worker crashes (twice, beating
+    the node-local retry) → the router walks to the sibling node, which
+    runs the same job successfully. The client sees a 200, not a 500."""
+    router, _n1, _n2 = cluster
+    client = ServiceClient(router.url, timeout=120.0)
+    flag = tmp_path / "crash-count"
+    out = submit_with_hooks(
+        client, unique_source(33), x_crash_times=[str(flag), 2]
+    )
+    assert out.result is not None
+    assert int(flag.read_text()) == 2  # both node-local attempts died
+    metrics = client.metrics()
+    assert metrics["router"]["retries"] >= 1
+
+
+def test_node_loss_mid_run_fails_over(tmp_path):
+    """SIGKILL-equivalent: one backend stops entirely; in-flight and
+    subsequent submits land on the survivor, none are lost."""
+    node1 = ServiceThread(
+        shards=1, cache_dir=str(tmp_path / "n1"), test_hooks=True
+    ).start()
+    node2 = ServiceThread(
+        shards=1, cache_dir=str(tmp_path / "n2"), test_hooks=True
+    ).start()
+    router = RouterThread(
+        [node1.url, node2.url], health_interval=0.1
+    ).start()
+    try:
+        client = ServiceClient(router.url, timeout=120.0)
+        for tag in range(40, 44):
+            assert client.compile(source=unique_source(tag)).result
+        node2.stop()  # drain node2: probes mark it down
+        # Every key keeps resolving — the walk skips the dead node.
+        for tag in range(40, 52):
+            out = client.compile(source=unique_source(tag))
+            assert out.result is not None
+        health = client.healthz()
+        assert health["ok"]
+        alive = [
+            url for url, n in health["nodes"].items() if n["alive"]
+        ]
+        assert alive == [node1.url]
+    finally:
+        router.stop()
+        node1.stop()
+
+
+def test_router_surfaces_job_errors_unchanged(cluster):
+    """Non-retryable responses (400/422) pass through byte-identical
+    semantics: the client re-raises the original exception type."""
+    router, _n1, _n2 = cluster
+    client = ServiceClient(router.url, timeout=30.0)
+    from repro import ParseError
+
+    with pytest.raises(ParseError):
+        client.compile(source="loop without any structure (")

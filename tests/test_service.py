@@ -210,6 +210,87 @@ def test_worker_crash_twice_is_structured(server, client):
     assert client.compile(source=unique_source(4005)).result is not None
 
 
+def test_coalesced_crash_fans_out_with_own_request_ids(server, client):
+    """When the leader's job dies, every coalescing follower gets the
+    same WorkerCrashError — but stamped with the follower's *own*
+    request ID, not the leader's, so each caller's logs still join."""
+    source = unique_source(4500)
+    fan_out = 4
+    rids = [f"f4500{slot:03x}00000000" for slot in range(fan_out)]
+    failures = [None] * fan_out
+    surprises = []
+
+    def submit(slot):
+        request = ServiceClient._job_request(
+            source, None, 0, "global", "intel", None, None,
+            seed=0, trace=False,
+        )
+        # x_sleep runs first (holds the coalesce window open for the
+        # followers), then x_crash kills both pool attempts.
+        request.update(
+            request_id=rids[slot], x_sleep=0.4, x_crash=True
+        )
+        try:
+            client._submit("compile", request)
+            surprises.append(slot)
+        except WorkerCrashError as exc:
+            failures[slot] = exc
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,))
+        for slot in range(fan_out)
+    ]
+    threads[0].start()
+    time.sleep(0.1)  # let the leader register the in-flight key
+    for thread in threads[1:]:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not surprises, "a crash-injected job somehow succeeded"
+    assert all(failures)
+    for slot, exc in enumerate(failures):
+        assert exc.request_id == rids[slot], (slot, exc.request_id)
+    # They really did share one failure (not four crash cycles).
+    coalesced = client.metrics()["service"]["coalesced"]
+    assert coalesced >= fan_out - 1
+    assert client.healthz()["ok"]
+
+
+# -- connection reuse ----------------------------------------------------------
+
+
+def test_keep_alive_reuses_one_connection(server):
+    """The warm path's TCP tax: many requests, one connect."""
+    fresh = ServiceClient(server.url, timeout=60.0)
+    fresh.healthz()
+    fresh.compile(source=unique_source(4600))
+    fresh.compile(source=unique_source(4600))  # warm hit
+    fresh.metrics()
+    assert fresh.connections_opened == 1
+    fresh.close()
+
+
+def test_keep_alive_off_connects_per_request(server):
+    legacy = ServiceClient(server.url, timeout=60.0, keep_alive=False)
+    legacy.healthz()
+    legacy.healthz()
+    legacy.healthz()
+    assert legacy.connections_opened == 3
+
+
+def test_keep_alive_survives_error_responses(server):
+    """The server closes the connection after a 4xx (framing may be
+    suspect); the client transparently reconnects for the next call."""
+    fresh = ServiceClient(server.url, timeout=60.0)
+    fresh.healthz()
+    with pytest.raises(ParseError):
+        fresh.compile(source="not a program")
+    out = fresh.compile(source=unique_source(4601))
+    assert out.result is not None
+    assert fresh.connections_opened == 2  # one reconnect, not per-call
+
+
 def test_job_errors_reraise_original_type(client):
     """Parse failures come back as the pickled original exception with
     its stage context, not an opaque 500."""

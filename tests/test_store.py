@@ -182,7 +182,79 @@ def _hammer(payload):
     )
 
 
+def _concurrent_pruner(payload):
+    """One worker process: prune the shared directory toward a tiny
+    budget, racing the other pruners. Returns entries removed; the
+    regression under test is that losing a scan→unlink race
+    (FileNotFoundError) is survivable, not an exception."""
+    root, max_bytes = payload
+    from repro import ArtifactStore
+
+    store = ArtifactStore(root)
+    total = 0
+    for _ in range(3):
+        total += store.prune(max_bytes)
+    return total
+
+
 class TestConcurrentAccess:
+    def test_concurrent_pruners_tolerate_vanished_entries(
+        self, tmp_path, compiled
+    ):
+        """Several processes prune the same directory at once: entries
+        scanned by everyone are unlinked by exactly one — the rest must
+        skip the FileNotFoundError, never crash, and the directory must
+        land at (or under) the byte budget."""
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        for index in range(24):
+            k = f"{key[:-2]}{index:02x}"
+            store.put(k, result)
+            os.utime(store._path(k), (1000 + index, 1000 + index))
+        entry_bytes = store._path(f"{key[:-2]}00").stat().st_size
+        budget = 2 * entry_bytes
+        workers = 4
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            removals = list(
+                pool.map(
+                    _concurrent_pruner,
+                    [(str(tmp_path), budget)] * workers,
+                )
+            )
+        # Every pruner returned (no exceptions), at most 24 removals
+        # were claimed in total, and the store fits the budget.
+        assert sum(removals) <= 24
+        assert store.stats().bytes <= budget
+
+    def test_prune_skips_entry_deleted_between_scan_and_unlink(
+        self, tmp_path, compiled, monkeypatch
+    ):
+        """Deterministic single-process version of the race: an entry
+        vanishes after the scan — prune must skip it, still count its
+        bytes as reclaimed, and not report it as removed."""
+        _program, result, key = compiled
+        store = ArtifactStore(tmp_path)
+        keys = [f"{key[:-1]}{i}" for i in range(3)]
+        for index, k in enumerate(keys):
+            store.put(k, result)
+            os.utime(store._path(k), (1000 + index, 1000 + index))
+        victim = store._path(keys[0])
+
+        entries = store._entries()
+        original_unlink = os.unlink
+
+        def racing_unlink(path, *args, **kwargs):
+            if os.fspath(path) == os.fspath(victim):
+                # The "other pruner" wins the race first.
+                original_unlink(path)
+            return original_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        removed = store.prune(0)
+        monkeypatch.undo()
+        assert removed == len(entries) - 1  # victim didn't count
+        assert store.stats().entries == 0
+
     def test_many_processes_one_directory(self, tmp_path):
         """No torn reads, no exceptions, and every process observes the
         same cycle count per kernel no matter who compiled it."""
