@@ -1,0 +1,144 @@
+"""Optimality gap of the greedy grouping heuristic, kernel by kernel.
+
+The ``optimal`` grouping engine (:mod:`repro.slp.optimal`) searches the
+same candidate space as the incremental greedy loop but exhaustively,
+with an admissible bound — when it finishes within budget its selection
+is *provably* the best packing under the grouping objective. That turns
+the usual "greedy is probably fine" hand-wave into a measured quantity:
+this harness sweeps all 16 kernels across unroll factors 2/4/8 and
+reports, per kernel x factor,
+
+* the round-0 packing **score** of greedy vs optimal (gap >= 0 by
+  construction: the exact search is seeded with the greedy incumbent),
+* end-to-end simulated **cycles** of the GLOBAL variant compiled with
+  each engine (sign-free: a better packing score may still lose cycles
+  downstream — those rows are the interesting ones), and
+* whether optimality was **proven** on every grouping round or the
+  engine hit its node budget and fell back.
+
+Results land in ``results/optimality.txt`` and committed
+``results/BENCH_optimality.json`` — the deterministic score plane of
+the latter is regression-gated by ``repro bench --check`` (see
+``repro.bench.optimality.check_optimality``). Set ``REPRO_BENCH_SMOKE=1``
+(CI) for a reduced kernel grid that still enforces the sign and
+proof-coverage gates.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import write_result
+
+from repro.bench import ascii_table
+from repro.bench.optimality import (
+    DEFAULT_N,
+    DEFAULT_UNROLL_FACTORS,
+    optimality_metrics,
+    write_optimality_baseline,
+)
+from repro.perf import PERF
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+MACHINE = "intel"
+N = 32 if SMOKE else DEFAULT_N
+UNROLL_FACTORS = (2, 4) if SMOKE else DEFAULT_UNROLL_FACTORS
+KERNEL_NAMES = (
+    ("cactusADM", "soplex", "lbm", "milc", "cg", "mg") if SMOKE else None
+)
+#: At least this many kernel x factor cells must be fully proven — the
+#: exact search has to actually complete somewhere, or the "optimal"
+#: column silently degenerates into a copy of greedy.
+MIN_PROVEN = 3
+
+
+def test_optimality(results_dir):
+    PERF.reset()
+    PERF.enable()
+    metrics = optimality_metrics(
+        machine_name=MACHINE,
+        n=N,
+        unroll_factors=UNROLL_FACTORS,
+        kernels=KERNEL_NAMES,
+    )
+    PERF.disable()
+    counters = dict(PERF.counters)
+    PERF.reset()
+
+    cells = sorted(metrics["proven"])
+    proven_cells = [c for c in cells if metrics["proven"][c] == 1.0]
+    score_gaps = {c: metrics["score"][f"{c}.gap"] for c in cells}
+    cycle_gaps = {c: metrics["cycles"][f"{c}.gap"] for c in cells}
+
+    # The sign contract: the optimal engine seeds its search with the
+    # greedy selection, so no cell may ever score below greedy.
+    for cell, gap in score_gaps.items():
+        assert gap >= 0, f"negative optimality gap on {cell}: {gap}"
+    # Proof coverage: budget fallbacks are allowed (and reported), but
+    # the search must complete on a meaningful slice of the grid.
+    assert len(proven_cells) >= MIN_PROVEN, (
+        f"optimality proven on only {len(proven_cells)} cells "
+        f"({proven_cells}); expected >= {MIN_PROVEN}"
+    )
+
+    improved = [c for c in cells if score_gaps[c] > 0]
+    summary = {
+        "cells": len(cells),
+        "proven_cells": len(proven_cells),
+        "improved_cells": len(improved),
+        "total_score_gap": sum(score_gaps.values()),
+        "total_cycle_gap": sum(cycle_gaps.values()),
+        "search_nodes": counters.get("grouping.optimal.nodes", 0),
+        "budget_fallbacks": counters.get("grouping.optimal.fallbacks", 0),
+    }
+    write_optimality_baseline(
+        results_dir / "BENCH_optimality.json",
+        metrics,
+        machine=MACHINE,
+        n=N,
+        unroll_factors=UNROLL_FACTORS,
+        smoke=SMOKE,
+        summary=summary,
+    )
+
+    rows = [
+        (
+            cell,
+            f"{metrics['score'][f'{cell}.greedy']:8.1f}",
+            f"{metrics['score'][f'{cell}.optimal']:8.1f}",
+            f"{score_gaps[cell]:6.1f}",
+            f"{metrics['cycles'][f'{cell}.greedy']:10.1f}",
+            f"{metrics['cycles'][f'{cell}.optimal']:10.1f}",
+            f"{cycle_gaps[cell]:8.1f}",
+            "yes" if metrics["proven"][cell] == 1.0 else "BUDGET",
+        )
+        for cell in cells
+    ]
+    body = ascii_table(
+        (
+            "kernel.uf",
+            "greedy",
+            "optimal",
+            "gap",
+            "cycles(g)",
+            "cycles(o)",
+            "saved",
+            "proven",
+        ),
+        rows,
+    )
+    body += (
+        f"\n\n{len(cells)} cells (n={N}, {MACHINE}): "
+        f"{len(proven_cells)} proven optimal, "
+        f"{len(improved)} with a strict greedy gap; "
+        f"total score gap {sum(score_gaps.values()):.1f} vector-ops, "
+        f"total cycles saved {sum(cycle_gaps.values()):.1f}"
+        f"\nsearch nodes: {summary['search_nodes']}, "
+        f"budget fallbacks: {summary['budget_fallbacks']}"
+    )
+    write_result(
+        results_dir / "optimality.txt",
+        "Greedy-vs-optimal grouping: packing score and cycle gap",
+        body,
+    )

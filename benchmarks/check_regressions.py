@@ -21,6 +21,7 @@ import argparse
 import pathlib
 import sys
 
+from repro.bench.optimality import check_optimality
 from repro.bench.regress import render_verdict, run_check
 
 DEFAULT_BASELINE = (
@@ -60,7 +61,20 @@ def main(argv=None) -> int:
         out_path=args.json_out,
     )
     print(render_verdict(verdict, verbose=args.verbose))
-    return 0 if verdict["status"] == "ok" else 1
+    status = 0 if verdict["status"] == "ok" else 1
+
+    # The optimality-gap plane rides along when its committed baseline
+    # sits next to the suite baseline (same behaviour as
+    # ``repro bench --check``): recompute the deterministic greedy-vs-
+    # optimal packing scores and fail on any drift.
+    optimality_baseline = args.baseline.parent / "BENCH_optimality.json"
+    if optimality_baseline.exists():
+        opt_verdict = check_optimality(optimality_baseline)
+        print("optimality-gap plane:")
+        print(render_verdict(opt_verdict, verbose=args.verbose))
+        if opt_verdict["status"] != "ok":
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

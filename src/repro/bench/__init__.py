@@ -10,6 +10,11 @@ from .kernels import (
     build_kernel,
 )
 from ..store import ArtifactStore
+from .optimality import (
+    check_optimality,
+    optimality_metrics,
+    write_optimality_baseline,
+)
 from .suite import (
     DEFAULT_VARIANTS,
     CompileCache,
@@ -36,9 +41,12 @@ __all__ = [
     "amd_phenom_ii",
     "ascii_table",
     "build_kernel",
+    "check_optimality",
     "intel_dunnington",
+    "optimality_metrics",
     "percent",
     "run_kernel",
     "run_multicore",
     "run_suite",
+    "write_optimality_baseline",
 ]

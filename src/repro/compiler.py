@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from . import engines
 from .analysis import DependenceGraph
 from .errors import Diagnostic, OptionsError, ReproError
 from .ir import BasicBlock, Loop, Program
@@ -112,6 +113,12 @@ class CompilerOptions:
     #: the reference engine exists for differential testing and
     #: compile-time benchmarking.
     grouping_engine: str = "incremental"
+    #: Search-node budget for ``grouping_engine="optimal"`` before it
+    #: falls back (per grouping round) to the incremental result with a
+    #: Diagnostic note; ``None`` uses
+    #: ``repro.slp.optimal.DEFAULT_NODE_BUDGET``. Ignored by the greedy
+    #: engines.
+    optimal_node_budget: Optional[int] = None
     #: Simulation engine for runs driven by these options: "reference"
     #: (per-instruction interpreter), "batched" (vectorized loop
     #: engine, report-identical — see ``repro.vm.batched``), or
@@ -144,6 +151,15 @@ class CompilerOptions:
     debug_schedule_mutator: Optional[Callable] = field(
         default=None, repr=False, compare=False
     )
+
+    def __post_init__(self):
+        # Engine names resolve through the one registry, so an unknown
+        # name fails here — at options construction — with a structured
+        # error listing what is registered, identically for the API,
+        # the CLI, and the service wire schema.
+        engines.resolve("grouping", self.grouping_engine)
+        if self.engine is not None:
+            engines.resolve("sim", self.engine)
 
 
 @dataclass
@@ -201,6 +217,8 @@ def _schedule_block(
     datapath_bits: int,
     decision_mode: str = "cost-aware",
     grouping_engine: str = "incremental",
+    engine_options: Optional[dict] = None,
+    on_diagnostic: Optional[Callable[[Diagnostic], None]] = None,
 ) -> Schedule:
     deps = DependenceGraph(block)
     decl_of = lambda name: program.arrays[name]  # noqa: E731
@@ -228,6 +246,8 @@ def _schedule_block(
     return holistic_slp_schedule(
         block, deps, datapath_bits, decl_of, penalty_context,
         decision_mode, grouping_engine,
+        engine_options=engine_options,
+        on_diagnostic=on_diagnostic,
     )
 
 
@@ -353,11 +373,26 @@ def _compile(
                 span_kwargs = dict(
                     block=label, kind="loop", index=innermost.index
                 )
+            # Engine-level notes (e.g. the optimal engine's budget
+            # fallback) land on the result's diagnostics with their
+            # block label filled in; they are informational, not
+            # failures, so they are collected under both error policies.
+            def _note(diag: Diagnostic, _label: str = label) -> None:
+                diagnostics.append(
+                    diag if diag.block else replace(diag, block=_label)
+                )
+
             try:
                 with TRACE.span("block", **span_kwargs):
                     schedule = _schedule_block(
                         blk, variant, pre, datapath, options.decision_mode,
                         options.grouping_engine,
+                        engine_options=(
+                            {"node_budget": options.optimal_node_budget}
+                            if options.optimal_node_budget is not None
+                            else None
+                        ),
+                        on_diagnostic=_note,
                     )
                 if options.debug_schedule_mutator is not None:
                     mutated = options.debug_schedule_mutator(schedule, label)

@@ -39,11 +39,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .compiler import CompilerOptions, Variant, compile_program
+from .engines import engine_names, resolve
 from .errors import format_failure
 from .ir import (
     Affine,
@@ -68,7 +69,9 @@ VECTOR_VARIANTS = (
     Variant.GLOBAL,
     Variant.GLOBAL_LAYOUT,
 )
-SIM_ENGINES = ("reference", "batched", "compiled")
+#: The grouping/sim engine axes come from the :mod:`repro.engines`
+#: registry at check time, so a newly registered engine is fuzzed
+#: automatically — no frozen module-scope lists.
 
 # ---------------------------------------------------------------------------
 # Program generator
@@ -366,11 +369,12 @@ def differential_check(
     if not _finite(baseline):
         return CaseResult("skipped")
 
+    sim_engines = engine_names("sim")
     for variant in VECTOR_VARIANTS:
         # The grouping engine only participates in the holistic
         # decision loop; the greedy baselines never touch it.
         holistic = variant in (Variant.GLOBAL, Variant.GLOBAL_LAYOUT)
-        groupings = ("incremental", "reference") if holistic else (
+        groupings = engine_names("grouping") if holistic else (
             "incremental",
         )
         plans = {}
@@ -385,7 +389,7 @@ def differential_check(
                 )
             plans[grouping] = result
             reports = {}
-            for sim_engine in SIM_ENGINES:
+            for sim_engine in sim_engines:
                 try:
                     report, mem = Simulator(machine, engine=sim_engine).run(
                         result.plan, seed=sim_seed
@@ -417,15 +421,30 @@ def differential_check(
                         f"{sim_engine} ExecutionReport differs from "
                         "reference",
                     )
-        if len(plans) == 2:
+        # Grouping engines sharing a plan-equivalence class (see
+        # ``Engine.equivalence``) must emit bit-identical plans: both
+        # greedy loops are in class "greedy"; the optimal engine may
+        # legitimately choose different groups, so it sits alone and is
+        # only held to the semantic checks above.
+        classes: Dict[str, List[str]] = {}
+        for grouping in plans:
+            tag = resolve("grouping", grouping).equivalence
+            if tag is not None:
+                classes.setdefault(tag, []).append(grouping)
+        for tag, members in classes.items():
+            if len(members) < 2:
+                continue
             texts = {
-                g: disassemble_plan(r.plan) for g, r in plans.items()
+                g: disassemble_plan(plans[g].plan) for g in members
             }
-            if texts["incremental"] != texts["reference"]:
-                return diverged(
-                    "plan", variant.value, "incremental+reference", None,
-                    "grouping engines produced different plans",
-                )
+            first = members[0]
+            for other in members[1:]:
+                if texts[other] != texts[first]:
+                    return diverged(
+                        "plan", variant.value, f"{first}+{other}", None,
+                        f"grouping engines of class {tag!r} produced "
+                        "different plans",
+                    )
     return CaseResult("ok")
 
 

@@ -45,6 +45,9 @@ def holistic_slp_schedule(
     penalty_context=None,
     decision_mode: str = "cost-aware",
     engine: str = "incremental",
+    *,
+    engine_options=None,
+    on_diagnostic=None,
 ) -> Schedule:
     """The paper's "Global" algorithm for one basic block: iterative
     global grouping (Section 4.2) followed by reuse-driven scheduling
@@ -52,11 +55,16 @@ def holistic_slp_schedule(
     whether the data layout stage will run afterwards; ``decision_mode``
     selects between the cost-aware decision score (default) and the
     paper-literal weight-only ranking (for ablations); ``engine``
-    selects the incremental or from-scratch decision loop (identical
-    results, see :mod:`repro.slp.grouping`)."""
+    selects the grouping decision loop from the :mod:`repro.engines`
+    registry (both greedy loops produce identical results; ``"optimal"``
+    runs the exact search of :mod:`repro.slp.optimal`, honoring
+    ``engine_options={"node_budget": ...}`` and reporting budget
+    fallbacks through ``on_diagnostic``)."""
     units, _traces = iterative_grouping(
         block, deps, datapath_bits, decl_of, penalty_context,
         decision_mode, engine,
+        engine_options=engine_options,
+        on_diagnostic=on_diagnostic,
     )
     return Scheduler(block, deps, units).run()
 

@@ -51,7 +51,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import OptionsError
+from ..engines import engine_names, resolve as resolve_engine_impl
+from ..errors import Diagnostic, OptionsError
 from ..analysis import DependenceGraph
 from ..analysis.operands import KIND_CONST, KIND_REF, KIND_VAR
 from ..ir import Affine
@@ -81,8 +82,10 @@ SCALAR_SCATTER_PENALTY = 1.0
 #: only the amortized copy/arena cost remains.
 LAYOUT_FIXABLE_PENALTY = 0.25
 
-#: Engines for the decision loop (see module docstring).
-ENGINES = ("incremental", "reference")
+#: Engines for the decision loop, in registration order (the registry
+#: in :mod:`repro.engines` is the source of truth; this tuple is kept
+#: for backward compatibility).
+ENGINES = engine_names("grouping")
 
 
 @dataclass(frozen=True, slots=True)
@@ -381,9 +384,20 @@ def candidate_op_saving(candidate: CandidateGroup) -> float:
 
 @dataclass
 class GroupingTrace:
-    """Optional record of each decision, for tests and debugging."""
+    """Optional record of each decision, for tests and debugging.
+
+    ``engine`` names the engine that produced it, ``objective`` its
+    whole-selection packing value (see
+    :meth:`BasicGrouping.selection_objective`), ``proven_optimal``
+    whether a completed exact search certified the selection, and
+    ``nodes_explored`` the search effort (0 for the greedy engines).
+    """
 
     decisions: List[Tuple[CandidateGroup, Fraction]]
+    engine: str = "incremental"
+    objective: Optional[Fraction] = None
+    proven_optimal: bool = False
+    nodes_explored: int = 0
 
     def chosen_sids(self) -> List[Tuple[int, ...]]:
         return [tuple(sorted(c.sid_set)) for c, _ in self.decisions]
@@ -436,11 +450,13 @@ class BasicGrouping:
         decision_mode: str = "cost-aware",
         engine: str = "incremental",
         cost_model: Optional[PackCostModel] = None,
+        *,
+        engine_options: Optional[dict] = None,
+        on_diagnostic: Optional[Callable[[Diagnostic], None]] = None,
     ):
         if decision_mode not in ("cost-aware", "weight-only"):
             raise OptionsError(f"unknown decision mode {decision_mode!r}")
-        if engine not in ENGINES:
-            raise OptionsError(f"unknown grouping engine {engine!r}")
+        self._engine_impl = resolve_engine_impl("grouping", engine)
         if cost_model is not None and (
             cost_model.decl_of is not decl_of
             or cost_model.context != penalty_context
@@ -503,6 +519,8 @@ class BasicGrouping:
         self._decl_of = decl_of
         self._penalty_context = penalty_context
         self.decision_mode = decision_mode
+        self.engine_options = engine_options
+        self.on_diagnostic = on_diagnostic
         self.cost = cost_model or PackCostModel(decl_of, penalty_context)
         adjacency_of = self.cost.adjacency
         self.adjacency = [
@@ -842,15 +860,59 @@ class BasicGrouping:
             index, self._counts_list(index, self._decided_multiset())
         )
 
+    # -- whole-selection objective (shared with repro.slp.optimal) --------------
+
+    def selection_objective(self, indices) -> Fraction:
+        """The packing value of a pairwise non-conflicting selection, in
+        vector-op units: the additive analog of :meth:`score` (see
+        ``repro.slp.optimal`` for the exact definition).  Evaluated in
+        ascending index order; the per-candidate marginal procedure is
+        order-independent, so this is a well-defined set function — the
+        quantity the optimal engine maximizes and the optimality-gap
+        benchmark reports for every engine."""
+        seen: Dict[PackData, bool] = {}
+        status: Dict[PackData, int] = {}
+        total = Fraction(0)
+        for index in sorted(indices):
+            total += self._objective_gain(index, seen, status)
+        return total
+
+    def _objective_gain(self, index: int, seen, status) -> Fraction:
+        """Marginal objective of adding ``index``; mutates the caller's
+        per-pack-type ``seen`` map and build/produce ``status`` map
+        (0 absent, 1 built as a source, 2 produced as a target)."""
+        savings, builds, target, store = self._cost_row(index)
+        types = self._sorted_pack_types[index]
+        own = self._own_list[index]
+        op_saving, ref_bonus = self._static_bonus(index)
+        gain = op_saving + ref_bonus - store
+        rmw = own[target] > 1
+        for slot, data in enumerate(types):
+            gain += own[slot] * savings[slot]
+            if not seen.get(data):
+                seen[data] = True
+                gain -= savings[slot]
+            state = status.get(data, 0)
+            if slot == target:
+                if state == 1:
+                    gain += builds[slot]
+                if rmw:
+                    gain -= builds[slot]
+                status[data] = 2
+            elif state == 0:
+                gain -= builds[slot]
+                status[data] = 1
+        return gain
+
     # -- decision loop (Figure 10 lines 20–43) ----------------------------------
 
     def run(self) -> Tuple[List[GroupNode], List[GroupNode], GroupingTrace]:
         """Returns (decided groups, leftover units, trace)."""
         with section("grouping.decide"):
-            if self.engine == "reference":
-                trace = self._run_reference()
-            else:
-                trace = self._run_incremental()
+            trace = self._engine_impl.factory(self)
+            trace.engine = self.engine
+            if trace.objective is None:
+                trace.objective = self.selection_objective(self.decided)
 
         decided_groups = [self._merged[i] for i in self.decided]
         taken = set()
@@ -867,6 +929,7 @@ class BasicGrouping:
         score: Optional[Fraction] = None,
         picked_by: str = "score",
         runners: Sequence[dict] = (),
+        proven_optimal: bool = False,
     ):
         """Record a decision and remove the chosen candidate plus
         everything conflicting with it from both graphs. Returns the
@@ -897,6 +960,8 @@ class BasicGrouping:
                 weight=weight,
                 score=score,
                 picked_by=picked_by,
+                engine=self.engine,
+                proven_optimal=proven_optimal,
                 runners_up=runners,
                 removed=[
                     provenance_id(self.candidates[r].sid_set, block)

@@ -28,6 +28,9 @@ def iterative_grouping(
     penalty_context=None,
     decision_mode: str = "cost-aware",
     engine: str = "incremental",
+    *,
+    engine_options=None,
+    on_diagnostic=None,
 ) -> Tuple[List[GroupNode], List[GroupingTrace]]:
     """Run grouping rounds to fixpoint.
 
@@ -52,6 +55,8 @@ def iterative_grouping(
                 round_pass = BasicGrouping(
                     units, deps, datapath_bits, decl_of, penalty_context,
                     decision_mode, engine, cost_model,
+                    engine_options=engine_options,
+                    on_diagnostic=on_diagnostic,
                 )
                 decided, leftovers, trace = round_pass.run()
             traces.append(trace)

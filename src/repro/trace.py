@@ -64,6 +64,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
         "weight",
         "score",
         "picked_by",
+        "engine",
+        "proven_optimal",
         "runners_up",
         "removed",
     ),

@@ -16,7 +16,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import OptionsError, SimulationError
+from ..engines import engine_names, resolve as resolve_engine_impl
+from ..errors import SimulationError
 from ..ir import ArrayRef, Const, Expr, Var
 from ..perf import section as perf_section
 from .cache import Cache
@@ -196,14 +197,18 @@ def evaluate_expr(expr: Expr, env: Dict[str, int], memory: Memory) -> float:
     return _OP_FUNCS[getattr(expr, "op")](*values)
 
 
-#: Recognized execution engines. ``reference`` is the per-instruction
-#: interpreter below; ``batched`` is the vectorized loop engine in
-#: :mod:`repro.vm.batched`, proven report-identical by differential
-#: tests and falling back here per-unit whenever a loop is not
-#: batchable; ``compiled`` additionally emits one specialized NumPy
-#: function per affine loop (:mod:`repro.vm.compiled`), cached across
-#: runs, and falls back to the batched path per-unit.
-ENGINES = ("reference", "batched", "compiled")
+#: Recognized execution engines, from the :mod:`repro.engines`
+#: registry (kept as a tuple for backward compatibility). ``reference``
+#: is the per-instruction interpreter below; ``batched`` is the
+#: vectorized loop engine in :mod:`repro.vm.batched`, proven
+#: report-identical by differential tests and falling back here
+#: per-unit whenever a loop is not batchable; ``compiled`` additionally
+#: emits one specialized NumPy function per affine loop
+#: (:mod:`repro.vm.compiled`), cached across runs, and falls back to
+#: the batched path per-unit. Engines registered via
+#: ``repro.engines.register_sim_engine`` after import are resolved too;
+#: this tuple snapshots the built-ins.
+ENGINES = engine_names("sim")
 
 #: Environment variable consulted when no engine is given explicitly —
 #: lets existing harnesses (the fig16–fig21 benches, ``run_suite``
@@ -214,10 +219,7 @@ ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 def resolve_engine(engine: Optional[str]) -> str:
     if engine is None:
         engine = os.environ.get(ENGINE_ENV_VAR) or "reference"
-    if engine not in ENGINES:
-        raise OptionsError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
-        )
+    resolve_engine_impl("sim", engine)
     return engine
 
 
@@ -253,17 +255,8 @@ class Simulator:
             report = ExecutionReport()
             cache = Cache(self.machine.l1)
             state = _RunState(self.machine, memory, report, cache)
-            if self.engine == "batched":
-                from .batched import BatchedEngine
-
-                state.batched = BatchedEngine(state)
-            elif self.engine == "compiled":
-                from .compiled import CompiledEngine, load_plan_kernels
-
-                kernels = load_plan_kernels(
-                    plan, self.machine, self.kernel_store
-                )
-                state.batched = CompiledEngine(state, plan, kernels)
+            impl = resolve_engine_impl("sim", self.engine)
+            state.batched = impl.factory(self, plan, state)
             env: Dict[str, int] = {}
             for unit in plan.units:
                 self._run_unit(unit, env, state)
