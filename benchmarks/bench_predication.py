@@ -1,0 +1,122 @@
+"""Branchy kernels through if-conversion, measured and gated.
+
+The ``branchy`` kernel family carries if/else regions that
+``repro.transform.if_convert`` flattens into predicated select blocks
+before any SLP stage runs. This harness sweeps the family and reports,
+per kernel,
+
+* simulated **cycles** of the SCALAR baseline vs the GLOBAL variant
+  (both compile through if-conversion; the gap is pure superword
+  extraction over the predicated statements),
+* the static **vselect** count of the GLOBAL plan — the lane-parallel
+  blend ops that replace the original branches, and
+* whether the vectorized form **beats scalar** end to end.
+
+Two hard gates ride in the sweep: every branchy kernel must emit at
+least one vselect pack (it vectorized through if-conversion at all),
+and at least two must strictly beat scalar (the predication overhead
+model stays profitable). Results land in ``results/predication.txt``
+and committed ``results/BENCH_predication.json`` — regression-gated by
+``repro bench --check`` (see ``repro.bench.predication``). Set
+``REPRO_BENCH_SMOKE=1`` (CI) for a smaller problem size that still
+enforces both gates.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import write_result
+
+from repro.bench import ascii_table
+from repro.bench.predication import (
+    DEFAULT_KERNELS,
+    DEFAULT_N,
+    predication_metrics,
+    write_predication_baseline,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+MACHINE = "intel"
+N = 32 if SMOKE else DEFAULT_N
+#: Every branchy kernel must strictly beat its scalar compile on at
+#: least this many family members for the family to count as vectorized.
+MIN_BEATING = 2
+
+
+def test_predication(results_dir):
+    metrics = predication_metrics(machine_name=MACHINE, n=N)
+
+    names = DEFAULT_KERNELS
+    for name in names:
+        assert metrics["vector"][f"{name}.vselect_ops"] >= 1, (
+            f"{name} emitted no vselect packs — if-conversion or "
+            f"predicated packing regressed"
+        )
+    beating = [
+        name
+        for name in names
+        if metrics["vector"][f"{name}.beats_scalar"] == 1.0
+    ]
+    assert len(beating) >= MIN_BEATING, (
+        f"only {beating} beat scalar; expected >= {MIN_BEATING}"
+    )
+
+    summary = {
+        "kernels": len(names),
+        "vectorized": sum(
+            int(metrics["vector"][f"{name}.vectorized"])
+            for name in names
+        ),
+        "beating_scalar": len(beating),
+        "total_vselects": sum(
+            int(metrics["vector"][f"{name}.vselect_ops"])
+            for name in names
+        ),
+    }
+    write_predication_baseline(
+        results_dir / "BENCH_predication.json",
+        metrics,
+        machine=MACHINE,
+        n=N,
+        kernels=names,
+        smoke=SMOKE,
+        summary=summary,
+    )
+
+    rows = [
+        (
+            name,
+            f"{metrics['cycles'][f'{name}.scalar']:10.1f}",
+            f"{metrics['cycles'][f'{name}.global']:10.1f}",
+            f"{metrics['cycles'][f'{name}.speedup']:7.3f}",
+            f"{int(metrics['vector'][f'{name}.vselect_ops']):3d}",
+            "yes"
+            if metrics["vector"][f"{name}.beats_scalar"] == 1.0
+            else "NO",
+        )
+        for name in names
+    ]
+    body = ascii_table(
+        (
+            "kernel",
+            "scalar",
+            "global",
+            "speedup",
+            "vselects",
+            "beats scalar",
+        ),
+        rows,
+    )
+    body += (
+        f"\n\n{len(names)} branchy kernels (n={N}, {MACHINE}): "
+        f"{summary['vectorized']} vectorized with vselect packs, "
+        f"{summary['beating_scalar']} beating scalar, "
+        f"{summary['total_vselects']} static vselects total"
+    )
+    write_result(
+        results_dir / "predication.txt",
+        "Branchy kernels: if-conversion, vselect packing, speedup",
+        body,
+    )

@@ -22,6 +22,7 @@ import pathlib
 import sys
 
 from repro.bench.optimality import check_optimality
+from repro.bench.predication import check_predication
 from repro.bench.regress import render_verdict, run_check
 
 DEFAULT_BASELINE = (
@@ -73,6 +74,16 @@ def main(argv=None) -> int:
         print("optimality-gap plane:")
         print(render_verdict(opt_verdict, verbose=args.verbose))
         if opt_verdict["status"] != "ok":
+            status = 1
+
+    # Likewise the predication plane: branchy-kernel cycle counts and
+    # vselect emission recomputed against BENCH_predication.json.
+    predication_baseline = args.baseline.parent / "BENCH_predication.json"
+    if predication_baseline.exists():
+        pred_verdict = check_predication(predication_baseline)
+        print("predication plane:")
+        print(render_verdict(pred_verdict, verbose=args.verbose))
+        if pred_verdict["status"] != "ok":
             status = 1
     return status
 

@@ -1,7 +1,7 @@
 """Shared fixtures for the per-figure benchmark harnesses.
 
 Suite runs are memoized per (machine, size, datapath) so the figure
-harnesses — which all consume the same 16-kernel sweep — only pay for
+harnesses — which all consume the same kernel sweep — only pay for
 each simulation once per pytest session. Every harness writes its
 rendered table to ``benchmarks/results/`` so the numbers that back
 EXPERIMENTS.md are regenerable artifacts.

@@ -1,0 +1,76 @@
+"""Domain example: control-flow vectorization of a clamped stencil.
+
+``clamp_stencil.slp`` carries an if/else region in its inner loop — a
+form no SLP stage can pack directly. The walkthrough shows the whole
+control-flow pipeline:
+
+* **if-conversion** flattens the region into a straight-line block
+  whose merge point is one first-class ``select(cond, a, b)``,
+* the SLP stages pack the predicated statements like any other
+  isomorphic family, emitting a lane-parallel ``vselect`` (blend) per
+  superword,
+* a tree-walking interpreter with *true branch semantics* (only the
+  taken branch executes) certifies that the converted, vectorized code
+  writes bit-identical memory.
+
+Run:  python examples/clamp_stencil.py
+"""
+
+import pathlib
+
+from repro import (
+    CompilerOptions,
+    Variant,
+    compile_program,
+    intel_dunnington,
+    parse_program,
+    reduction,
+    simulate,
+)
+from repro.bench.predication import count_vselects
+from repro.ir.printer import format_program
+from repro.transform import if_convert_program
+from repro.vm.simulator import interpret_program
+
+HERE = pathlib.Path(__file__).parent
+
+
+def main() -> None:
+    source = (HERE / "clamp_stencil.slp").read_text(encoding="utf-8")
+    machine = intel_dunnington()
+
+    print("if-converted inner loop (what every SLP stage sees):")
+    converted = if_convert_program(parse_program(source))
+    for line in format_program(converted).splitlines():
+        if "select" in line or line.lstrip().startswith("s ="):
+            print(f"    {line.strip()}")
+
+    runs = {}
+    for variant in (Variant.SCALAR, Variant.GLOBAL):
+        result = compile_program(
+            parse_program(source), variant, machine, CompilerOptions()
+        )
+        report, memory = simulate(result)
+        runs[variant] = (result, report, memory)
+
+    scalar_report = runs[Variant.SCALAR][1]
+    print(f"\n{'variant':>10} {'cycles':>10} {'vs scalar':>10} {'vselects':>9}")
+    for variant, (result, report, _) in runs.items():
+        saved = reduction(scalar_report.cycles, report.cycles)
+        print(
+            f"{variant.value:>10} {report.cycles:10.0f} {saved:10.1%} "
+            f"{count_vselects(result.plan):9d}"
+        )
+
+    # The independent oracle: run the *original* branchy program under
+    # true branch semantics and compare memory bit for bit.
+    oracle = interpret_program(parse_program(source))
+    preserved = all(
+        memory.state_equal(oracle) for _, _, memory in runs.values()
+    )
+    print(f"\nbranch-semantics oracle matched: {preserved}")
+    assert preserved
+
+
+if __name__ == "__main__":
+    main()

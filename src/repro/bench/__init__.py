@@ -3,11 +3,17 @@
 from ..vm.machine import amd_phenom_ii, intel_dunnington
 from .kernels import (
     ALL_KERNELS,
+    BRANCHY_KERNELS,
     KERNELS,
     Kernel,
     NAS_KERNELS,
     SPEC_KERNELS,
     build_kernel,
+)
+from .predication import (
+    check_predication,
+    predication_metrics,
+    write_predication_baseline,
 )
 from ..store import ArtifactStore
 from .optimality import (
@@ -30,6 +36,7 @@ from .suite import (
 __all__ = [
     "ALL_KERNELS",
     "ArtifactStore",
+    "BRANCHY_KERNELS",
     "CompileCache",
     "DEFAULT_VARIANTS",
     "KERNELS",
@@ -42,11 +49,14 @@ __all__ = [
     "ascii_table",
     "build_kernel",
     "check_optimality",
+    "check_predication",
     "intel_dunnington",
     "optimality_metrics",
     "percent",
+    "predication_metrics",
     "run_kernel",
     "run_multicore",
     "run_suite",
     "write_optimality_baseline",
+    "write_predication_baseline",
 ]

@@ -323,6 +323,75 @@ def _cg(n: int) -> Program:
     return b.build()
 
 
+# -- branchy (control-flow) -------------------------------------------------------
+#
+# The predication family: every kernel's inner loop carries an if/else
+# region (or a guarded update) that if-conversion must flatten before
+# any SLP stage sees it. Conditions split within the simulator's
+# uniform(1, 2) initial value range so both branch outcomes actually
+# occur at runtime. BENCH_predication.json pins their vectorization
+# metrics.
+
+
+def _clamp_stencil(n: int) -> Program:
+    """3-point average clamped to the centre value: the stencil
+    statements pack like dealII's, and the clamp if-converts to one
+    vselect pack per superword."""
+    b = ProgramBuilder("clamp_stencil")
+    U = b.array("U", (4 * n + 8,), FLOAT64)
+    C = b.array("C", (4 * n + 8,), FLOAT64)
+    s = b.scalar("s", FLOAT64)
+    with b.loop("i", 1, n + 1) as i:
+        b.assign(s, (U[i - 1] + U[i + 1]) * 0.5)
+        with b.if_(s > U[i]):
+            b.assign(C[i], U[i])
+        with b.else_():
+            b.assign(C[i], s)
+    return b.build()
+
+
+def _piecewise_poly(n: int) -> Program:
+    """Two-piece polynomial evaluation: equal-length branches over the
+    same target — the pure select-merge shape."""
+    b = ProgramBuilder("piecewise_poly")
+    X = b.array("X", (4 * n,), FLOAT64)
+    Y = b.array("Y", (4 * n,), FLOAT64)
+    with b.loop("i", 0, n) as i:
+        with b.if_(X[i] < 1.5):
+            b.assign(Y[i], X[i] * 0.5 + 0.25)
+        with b.else_():
+            b.assign(Y[i], X[i] * 2.0 - 1.5)
+    return b.build()
+
+
+def _masked_sum(n: int) -> Program:
+    """Guarded accumulate with no else branch: the masked-update shape,
+    where the converted select re-reads the target lane."""
+    b = ProgramBuilder("masked_sum")
+    A = b.array("A", (4 * n,), FLOAT64)
+    Bv = b.array("B", (4 * n,), FLOAT64)
+    ACC = b.array("ACC", (4 * n,), FLOAT64)
+    with b.loop("i", 0, n) as i:
+        with b.if_(A[i] > Bv[i]):
+            b.assign(ACC[i], ACC[i] + (A[i] - Bv[i]))
+    return b.build()
+
+
+def _absdiff(n: int) -> Program:
+    """|A - B| via a branch (the branchy idiom compilers if-convert in
+    SAD loops): select-merge with mirrored subtractions."""
+    b = ProgramBuilder("absdiff")
+    A = b.array("A", (4 * n,), FLOAT64)
+    Bv = b.array("B", (4 * n,), FLOAT64)
+    D = b.array("D", (4 * n,), FLOAT64)
+    with b.loop("i", 0, n) as i:
+        with b.if_(A[i] > Bv[i]):
+            b.assign(D[i], A[i] - Bv[i])
+        with b.else_():
+            b.assign(D[i], Bv[i] - A[i])
+    return b.build()
+
+
 # -- registry -----------------------------------------------------------------------
 
 SPEC_KERNELS: List[Kernel] = [
@@ -347,7 +416,14 @@ NAS_KERNELS: List[Kernel] = [
     Kernel("cg", "NAS", "Conjugate gradient", _cg),
 ]
 
-ALL_KERNELS: List[Kernel] = SPEC_KERNELS + NAS_KERNELS
+BRANCHY_KERNELS: List[Kernel] = [
+    Kernel("clamp_stencil", "branchy", "3-point stencil clamped to the centre value", _clamp_stencil),
+    Kernel("piecewise_poly", "branchy", "Two-piece polynomial selected per element", _piecewise_poly),
+    Kernel("masked_sum", "branchy", "Guarded accumulate into an array target", _masked_sum),
+    Kernel("absdiff", "branchy", "Branchy absolute difference (SAD idiom)", _absdiff),
+]
+
+ALL_KERNELS: List[Kernel] = SPEC_KERNELS + NAS_KERNELS + BRANCHY_KERNELS
 
 KERNELS: Dict[str, Kernel] = {k.name: k for k in ALL_KERNELS}
 

@@ -119,7 +119,7 @@ def optimality_metrics(
 ) -> Dict[str, Dict[str, float]]:
     """The metric planes (see module docstring) for a kernel grid."""
     from ..compiler import CompilerOptions, Variant, compile_program
-    from ..transform import unroll_program
+    from ..transform import if_convert_program, unroll_program
     from ..vm import MACHINES, Simulator
 
     machine = MACHINES[machine_name]()
@@ -134,9 +134,12 @@ def optimality_metrics(
     proven_plane: Dict[str, float] = {}
     for kernel in selected:
         program = kernel.build(n)
+        # Branchy kernels carry if/else regions; grouping (like the
+        # compiler pipeline) only ever sees the if-converted form.
+        flattened = if_convert_program(program)
         for factor in unroll_factors:
             key = f"{kernel.name}.u{factor}"
-            pre = unroll_program(program, datapath, factor)
+            pre = unroll_program(flattened, datapath, factor)
             greedy_score, _, _ = pairing_objectives(
                 pre, datapath, "incremental"
             )

@@ -263,11 +263,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from .analysis import DependenceGraph
     from .ir import BasicBlock
     from .slp import BasicGrouping, GroupNode, iterative_grouping
-    from .transform import unroll_program
+    from .transform import if_convert_program, unroll_program
 
     program = _read_program(args.file)
     machine = _machine(args.machine, args.datapath)
-    pre = unroll_program(program, machine.datapath_bits)
+    # Same pipeline order as compile_program: regions flatten to
+    # predicated selects before unrolling ever sees the block.
+    pre = unroll_program(if_convert_program(program), machine.datapath_bits)
     decl_of = lambda name: pre.arrays[name]  # noqa: E731
 
     blocks = []
@@ -488,6 +490,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(render_verdict(opt_verdict))
                 if opt_verdict["status"] != "ok":
                     status = 1
+            # Likewise the predication plane: a committed
+            # BENCH_predication.json next to the suite baseline pins
+            # the branchy-kernel if-conversion metrics (vectorization,
+            # vselect counts, cycle planes) and gates them here.
+            predication_baseline = (
+                Path(args.baseline).parent / "BENCH_predication.json"
+            )
+            if predication_baseline.exists():
+                from .bench.predication import check_predication
+
+                try:
+                    pred_verdict = check_predication(predication_baseline)
+                except (OSError, ValueError) as exc:
+                    print(
+                        f"repro bench --check (predication): {exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print("predication plane:")
+                print(render_verdict(pred_verdict))
+                if pred_verdict["status"] != "ok":
+                    status = 1
     return status
 
 
@@ -557,6 +581,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         options=options,
         reduce_failures=args.reduce,
         max_divergences=args.max_divergences,
+        conditional=args.conditional,
     )
     print(report.summary())
     if report.divergences:
@@ -861,9 +886,20 @@ def cmd_engines(args: argparse.Namespace) -> int:
             if engine.proves_optimal:
                 flags.append("proves-optimal")
             rows.append(
-                (kind, engine.name, engine.description, " ".join(flags))
+                (
+                    kind,
+                    engine.name,
+                    engine.description,
+                    engine.select_support,
+                    " ".join(flags),
+                )
             )
-    print(ascii_table(("kind", "engine", "description", "notes"), rows))
+    print(
+        ascii_table(
+            ("kind", "engine", "description", "select support", "notes"),
+            rows,
+        )
+    )
     return 0
 
 
@@ -1070,6 +1106,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--max-divergences", type=int, default=10,
         help="stop after this many failures (default: 10)",
+    )
+    p_fuzz.add_argument(
+        "--conditional", action="store_true",
+        help="also generate if/else regions and select() expressions"
+        " (the if-conversion grammar); adds a branch-semantics"
+        " interpreter oracle per case",
     )
     p_fuzz.add_argument(
         "--quiet", action="store_true",

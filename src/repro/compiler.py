@@ -48,7 +48,7 @@ from .slp import (
     native_schedule,
 )
 from .trace import TRACE
-from .transform import unroll_program
+from .transform import if_convert_program, unroll_program
 from .verify import (
     resolve_checks,
     verify_program,
@@ -299,6 +299,19 @@ def _compile(
         # The *input* program must be well formed no matter the error
         # policy: falling back to scalar cannot repair a bad program.
         verify_program(program)
+
+    # Control flow is lowered first, for every variant including SCALAR:
+    # all downstream phases (and all engines) consume the same
+    # predicated straight-line form, so the differential oracle compares
+    # identical select semantics across variants. Programs without
+    # regions pass through untouched (same object).
+    converted = if_convert_program(program)
+    if converted is not program:
+        if "ir" in checks:
+            # The lowering must preserve well-formedness; a violation
+            # here is a compiler bug, not a user error.
+            verify_program(converted)
+        program = converted
 
     if variant is Variant.SCALAR:
         plan = _compile_all_scalar(program)

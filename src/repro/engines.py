@@ -53,6 +53,11 @@ class Engine:
     equivalence: Optional[str] = None
     #: True when a completed run certifies its result optimal.
     proves_optimal: bool = False
+    #: How the engine handles if-converted ``select``/``vselect`` forms:
+    #: sim engines declare their execution strategy, grouping engines
+    #: how predicated statements participate in packing. Engines
+    #: registered before the predication subsystem default to "unknown".
+    select_support: str = "unknown"
 
 
 _REGISTRY: Dict[str, Dict[str, Engine]] = {kind: {} for kind in KINDS}
@@ -66,6 +71,7 @@ def register(
     description: str = "",
     equivalence: Optional[str] = None,
     proves_optimal: bool = False,
+    select_support: str = "unknown",
 ) -> Engine:
     """Register an engine; raises :class:`OptionsError` on an unknown
     kind or a duplicate name (re-registration must be explicit via
@@ -84,6 +90,7 @@ def register(
         factory=factory,
         equivalence=equivalence,
         proves_optimal=proves_optimal,
+        select_support=select_support,
     )
     table[name] = engine
     return engine
@@ -158,12 +165,13 @@ def markdown_table(kind: Optional[str] = None) -> str:
     for k in KINDS if kind is None else (kind,):
         rows.extend(engines(k))
     lines = [
-        "| kind | engine | description |",
-        "| --- | --- | --- |",
+        "| kind | engine | description | select support |",
+        "| --- | --- | --- | --- |",
     ]
     for engine in rows:
         lines.append(
-            f"| {engine.kind} | `{engine.name}` | {engine.description} |"
+            f"| {engine.kind} | `{engine.name}` | {engine.description} "
+            f"| {engine.select_support} |"
         )
     return "\n".join(lines)
 
@@ -209,12 +217,14 @@ register_grouping_engine(
     _grouping_incremental,
     description="memoized greedy decision loop (lazy max-heap, dirty sets)",
     equivalence="greedy",
+    select_support="predicate-aware packing",
 )
 register_grouping_engine(
     "reference",
     _grouping_reference,
     description="from-scratch greedy loop; the differential oracle",
     equivalence="greedy",
+    select_support="predicate-aware packing",
 )
 register_grouping_engine(
     "optimal",
@@ -223,20 +233,24 @@ register_grouping_engine(
     "falls back to incremental on budget",
     equivalence="optimal",
     proves_optimal=True,
+    select_support="predicate-aware packing",
 )
 
 register_sim_engine(
     "reference",
     _sim_reference,
     description="instruction-at-a-time interpreter; the semantic oracle",
+    select_support="native (scalar select)",
 )
 register_sim_engine(
     "batched",
     _sim_batched,
     description="NumPy address/value streams with bulk cache replay",
+    select_support="native (np.where blend)",
 )
 register_sim_engine(
     "compiled",
     _sim_compiled,
     description="per-loop NumPy codegen with peephole pass and kernel cache",
+    select_support="native (emitted np.where)",
 )

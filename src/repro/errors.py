@@ -110,10 +110,56 @@ class ReproError(Exception):
         )
 
 
+def _rebuild_parse_error(message, stage, block, provenance, rule, line, column):
+    err = ParseError(message, line=line, column=column)
+    err.stage = stage
+    err.block = block
+    err.provenance = provenance
+    err.rule = rule
+    return err
+
+
 class ParseError(ReproError, ValueError):
-    """Malformed DSL input, with token position context."""
+    """Malformed DSL input, with source line/column context.
+
+    ``line`` and ``column`` are 1-based positions of the offending
+    token when the tokenizer could locate it (``None`` for errors
+    raised before tokenization or at end of input).
+    """
 
     default_stage = "parse"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(message, **kwargs)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        rendered = super().__str__()
+        if self.line is not None:
+            return f"line {self.line}:{self.column}: {rendered}"
+        return rendered
+
+    def __reduce__(self):
+        return (
+            _rebuild_parse_error,
+            (
+                self.message,
+                self.stage,
+                self.block,
+                self.provenance,
+                self.rule,
+                self.line,
+                self.column,
+            ),
+        )
 
 
 class IRError(ReproError, ValueError):

@@ -51,13 +51,16 @@ from .ir import (
     ArrayRef,
     BasicBlock,
     BinOp,
+    IfRegion,
     Loop,
     Program,
+    Select,
     Statement,
     UnOp,
     Var,
     parse_program,
 )
+from .transform import has_regions
 from .ir.printer import format_program
 from .slp.model import Schedule
 from .vm import MachineModel, Simulator, intel_dunnington
@@ -87,6 +90,7 @@ _COMMENTS = (
     "// generated, do not hand-tune",
 )
 _BINOPS = ("+", "-", "*", "min", "max")
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=")
 # Nested inner loops must unroll without a remainder (multiple of 16
 # covers every lane count the datapaths produce).
 _INNER_TRIPS = (16, 32, 48, 64)
@@ -102,16 +106,22 @@ class FuzzCase:
     program: Program
 
 
-def generate_case(seed: int) -> FuzzCase:
-    """Deterministically generate one random program from ``seed``."""
+def generate_case(seed: int, conditional: bool = False) -> FuzzCase:
+    """Deterministically generate one random program from ``seed``.
+
+    With ``conditional`` the grammar also produces single-level
+    ``if``/``else`` regions and ``select()`` expressions (the
+    if-conversion surface); the flag gates every extra RNG draw, so
+    pinned seeds stay byte-identical when it is off.
+    """
     # A string seed hashes deterministically across processes (tuple
     # seeds would go through randomized `hash()`).
     rng = random.Random(f"repro-fuzz-{seed}")
-    source = _generate_source(rng)
+    source = _generate_source(rng, conditional)
     return FuzzCase(seed, source, parse_program(source))
 
 
-def _generate_source(rng: random.Random) -> str:
+def _generate_source(rng: random.Random, conditional: bool = False) -> str:
     type_name = rng.choice(_TYPE_NAMES)
     is_float = type_name in ("float", "double")
     consts = _FLOAT_CONSTS if is_float else _INT_CONSTS
@@ -127,7 +137,7 @@ def _generate_source(rng: random.Random) -> str:
     if rng.random() < 0.5:
         lines.append(rng.choice(_COMMENTS))
 
-    state = _GenState(rng, list(arrays), scalars, consts)
+    state = _GenState(rng, list(arrays), scalars, consts, conditional)
     for _ in range(rng.randint(1, 3)):
         if rng.random() < 0.4:
             lines.extend(state.straight_block())
@@ -137,11 +147,12 @@ def _generate_source(rng: random.Random) -> str:
 
 
 class _GenState:
-    def __init__(self, rng, arrays, scalars, consts):
+    def __init__(self, rng, arrays, scalars, consts, conditional=False):
         self.rng = rng
         self.arrays = arrays
         self.scalars = scalars
         self.consts = consts
+        self.conditional = conditional
 
     # -- expressions ---------------------------------------------------------
 
@@ -149,6 +160,11 @@ class _GenState:
         rng = self.rng
         if depth <= 0 or rng.random() < 0.35:
             return self.leaf(indices)
+        if self.conditional and rng.random() < 0.15:
+            cond = self.condition(indices)
+            on_true = self.expr(depth - 1, indices)
+            on_false = self.expr(depth - 1, indices)
+            return f"select({cond}, {on_true}, {on_false})"
         roll = rng.random()
         if roll < 0.10:
             # abs() of a bare literal is rejected by the parser.
@@ -171,6 +187,35 @@ class _GenState:
         if self.rng.random() < 0.67:
             return self.array_ref(indices)
         return self.rng.choice(self.scalars)
+
+    def condition(self, indices: List[str]) -> str:
+        """A parenthesized comparison whose left side is typed (the
+        parser rejects all-literal conditions)."""
+        op = self.rng.choice(_RELOPS)
+        return f"({self.nonconst_leaf(indices)} {op} {self.leaf(indices)})"
+
+    def guarded_condition(
+        self, indices: List[str]
+    ) -> Tuple[str, frozenset]:
+        """A region condition plus the base names it reads. Branch
+        targets must avoid those bases (the parser rejects regions
+        whose non-final statements write condition operands), so the
+        leaves are drawn to leave at least one array free."""
+        rng = self.rng
+        op = rng.choice(_RELOPS)
+        array = rng.choice(self.arrays)
+        left = f"{array}[{self.subscript(indices, force_innermost=True)}]"
+        forbid = {array}
+        roll = rng.random()
+        if roll < 0.4:
+            right = str(rng.choice(self.consts))
+        elif roll < 0.7 and len(self.scalars) > 1:
+            scalar = rng.choice(self.scalars)
+            forbid.add(scalar)
+            right = scalar
+        else:
+            right = f"{array}[{self.subscript(indices, force_innermost=True)}]"
+        return f"({left} {op} {right})", frozenset(forbid)
 
     # -- array references ----------------------------------------------------
 
@@ -206,13 +251,66 @@ class _GenState:
         while remaining > 0:
             if rng.random() < 0.08:
                 lines.append(rng.choice(_COMMENTS))
-            if rng.random() < 0.6 and remaining >= 2:
+            if (
+                self.conditional
+                and remaining >= 2
+                and rng.random() < 0.35
+            ):
+                region, used = self.if_region([], remaining)
+                lines.extend(region)
+                remaining -= used
+            elif rng.random() < 0.6 and remaining >= 2:
                 lines.extend(self.packable_family(min(remaining, 4)))
                 remaining -= min(remaining, 4)
             else:
                 lines.append(self.statement([]))
                 remaining -= 1
         return lines
+
+    def if_region(
+        self, indices: List[str], budget: int
+    ) -> Tuple[List[str], int]:
+        """One single-level ``if``/``else`` region: half the time both
+        branches assign the same targets (the select-merge shape),
+        otherwise arbitrary branch statements (the masked-update
+        shape). Returns the lines and the statement count consumed."""
+        rng = self.rng
+        cond, forbid = self.guarded_condition(indices)
+        free_scalars = [s for s in self.scalars if s not in forbid]
+        free_arrays = [a for a in self.arrays if a not in forbid]
+        lines = [f"if {cond} {{"]
+        width = rng.randint(1, max(1, min(budget, 3)))
+        if rng.random() < 0.5:
+            # Select-merge shape: identical targets, pairwise.
+            targets = []
+            for _ in range(width):
+                if not indices and free_scalars and rng.random() < 0.3:
+                    targets.append(rng.choice(free_scalars))
+                else:
+                    name = rng.choice(free_arrays)
+                    sub = self.subscript(indices, force_innermost=True)
+                    targets.append(f"{name}[{sub}]")
+            for target in targets:
+                value = self.expr(rng.randint(1, 2), indices)
+                lines.append(f"  {target} = {value};")
+            lines.append("} else {")
+            for target in targets:
+                value = self.expr(rng.randint(1, 2), indices)
+                lines.append(f"  {target} = {value};")
+            lines.append("}")
+            return lines, 2 * width
+        used = width
+        for _ in range(width):
+            lines.append("  " + self.statement(indices, forbid=forbid))
+        if rng.random() < 0.5:
+            lines.append("} else {")
+            for _ in range(rng.randint(1, 2)):
+                lines.append("  " + self.statement(indices, forbid=forbid))
+                used += 1
+            lines.append("}")
+        else:
+            lines.append("}")
+        return lines, used
 
     def packable_family(self, width: int) -> List[str]:
         """Isomorphic statements over adjacent elements — the bread and
@@ -235,14 +333,20 @@ class _GenState:
             out.append(f"{dst}[{base + lane}] = {value};")
         return out
 
-    def statement(self, indices: List[str]) -> str:
+    def statement(
+        self, indices: List[str], forbid: frozenset = frozenset()
+    ) -> str:
         rng = self.rng
-        if not indices and rng.random() < 0.3:
-            target = rng.choice(self.scalars)
+        scalars = [s for s in self.scalars if s not in forbid]
+        if not indices and scalars and rng.random() < 0.3:
+            target = rng.choice(scalars)
         else:
             # Loop targets must involve the innermost index (see the
             # module docstring) — and scalar targets stay out of loops.
-            target = self.array_ref(indices, force_innermost=True)
+            arrays = [a for a in self.arrays if a not in forbid]
+            name = rng.choice(arrays)
+            sub = self.subscript(indices, force_innermost=True)
+            target = f"{name}[{sub}]"
         return f"{target} = {self.expr(rng.randint(1, 3), indices)};"
 
     def loop_nest(self) -> List[str]:
@@ -266,6 +370,9 @@ class _GenState:
                 lines.append("  " + rng.choice(_COMMENTS))
             for _ in range(rng.randint(1, 5)):
                 lines.append("  " + self.statement(["i"]))
+            if self.conditional and rng.random() < 0.5:
+                region, _ = self.if_region(["i"], 3)
+                lines.extend("  " + line for line in region)
             lines.append("}")
         return lines
 
@@ -280,7 +387,7 @@ class Divergence:
     """One configuration that disagreed with the scalar baseline."""
 
     seed: int
-    kind: str                     # "crash" | "memory" | "plan"
+    kind: str         # "crash" | "memory" | "report" | "plan" | "interpret"
     variant: str
     grouping_engine: str
     sim_engine: Optional[str]
@@ -368,6 +475,28 @@ def differential_check(
     baseline = _snapshot(memory, program)
     if not _finite(baseline):
         return CaseResult("skipped")
+
+    # Programs with conditional regions get a second, independent
+    # oracle: a tree-walking interpreter with true branch semantics
+    # (only the taken branch executes). If-conversion — which every
+    # compiled variant above runs through, including SCALAR — must
+    # preserve those semantics bit for bit.
+    if has_regions(program):
+        from .vm.simulator import interpret_program
+
+        try:
+            interpreted = interpret_program(program, seed=sim_seed)
+        except Exception as exc:
+            return diverged(
+                "crash", "interpreter", "-", None, format_failure(exc)
+            )
+        mismatch = _first_mismatch(
+            baseline, _snapshot(interpreted, program)
+        )
+        if mismatch is not None:
+            return diverged(
+                "interpret", "scalar", "-", "interpreter", mismatch
+            )
 
     sim_engines = engine_names("sim")
     for variant in VECTOR_VARIANTS:
@@ -490,7 +619,9 @@ def reduce_program(
 
 
 def statement_count(program: Program) -> int:
-    return sum(len(block) for block in program.blocks())
+    return sum(
+        1 for block in program.blocks() for _ in block.flat_statements()
+    )
 
 
 def _rebuild(program: Program, body) -> Program:
@@ -547,12 +678,65 @@ def _block_candidates(block: BasicBlock) -> Iterator[BasicBlock]:
     if len(stmts) > 1:
         for j in range(len(stmts)):
             yield BasicBlock(stmts[:j] + stmts[j + 1:]).renumbered()
-    for j, stmt in enumerate(stmts):
-        for expr in _expr_candidates(stmt.expr):
-            new = Statement(stmt.sid, stmt.target, expr)
+    for j, item in enumerate(stmts):
+        if isinstance(item, IfRegion):
+            # Inline a branch (losing the condition entirely), then
+            # structural shrinks of the region itself.
+            yield BasicBlock(
+                stmts[:j] + list(item.then_body) + stmts[j + 1:]
+            ).renumbered()
+            if item.else_body:
+                yield BasicBlock(
+                    stmts[:j] + list(item.else_body) + stmts[j + 1:]
+                ).renumbered()
+            for reduced in _region_candidates(item):
+                yield BasicBlock(
+                    stmts[:j] + [reduced] + stmts[j + 1:]
+                ).renumbered()
+            continue
+        for expr in _expr_candidates(item.expr):
+            new = Statement(item.sid, item.target, expr, item.pred)
             yield BasicBlock(
                 [new if k == j else s for k, s in enumerate(stmts)]
             )
+
+
+def _try_region(cond, then_body, else_body=()):
+    try:
+        return IfRegion(cond, then_body, else_body)
+    except Exception:
+        return None          # shrink produced an illegal region shape
+
+
+def _region_candidates(region: IfRegion) -> Iterator[IfRegion]:
+    candidates = []
+    if region.else_body:
+        candidates.append(_try_region(region.cond, region.then_body))
+        for j in range(len(region.else_body)):
+            candidates.append(
+                _try_region(
+                    region.cond,
+                    region.then_body,
+                    region.else_body[:j] + region.else_body[j + 1:],
+                )
+            )
+    if len(region.then_body) > 1:
+        for j in range(len(region.then_body)):
+            candidates.append(
+                _try_region(
+                    region.cond,
+                    region.then_body[:j] + region.then_body[j + 1:],
+                    region.else_body,
+                )
+            )
+    yield from (c for c in candidates if c is not None)
+
+
+def _try_select(cond, on_true, on_false):
+    try:
+        return Select(cond, on_true, on_false)
+    except Exception:
+        return None          # shrink changed an operand's type
 
 
 def _expr_candidates(expr) -> Iterator:
@@ -567,13 +751,35 @@ def _expr_candidates(expr) -> Iterator:
         yield expr.operand
         for sub in _expr_candidates(expr.operand):
             yield UnOp(expr.op, sub)
+    elif isinstance(expr, Select):
+        yield expr.on_true
+        yield expr.on_false
+        for sub in _expr_candidates(expr.on_true):
+            candidate = _try_select(expr.cond, sub, expr.on_false)
+            if candidate is not None:
+                yield candidate
+        for sub in _expr_candidates(expr.on_false):
+            candidate = _try_select(expr.cond, expr.on_true, sub)
+            if candidate is not None:
+                yield candidate
 
 
 def _strip_unused_decls(program: Program) -> Program:
     used = set()
     for block in program.blocks():
-        for stmt in block:
-            for leaf in (stmt.target,) + tuple(stmt.expr.leaves()):
+        for item in block:
+            leaves: List = []
+            if isinstance(item, IfRegion):
+                leaves.extend(item.cond.leaves())
+                inner = item.statements()
+            else:
+                inner = iter((item,))
+            for stmt in inner:
+                leaves.append(stmt.target)
+                leaves.extend(stmt.expr.leaves())
+                if stmt.pred is not None:
+                    leaves.extend(stmt.pred.cond.leaves())
+            for leaf in leaves:
                 if isinstance(leaf, ArrayRef):
                     used.add(leaf.array)
                 elif isinstance(leaf, Var):
@@ -692,17 +898,19 @@ def fuzz(
     reduce_failures: bool = True,
     max_divergences: int = 10,
     on_case: Optional[Callable[[int, CaseResult], None]] = None,
+    conditional: bool = False,
 ) -> FuzzReport:
     """Run a differential fuzzing campaign of ``count`` cases.
 
     Stops early after ``max_divergences`` failures; each recorded
     divergence carries the generating source and (when
-    ``reduce_failures``) a reduced reproduction.
+    ``reduce_failures``) a reduced reproduction. ``conditional``
+    switches on the if/else + select grammar.
     """
     machine = machine or intel_dunnington()
     report = FuzzReport(seed, count)
     for k in range(count):
-        case = generate_case(seed + k)
+        case = generate_case(seed + k, conditional=conditional)
         result = differential_check(
             case.program, machine, options, case_seed=case.seed
         )

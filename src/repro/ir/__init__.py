@@ -5,7 +5,7 @@ equivalent of the SUIF 2.0 statement lists the paper's implementation
 consumed.
 """
 
-from .block import ArrayDecl, BasicBlock, Loop, Program, ScalarDecl
+from .block import ArrayDecl, BasicBlock, IfRegion, Loop, Program, ScalarDecl
 from .builder import (
     ArrayHandle,
     BlockBuilder,
@@ -13,21 +13,24 @@ from .builder import (
     LoopIndex,
     ProgramBuilder,
     ScalarHandle,
+    select,
 )
 from .expr import (
     Affine,
     ArrayRef,
     BINARY_OPS,
     BinOp,
+    COMPARE_OPS,
     Const,
     Expr,
+    Select,
     UnOp,
     UNARY_OPS,
     Var,
 )
 from .parser import ParseError, parse_block, parse_program
-from .printer import format_block, format_loop, format_program
-from .stmt import Statement
+from .printer import format_block, format_loop, format_program, format_region
+from .stmt import Predicate, Statement
 from .types import (
     FLOAT32,
     FLOAT64,
@@ -48,6 +51,7 @@ __all__ = [
     "BasicBlock",
     "BinOp",
     "BlockBuilder",
+    "COMPARE_OPS",
     "Const",
     "Expr",
     "ExprHandle",
@@ -57,15 +61,18 @@ __all__ = [
     "INT32",
     "INT64",
     "INT8",
+    "IfRegion",
     "Loop",
     "LoopIndex",
     "NAMED_TYPES",
     "ParseError",
+    "Predicate",
     "Program",
     "ProgramBuilder",
     "ScalarDecl",
     "ScalarHandle",
     "ScalarType",
+    "Select",
     "Statement",
     "UnOp",
     "UNARY_OPS",
@@ -73,6 +80,8 @@ __all__ = [
     "format_block",
     "format_loop",
     "format_program",
+    "format_region",
     "parse_block",
     "parse_program",
+    "select",
 ]

@@ -9,25 +9,160 @@ array/scalar declarations the virtual machine needs to execute the code.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import IRError, StatementLookupError
+from .expr import Affine, ArrayRef, Expr, Var
 from .stmt import Statement
 from .types import ScalarType
 
 
-class BasicBlock:
-    """An ordered sequence of statements with unique sids."""
+def _base_name(node: Union[Var, ArrayRef]) -> str:
+    """The storage a Var or ArrayRef touches, by name."""
+    return node.name if isinstance(node, Var) else node.array
 
-    def __init__(self, statements: Sequence[Statement] = ()):
-        self.statements: List[Statement] = []
+
+@dataclass(frozen=True)
+class IfRegion:
+    """A single-level conditional region inside a basic block.
+
+    Branch bodies hold plain statements only — nested regions are
+    structurally unrepresentable, which is exactly the single-level form
+    if-conversion (``repro.transform.if_convert``) flattens into
+    predicated selects. Regions exist only between parsing and
+    if-conversion; every downstream layer (SLP, scheduling, the VM
+    engines) sees straight-line blocks.
+    """
+
+    cond: Expr
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.then_body:
+            raise IRError("if region requires a non-empty then-branch")
+        hazard = self._condition_write_hazard()
+        if hazard is not None:
+            raise IRError(
+                f"branch statement {hazard} assigns to "
+                f"{_base_name(hazard.target)!r}, which the region condition "
+                f"({self.cond}) reads; the predicated form would "
+                "re-evaluate the condition against the mutated value"
+            )
+
+    @property
+    def mergeable(self) -> bool:
+        """True when then/else bodies pair up into select-merges: same
+        length, and the k-th statements of both branches write
+        structurally equal targets."""
+        if not self.else_body:
+            return False
+        if len(self.then_body) != len(self.else_body):
+            return False
+        return all(
+            t.target == e.target
+            for t, e in zip(self.then_body, self.else_body)
+        )
+
+    def _condition_write_hazard(self) -> Optional[Statement]:
+        """The first branch statement whose write could change a later
+        re-evaluation of ``cond`` in the if-converted form, or None.
+
+        If-conversion embeds ``cond`` in every lowered select, so a
+        statement that writes a condition operand poisons every select
+        *after* it. Only the final lowered statement is exempt: for the
+        select-merge shape that is the last then/else pair, otherwise
+        the last statement in then-before-else order. This keeps the
+        common in-place clamp (``if (A[i] > c) A[i] = c;``) legal while
+        rejecting genuinely divergent regions.
+        """
+        cond_bases = {
+            _base_name(leaf)
+            for leaf in self.cond.leaves()
+            if isinstance(leaf, (Var, ArrayRef))
+        }
+        if not cond_bases:
+            return None
+        stmts = list(self.then_body) + list(self.else_body)
+        if self.mergeable:
+            allowed = {len(self.then_body) - 1, len(stmts) - 1}
+        else:
+            allowed = {len(stmts) - 1}
+        for pos, stmt in enumerate(stmts):
+            if pos in allowed:
+                continue
+            if _base_name(stmt.target) in cond_bases:
+                return stmt
+        return None
+
+    def statements(self) -> Iterator[Statement]:
+        yield from self.then_body
+        yield from self.else_body
+
+    def sids(self) -> Tuple[int, ...]:
+        return tuple(s.sid for s in self.statements())
+
+    def substitute_indices(self, bindings: Mapping[str, Affine]) -> "IfRegion":
+        return IfRegion(
+            self.cond.substitute_indices(bindings),
+            tuple(s.substitute_indices(bindings) for s in self.then_body),
+            tuple(s.substitute_indices(bindings) for s in self.else_body),
+        )
+
+    def __str__(self) -> str:
+        lines = [f"if ({self.cond}) {{"]
+        lines += [f"  {s}" for s in self.then_body]
+        if self.else_body:
+            lines.append("} else {")
+            lines += [f"  {s}" for s in self.else_body]
+        lines.append("}")
+        return "\n".join(lines)
+
+
+#: What a basic block may hold: straight-line statements plus (before
+#: if-conversion) single-level conditional regions.
+BlockItem = Union[Statement, IfRegion]
+
+
+def _item_sids(item: BlockItem) -> Tuple[int, ...]:
+    if isinstance(item, IfRegion):
+        return item.sids()
+    return (item.sid,)
+
+
+class BasicBlock:
+    """An ordered sequence of statements with unique sids.
+
+    Before if-conversion the sequence may also contain
+    :class:`IfRegion` items; sids stay unique across the whole block
+    including region branches. Code that runs after if-conversion may
+    keep iterating the block as plain statements.
+    """
+
+    def __init__(self, statements: Sequence[BlockItem] = ()):
+        self.statements: List[BlockItem] = []
         for stmt in statements:
             self.append(stmt)
 
-    def append(self, stmt: Statement) -> None:
-        if any(s.sid == stmt.sid for s in self.statements):
-            raise IRError(f"duplicate sid {stmt.sid} in basic block")
+    def append(self, stmt: BlockItem) -> None:
+        taken = {sid for item in self.statements for sid in _item_sids(item)}
+        for sid in _item_sids(stmt):
+            if sid in taken:
+                raise IRError(f"duplicate sid {sid} in basic block")
+            taken.add(sid)
         self.statements.append(stmt)
+
+    @property
+    def has_regions(self) -> bool:
+        return any(isinstance(item, IfRegion) for item in self.statements)
+
+    def flat_statements(self) -> Iterator[Statement]:
+        """Every statement in program order, descending into regions."""
+        for item in self.statements:
+            if isinstance(item, IfRegion):
+                yield from item.statements()
+            else:
+                yield item
 
     def __iter__(self) -> Iterator[Statement]:
         return iter(self.statements)
@@ -36,7 +171,7 @@ class BasicBlock:
         return len(self.statements)
 
     def __getitem__(self, sid: int) -> Statement:
-        for stmt in self.statements:
+        for stmt in self.flat_statements():
             if stmt.sid == sid:
                 return stmt
         raise StatementLookupError(f"no statement with sid {sid}")
@@ -44,20 +179,41 @@ class BasicBlock:
     def position(self, sid: int) -> int:
         """Program order position of a statement (dependence direction)."""
         for pos, stmt in enumerate(self.statements):
-            if stmt.sid == sid:
+            if isinstance(stmt, Statement) and stmt.sid == sid:
                 return pos
         raise StatementLookupError(f"no statement with sid {sid}")
 
     def replace_statement(self, stmt: Statement) -> "BasicBlock":
         """A new block with the same-order statement of that sid swapped."""
         return BasicBlock(
-            [stmt if s.sid == stmt.sid else s for s in self.statements]
+            [
+                stmt
+                if isinstance(s, Statement) and s.sid == stmt.sid
+                else s
+                for s in self.statements
+            ]
         )
 
     def renumbered(self, start: int = 0) -> "BasicBlock":
-        return BasicBlock(
-            [s.with_sid(start + i) for i, s in enumerate(self.statements)]
-        )
+        items: List[BlockItem] = []
+        sid = start
+        for item in self.statements:
+            if isinstance(item, IfRegion):
+                then_body = []
+                for s in item.then_body:
+                    then_body.append(s.with_sid(sid))
+                    sid += 1
+                else_body = []
+                for s in item.else_body:
+                    else_body.append(s.with_sid(sid))
+                    sid += 1
+                items.append(
+                    IfRegion(item.cond, tuple(then_body), tuple(else_body))
+                )
+            else:
+                items.append(item.with_sid(sid))
+                sid += 1
+        return BasicBlock(items)
 
     def __eq__(self, other: object) -> bool:
         # Structural: two blocks are equal when their statement lists

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import BuilderError, IRError
-from .block import ArrayDecl, BasicBlock, Loop, Program, ScalarDecl
-from .expr import Affine, ArrayRef, BinOp, Const, Expr, UnOp, Var
+from .block import ArrayDecl, BasicBlock, IfRegion, Loop, Program, ScalarDecl
+from .expr import Affine, ArrayRef, BinOp, Const, Expr, Select, UnOp, Var
 from .stmt import Statement
 from .types import ScalarType
 
@@ -90,6 +90,45 @@ class ExprHandle:
 
     def abs(self) -> "ExprHandle":
         return ExprHandle(UnOp("abs", self.expr))
+
+    # Comparisons produce mask expressions (1.0 / 0.0 per lane) for
+    # ``select`` and ``if_``. Equality stays a *method* (``eq``/``ne``),
+    # not ``__eq__``: overloading ``==`` would break dict/set membership
+    # of handles.
+
+    def __lt__(self, other: Operand) -> "ExprHandle":
+        return self._bin("<", other)
+
+    def __le__(self, other: Operand) -> "ExprHandle":
+        return self._bin("<=", other)
+
+    def __gt__(self, other: Operand) -> "ExprHandle":
+        return self._bin(">", other)
+
+    def __ge__(self, other: Operand) -> "ExprHandle":
+        return self._bin(">=", other)
+
+    def eq(self, other: Operand) -> "ExprHandle":
+        return self._bin("==", other)
+
+    def ne(self, other: Operand) -> "ExprHandle":
+        return self._bin("!=", other)
+
+
+def select(cond: Operand, on_true: Operand, on_false: Operand) -> ExprHandle:
+    """Build a :class:`Select` expression, coercing bare literals to the
+    type of the first typed operand."""
+    raw = [
+        o.expr if isinstance(o, ExprHandle) else o
+        for o in (cond, on_true, on_false)
+    ]
+    typed = next((o for o in raw if isinstance(o, Expr)), None)
+    if typed is None:
+        raise TypeError("select() needs at least one typed operand")
+    coerced = [
+        o if isinstance(o, Expr) else Const(o, typed.type) for o in raw
+    ]
+    return ExprHandle(Select(coerced[0], coerced[1], coerced[2]))
 
 
 class ScalarHandle(ExprHandle):
@@ -168,6 +207,14 @@ class _LoopFrame:
     inner: Optional[Loop] = None
 
 
+@dataclass
+class _RegionState:
+    cond: Expr
+    then_body: List[Statement]
+    else_body: List[Statement]
+    in_else: bool = False
+
+
 def _build_statement(sid: int, target: ExprHandle, value: Operand) -> Statement:
     tgt = target.expr
     if not isinstance(tgt, (Var, ArrayRef)):
@@ -191,6 +238,8 @@ class ProgramBuilder:
         self._top = BasicBlock()
         self._frames: List[_LoopFrame] = []
         self._sid_stack: List[int] = [0]
+        self._region: Optional[_RegionState] = None
+        self._last_if: Optional[Tuple[BasicBlock, _RegionState]] = None
 
     # -- declarations ---------------------------------------------------------
 
@@ -213,9 +262,69 @@ class ProgramBuilder:
     def assign(self, target: ExprHandle, value: Operand) -> Statement:
         stmt = _build_statement(self._sid_stack[-1], target, value)
         self._sid_stack[-1] += 1
-        block = self._frames[-1].body if self._frames else self._top
-        block.append(stmt)
+        if self._region is not None:
+            branch = (
+                self._region.else_body
+                if self._region.in_else
+                else self._region.then_body
+            )
+            branch.append(stmt)
+        else:
+            self._last_if = None
+            block = self._frames[-1].body if self._frames else self._top
+            block.append(stmt)
         return stmt
+
+    # -- conditional regions ---------------------------------------------------
+
+    def _current_block(self) -> BasicBlock:
+        return self._frames[-1].body if self._frames else self._top
+
+    @contextlib.contextmanager
+    def if_(self, cond: Operand) -> Iterator[None]:
+        """Open a then-branch scope: ``with b.if_(a > t): b.assign(...)``.
+
+        Regions are single-level — ``if_`` inside ``if_`` raises. An
+        optional ``else_`` block may immediately follow.
+        """
+        if self._region is not None:
+            raise BuilderError("if_ regions do not nest (single level only)")
+        cond_expr = cond.expr if isinstance(cond, ExprHandle) else cond
+        if not isinstance(cond_expr, Expr):
+            raise TypeError("if_ condition must be a typed expression")
+        state = _RegionState(cond_expr, [], [])
+        self._region = state
+        try:
+            yield
+        finally:
+            self._region = None
+            block = self._current_block()
+            block.append(
+                IfRegion(state.cond, tuple(state.then_body))
+            )
+            self._last_if = (block, state)
+
+    @contextlib.contextmanager
+    def else_(self) -> Iterator[None]:
+        """Open the else-branch of the immediately preceding ``if_``."""
+        if self._last_if is None:
+            raise BuilderError("else_ requires an immediately preceding if_")
+        block, state = self._last_if
+        self._last_if = None
+        block.statements.pop()  # re-emitted below with the else-branch
+        state.in_else = True
+        self._region = state
+        try:
+            yield
+        finally:
+            self._region = None
+            block.append(
+                IfRegion(
+                    state.cond,
+                    tuple(state.then_body),
+                    tuple(state.else_body),
+                )
+            )
 
     # -- loops -------------------------------------------------------------------
 
@@ -229,6 +338,9 @@ class ProgramBuilder:
         loop (perfect/near-perfect nests, as the layout optimizer
         assumes).
         """
+        if self._region is not None:
+            raise BuilderError("loops may not open inside an if_ region")
+        self._last_if = None
         frame = _LoopFrame(index, start, stop, step, BasicBlock())
         self._frames.append(frame)
         self._sid_stack.append(0)

@@ -266,7 +266,20 @@ OP_WEIGHTS = {
     "neg": 1.0,
     "abs": 1.0,
     "sqrt": 12.0,
+    "<": 1.0,
+    "<=": 1.0,
+    ">": 1.0,
+    ">=": 1.0,
+    "==": 1.0,
+    "!=": 1.0,
+    "select": 1.0,
 }
+
+#: Comparison operators. They are ordinary :class:`BinOp` nodes whose
+#: result is a mask value — ``1.0`` where the relation holds, ``0.0``
+#: elsewhere — of the *operand* type, which keeps every lane of a
+#: superword single-typed (the SIMD blend consumes the mask directly).
+COMPARE_OPS = ("<", "<=", ">", ">=", "==", "!=")
 
 #: Binary operators the IR supports, with commutativity for reuse analysis.
 BINARY_OPS = {
@@ -276,6 +289,12 @@ BINARY_OPS = {
     "/": False,
     "min": True,
     "max": True,
+    "<": False,
+    "<=": False,
+    ">": False,
+    ">=": False,
+    "==": True,
+    "!=": True,
 }
 
 UNARY_OPS = ("neg", "abs", "sqrt")
@@ -311,6 +330,51 @@ class BinOp(Expr):
         if self.op in ("min", "max"):
             return f"{self.op}({self.left}, {self.right})"
         return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Three-operand blend: ``on_true`` where ``cond`` is non-zero.
+
+    This is the IR form of the vector ``vselect``/``blend`` instruction
+    that if-conversion lowers branches into. Both value operands are
+    evaluated eagerly (every operator in the IR is total, so this is
+    safe), then the mask picks per-lane — exactly the SIMD execution
+    model, which keeps scalar and vector semantics identical by
+    construction.
+    """
+
+    cond: Expr
+    on_true: Expr
+    on_false: Expr
+
+    #: Class-level opcode so generic traversals (`getattr(expr, "op")`)
+    #: dispatch Select exactly like BinOp/UnOp.
+    op = "select"
+
+    def __post_init__(self) -> None:
+        if not (
+            self.cond.type == self.on_true.type == self.on_false.type
+        ):
+            raise IRTypeError(
+                "operand type mismatch in select: "
+                f"{self.cond.type} vs {self.on_true.type} "
+                f"vs {self.on_false.type}"
+            )
+
+    @property
+    def type(self) -> ScalarType:  # type: ignore[override]
+        return self.on_true.type
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.on_true, self.on_false)
+
+    def with_children(self, children: Tuple[Expr, ...]) -> "Select":
+        cond, on_true, on_false = children
+        return Select(cond, on_true, on_false)
+
+    def __str__(self) -> str:
+        return f"select({self.cond}, {self.on_true}, {self.on_false})"
 
 
 @dataclass(frozen=True)

@@ -1,19 +1,26 @@
 """A tiny C-like front end for writing kernels as text.
 
 The dialect covers exactly what the paper's examples need: global array
-and scalar declarations, counted ``for`` loops, and assignment statements
-over ``+ - * /``, ``min``/``max``/``sqrt``/``abs``, scalars, constants,
-and affine array references::
+and scalar declarations, counted ``for`` loops, single-level ``if`` /
+``else`` regions, and assignment statements over ``+ - * /``,
+comparisons, ``min``/``max``/``sqrt``/``abs``/``select``, scalars,
+constants, and affine array references::
 
     float A[1024]; float B[1024];
     float a, b;
     for (i = 0; i < 256; i += 1) {
         a = A[4*i];
         b = A[4*i + 3];
-        B[2*i] = a * b;
+        if (a > b) {
+            B[2*i] = a - b;
+        } else {
+            B[2*i] = b - a;
+        }
     }
 
-``parse_program`` returns a :class:`repro.ir.block.Program`.
+``parse_program`` returns a :class:`repro.ir.block.Program`. Parse
+failures raise :class:`ParseError` carrying the 1-based line/column of
+the offending token.
 """
 
 from __future__ import annotations
@@ -21,15 +28,25 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple, Union
 
-from .block import BasicBlock, Loop, Program
-from .expr import Affine, ArrayRef, BinOp, Const, Expr, UnOp, Var
+from .block import BasicBlock, IfRegion, Loop, Program
+from .expr import (
+    Affine,
+    ArrayRef,
+    BinOp,
+    COMPARE_OPS,
+    Const,
+    Expr,
+    Select,
+    UnOp,
+    Var,
+)
 from .stmt import Statement
 from .types import NAMED_TYPES, ScalarType
 
 # Deprecation shim: ``ParseError`` moved to :mod:`repro.errors` (it is
 # now part of the structured exception hierarchy). Importing it from
 # ``repro.ir.parser`` — its historical home — keeps working.
-from ..errors import ParseError
+from ..errors import IRError, ParseError
 
 
 _TOKEN_RE = re.compile(
@@ -39,20 +56,40 @@ _TOKEN_RE = re.compile(
     # Comments must precede `op`: otherwise the single-char `/` operator
     # consumes the first slash of `//` and the comment never matches.
     r"|(?P<comment>//[^\n]*|/\*.*?\*/)"
-    r"|(?P<op>\+=|<=|>=|==|[-+*/=;,<>(){}\[\]])"
+    r"|(?P<op>\+=|<=|>=|==|!=|[-+*/=;,<>(){}\[\]])"
     r")",
     re.DOTALL,
 )
 
+#: Function-call names of the expression grammar.
+_CALL_NAMES = ("min", "max", "sqrt", "abs", "select")
 
-def _tokenize(src: str) -> List[Tuple[str, str]]:
+
+def _line_col(src: str, offset: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset."""
+    line = src.count("\n", 0, offset) + 1
+    column = offset - (src.rfind("\n", 0, offset) + 1) + 1
+    return line, column
+
+
+def _tokenize(
+    src: str,
+) -> Tuple[List[Tuple[str, str]], List[Tuple[int, int]]]:
     tokens: List[Tuple[str, str]] = []
+    positions: List[Tuple[int, int]] = []
     pos = 0
     while pos < len(src):
         match = _TOKEN_RE.match(src, pos)
         if match is None:
-            if src[pos:].strip():
-                raise ParseError(f"unexpected character {src[pos]!r} at {pos}")
+            rest = src[pos:]
+            if rest.strip():
+                offset = pos + (len(rest) - len(rest.lstrip()))
+                line, column = _line_col(src, offset)
+                raise ParseError(
+                    f"unexpected character {src[offset]!r}",
+                    line=line,
+                    column=column,
+                )
             break
         pos = match.end()
         if match.lastgroup == "comment":
@@ -60,8 +97,10 @@ def _tokenize(src: str) -> List[Tuple[str, str]]:
         kind = match.lastgroup
         if kind is not None:
             tokens.append((kind, match.group(kind)))
+            positions.append(_line_col(src, match.start(kind)))
     tokens.append(("eof", ""))
-    return tokens
+    positions.append(_line_col(src, len(src)))
+    return tokens, positions
 
 
 # A parsed operand is either a fully-typed Expr or a raw Python number
@@ -71,7 +110,7 @@ Pending = Union[Expr, float, int]
 
 class _Parser:
     def __init__(self, src: str):
-        self.tokens = _tokenize(src)
+        self.tokens, self.positions = _tokenize(src)
         self.pos = 0
         self.program = Program()
         self.loop_indices: List[str] = []
@@ -87,10 +126,21 @@ class _Parser:
         self.pos += 1
         return token
 
+    def _err(self, message: str, index: Optional[int] = None) -> None:
+        """Raise a :class:`ParseError` located at a token (default: the
+        current one)."""
+        if index is None:
+            index = self.pos
+        index = max(0, min(index, len(self.positions) - 1))
+        line, column = self.positions[index]
+        raise ParseError(message, line=line, column=column)
+
     def expect(self, text: str) -> None:
-        kind, value = self.next()
+        kind, value = self.peek()
         if value != text:
-            raise ParseError(f"expected {text!r}, found {value!r}")
+            found = value if value else "end of input"
+            self._err(f"expected {text!r}, found {found!r}")
+        self.pos += 1
 
     def accept(self, text: str) -> bool:
         if self.peek()[1] == text:
@@ -114,9 +164,16 @@ class _Parser:
 
     def _flush_stmt_into_top(self) -> None:
         block = BasicBlock()
+        sid = 0
         while self.peek()[0] != "eof" and self.peek()[1] not in NAMED_TYPES \
                 and self.peek()[1] != "for":
-            block.append(self._statement(len(block)))
+            if self.peek()[1] == "if":
+                region = self._if_region(sid)
+                sid += len(region.then_body) + len(region.else_body)
+                block.append(region)
+            else:
+                block.append(self._statement(sid))
+                sid += 1
         if len(block):
             self.program.add(block)
 
@@ -126,13 +183,17 @@ class _Parser:
         while True:
             kind, name = self.next()
             if kind != "ident":
-                raise ParseError(f"expected identifier, found {name!r}")
+                self._err(
+                    f"expected identifier, found {name!r}", self.pos - 1
+                )
             if self.peek()[1] == "[":
                 shape: List[int] = []
                 while self.accept("["):
                     kind, dim = self.next()
                     if kind != "num":
-                        raise ParseError("array dimensions must be literals")
+                        self._err(
+                            "array dimensions must be literals", self.pos - 1
+                        )
                     shape.append(int(dim))
                     self.expect("]")
                 self.program.declare_array(name, tuple(shape), elem)
@@ -152,50 +213,114 @@ class _Parser:
         self.expect(";")
         _, index2 = self.next()
         if index2 != index:
-            raise ParseError(f"loop condition tests {index2!r}, not {index!r}")
+            self._err(
+                f"loop condition tests {index2!r}, not {index!r}",
+                self.pos - 1,
+            )
         self.expect("<")
         stop = self._int_literal()
         self.expect(";")
         _, index3 = self.next()
         if index3 != index:
-            raise ParseError(f"loop increment steps {index3!r}, not {index!r}")
+            self._err(
+                f"loop increment steps {index3!r}, not {index!r}",
+                self.pos - 1,
+            )
         self.expect("+=")
         step = self._int_literal()
         self.expect(")")
         self.expect("{")
         self.loop_indices.append(index)
         body = BasicBlock()
+        sid = 0
         inner: Optional[Loop] = None
         while not self.accept("}"):
+            if self.peek()[0] == "eof":
+                self.expect("}")
             if self.peek()[1] == "for":
                 if inner is not None:
-                    raise ParseError(
+                    self._err(
                         "a loop body may contain at most one nested loop"
                     )
                 inner = self._loop()
+            elif self.peek()[1] == "if":
+                region = self._if_region(sid)
+                sid += len(region.then_body) + len(region.else_body)
+                body.append(region)
             else:
-                body.append(self._statement(len(body)))
+                body.append(self._statement(sid))
+                sid += 1
         self.loop_indices.pop()
         return Loop(index, start, stop, step, body, inner=inner)
+
+    def _if_region(self, sid_start: int) -> IfRegion:
+        """``if (cond) { stmts } [else { stmts }]`` — single level only."""
+        if_index = self.pos
+        self.expect("if")
+        self.expect("(")
+        cond = self._expr()
+        if not isinstance(cond, Expr):
+            self._err(
+                "if condition must reference at least one typed operand",
+                if_index,
+            )
+        self.expect(")")
+        self.expect("{")
+        then_body: List[Statement] = []
+        sid = sid_start
+        while not self.accept("}"):
+            self._check_branch_statement()
+            then_body.append(self._statement(sid))
+            sid += 1
+        if not then_body:
+            self._err("empty then-branch", if_index)
+        else_body: List[Statement] = []
+        if self.accept("else"):
+            self.expect("{")
+            while not self.accept("}"):
+                self._check_branch_statement()
+                else_body.append(self._statement(sid))
+                sid += 1
+        try:
+            return IfRegion(cond, tuple(then_body), tuple(else_body))
+        except IRError as exc:
+            self._err(str(exc), if_index)
+
+    def _check_branch_statement(self) -> None:
+        kind, value = self.peek()
+        if kind == "eof":
+            self.expect("}")
+        if value in ("if", "for"):
+            self._err(
+                f"nested {value!r} inside an if branch is not supported "
+                "(regions are single-level)"
+            )
 
     def _int_literal(self) -> int:
         negative = self.accept("-")
         kind, value = self.next()
         if kind != "num" or "." in value:
-            raise ParseError(f"expected integer literal, found {value!r}")
+            self._err(
+                f"expected integer literal, found {value!r}", self.pos - 1
+            )
         return -int(value) if negative else int(value)
 
     def _statement(self, sid: int) -> Statement:
         kind, name = self.next()
         if kind != "ident":
-            raise ParseError(f"expected assignment target, found {name!r}")
+            found = name if name else "end of input"
+            self._err(
+                f"expected assignment target, found {found!r}", self.pos - 1
+            )
         target: Union[Var, ArrayRef]
         if name in self.program.arrays:
             target = self._array_ref(name)
         elif name in self.program.scalars:
             target = Var(name, self.program.scalars[name].type)
         else:
-            raise ParseError(f"assignment to undeclared variable {name!r}")
+            self._err(
+                f"assignment to undeclared variable {name!r}", self.pos - 1
+            )
         self.expect("=")
         value = self._expr()
         self.expect(";")
@@ -209,9 +334,10 @@ class _Parser:
             subscripts.append(self._affine())
             self.expect("]")
         if len(subscripts) != len(decl.shape):
-            raise ParseError(
+            self._err(
                 f"{name} expects {len(decl.shape)} subscripts, "
-                f"got {len(subscripts)}"
+                f"got {len(subscripts)}",
+                self.pos - 1,
             )
         return ArrayRef(name, tuple(subscripts), decl.type)
 
@@ -229,12 +355,12 @@ class _Parser:
         kind, value = self.next()
         if kind == "num":
             if "." in value:
-                raise ParseError("array subscripts must be integral")
+                self._err("array subscripts must be integral", self.pos - 1)
             scale = int(value)
             if self.accept("*"):
                 kind, index = self.next()
                 if kind != "ident":
-                    raise ParseError("expected loop index after '*'")
+                    self._err("expected loop index after '*'", self.pos - 1)
                 term = Affine.var(self._check_index(index), scale)
             else:
                 term = Affine((), scale)
@@ -248,19 +374,32 @@ class _Parser:
             term = self._affine()
             self.expect(")")
         else:
-            raise ParseError(f"unexpected {value!r} in array subscript")
+            self._err(
+                f"unexpected {value!r} in array subscript", self.pos - 1
+            )
         return -term if negative else term
 
     def _check_index(self, name: str) -> str:
         if name not in self.loop_indices:
-            raise ParseError(
+            self._err(
                 f"{name!r} used as a subscript index but is not an "
-                "enclosing loop index"
+                "enclosing loop index",
+                self.pos - 1,
             )
         return name
 
-    # Expression grammar with ordinary precedence.
+    # Expression grammar with ordinary precedence. Comparisons bind
+    # loosest and do not chain (`a < b < c` is rejected; parenthesize).
     def _expr(self) -> Pending:
+        value = self._additive()
+        if self.peek()[1] in COMPARE_OPS:
+            _, op = self.next()
+            value = _combine(op, value, self._additive())
+            if self.peek()[1] in COMPARE_OPS:
+                self._err("comparisons do not chain; parenthesize")
+        return value
+
+    def _additive(self) -> Pending:
         value = self._term()
         while self.peek()[1] in ("+", "-"):
             _, op = self.next()
@@ -292,18 +431,25 @@ class _Parser:
             return float(value) if "." in value else int(value)
         if kind == "ident":
             self.next()
-            if value in ("min", "max", "sqrt", "abs"):
+            if value in _CALL_NAMES:
                 return self._call(value)
             if value in self.program.arrays:
                 return self._array_ref(value)
             if value in self.program.scalars:
                 return Var(value, self.program.scalars[value].type)
-            raise ParseError(f"undeclared identifier {value!r}")
-        raise ParseError(f"unexpected {value!r} in expression")
+            self._err(f"undeclared identifier {value!r}", self.pos - 1)
+        self._err(f"unexpected {value!r} in expression")
 
     def _call(self, fn: str) -> Pending:
         self.expect("(")
         first = self._expr()
+        if fn == "select":
+            self.expect(",")
+            second = self._expr()
+            self.expect(",")
+            third = self._expr()
+            self.expect(")")
+            return _select(first, second, third)
         if fn in ("min", "max"):
             self.expect(",")
             second = self._expr()
@@ -311,7 +457,7 @@ class _Parser:
             return _combine(fn, first, second)
         self.expect(")")
         if not isinstance(first, Expr):
-            raise ParseError(f"{fn}() of a bare literal is not supported")
+            self._err(f"{fn}() of a bare literal is not supported")
         return UnOp(fn, first)
 
 
@@ -323,7 +469,8 @@ def _coerce(value: Pending, elem: ScalarType) -> Expr:
 
 def _combine(op: str, left: Pending, right: Pending) -> Pending:
     if not isinstance(left, Expr) and not isinstance(right, Expr):
-        # Constant fold untyped literals.
+        # Constant fold untyped literals. Comparisons fold to the mask
+        # values (1.0 / 0.0) the runtime produces.
         folds = {
             "+": lambda a, b: a + b,
             "-": lambda a, b: a - b,
@@ -331,6 +478,12 @@ def _combine(op: str, left: Pending, right: Pending) -> Pending:
             "/": lambda a, b: a / b,
             "min": min,
             "max": max,
+            "<": lambda a, b: 1.0 if a < b else 0.0,
+            "<=": lambda a, b: 1.0 if a <= b else 0.0,
+            ">": lambda a, b: 1.0 if a > b else 0.0,
+            ">=": lambda a, b: 1.0 if a >= b else 0.0,
+            "==": lambda a, b: 1.0 if a == b else 0.0,
+            "!=": lambda a, b: 1.0 if a != b else 0.0,
         }
         return folds[op](left, right)
     if isinstance(left, Expr) and not isinstance(right, Expr):
@@ -339,6 +492,17 @@ def _combine(op: str, left: Pending, right: Pending) -> Pending:
         left = Const(left, right.type)
     assert isinstance(left, Expr) and isinstance(right, Expr)
     return BinOp(op, left, right)
+
+
+def _select(cond: Pending, on_true: Pending, on_false: Pending) -> Pending:
+    operands = (cond, on_true, on_false)
+    typed = next((o for o in operands if isinstance(o, Expr)), None)
+    if typed is None:
+        # All-literal select folds like the other operators.
+        return on_true if cond != 0 else on_false
+    elem = typed.type
+    cond, on_true, on_false = (_coerce(o, elem) for o in operands)
+    return Select(cond, on_true, on_false)
 
 
 def parse_program(src: str) -> Program:

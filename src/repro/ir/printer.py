@@ -4,12 +4,30 @@ from __future__ import annotations
 
 from typing import List
 
-from .block import BasicBlock, Loop, Program
+from .block import BasicBlock, IfRegion, Loop, Program
+
+
+def format_region(region: IfRegion, indent: int = 0) -> str:
+    pad = "    " * indent
+    inner = "    " * (indent + 1)
+    lines: List[str] = [f"{pad}if ({region.cond}) {{"]
+    lines += [f"{inner}{s.target} = {s.expr};" for s in region.then_body]
+    if region.else_body:
+        lines.append(f"{pad}}} else {{")
+        lines += [f"{inner}{s.target} = {s.expr};" for s in region.else_body]
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
 
 
 def format_block(block: BasicBlock, indent: int = 0) -> str:
     pad = "    " * indent
-    return "\n".join(f"{pad}{stmt.target} = {stmt.expr};" for stmt in block)
+    lines: List[str] = []
+    for stmt in block:
+        if isinstance(stmt, IfRegion):
+            lines.append(format_region(stmt, indent))
+        else:
+            lines.append(f"{pad}{stmt.target} = {stmt.expr};")
+    return "\n".join(lines)
 
 
 def format_loop(loop: Loop, indent: int = 0) -> str:

@@ -2,17 +2,46 @@
 
 A basic block is a sequence ``S = <S1, ..., Sn>`` of statements
 (Section 4.1); each statement assigns an expression to a scalar variable
-or array element.
+or array element. After if-conversion a statement may also carry a
+:class:`Predicate` recording which branch it came from; the predicate is
+an annotation for the packer (predicate-compatible statements may share
+a superword), not an execution guard — the guarded semantics live in the
+statement's ``select`` expression.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Tuple, Union
+from typing import Iterator, Mapping, Optional, Tuple, Union
 
 from .expr import Affine, ArrayRef, Const, Expr, Var
 
 Target = Union[Var, ArrayRef]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """The branch condition a statement was if-converted under.
+
+    ``when=True`` marks statements from the then-branch, ``when=False``
+    from the else-branch. Two statements are predicate-compatible (and
+    hence may pack into one superword) iff their predicates are equal;
+    mixed-predicate pairs only merge when if-conversion fuses then/else
+    assignments to the same target into a single unpredicated select.
+    """
+
+    cond: Expr
+    when: bool = True
+
+    def signature(self) -> Tuple:
+        return (self.when, self.cond.opcode_signature())
+
+    def substitute_indices(self, bindings: Mapping[str, Affine]) -> "Predicate":
+        return Predicate(self.cond.substitute_indices(bindings), self.when)
+
+    def __str__(self) -> str:
+        prefix = "" if self.when else "!"
+        return f"{prefix}({self.cond})"
 
 
 @dataclass(frozen=True)
@@ -28,6 +57,7 @@ class Statement:
     sid: int
     target: Target
     expr: Expr
+    pred: Optional[Predicate] = None
 
     # -- operand views -------------------------------------------------------
 
@@ -36,6 +66,8 @@ class Statement:
 
         The subscript of an array *target* also reads its loop indices,
         but indices are not packable operands, so they are not included.
+        (A predicate's condition already appears as the select's first
+        operand, so the expression leaves cover every value read.)
         """
         return tuple(
             leaf for leaf in self.expr.leaves() if not isinstance(leaf, Const)
@@ -56,13 +88,19 @@ class Statement:
 
     def isomorphism_signature(self) -> Tuple:
         """Signature equal across statements that may share a superword
-        statement (validity constraint 3)."""
+        statement (validity constraint 3).
+
+        The predicate participates: statements guarded by structurally
+        different branch conditions must not share a superword, because
+        their mask lanes would have to come from different compares.
+        """
         target_kind = (
             ("var", self.target.type.name)
             if isinstance(self.target, Var)
             else ("ref", self.target.type.name)
         )
-        return (target_kind, self.expr.opcode_signature())
+        pred_kind = self.pred.signature() if self.pred is not None else None
+        return (target_kind, pred_kind, self.expr.opcode_signature())
 
     def is_isomorphic_to(self, other: "Statement") -> bool:
         return self.isomorphism_signature() == other.isomorphism_signature()
@@ -75,12 +113,17 @@ class Statement:
         target = self.target
         if isinstance(target, ArrayRef):
             target = target.substitute_indices(bindings)
+        pred = (
+            self.pred.substitute_indices(bindings)
+            if self.pred is not None
+            else None
+        )
         return Statement(
-            self.sid, target, self.expr.substitute_indices(bindings)
+            self.sid, target, self.expr.substitute_indices(bindings), pred
         )
 
     def with_sid(self, sid: int) -> "Statement":
-        return Statement(sid, self.target, self.expr)
+        return Statement(sid, self.target, self.expr, self.pred)
 
     def array_refs(self) -> Iterator[ArrayRef]:
         """Every array reference, including the target if it is one."""

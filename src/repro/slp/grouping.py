@@ -378,7 +378,7 @@ def candidate_op_saving(candidate: CandidateGroup) -> float:
     """ALU work a merge saves per loop iteration: the two units' op
     streams become one SIMD stream, eliminating one full copy of the
     shared expression shape's operator cost."""
-    _target_kind, expr_signature = candidate.left.signature
+    _target_kind, _pred_kind, expr_signature = candidate.left.signature
     return _signature_op_cost(expr_signature)
 
 

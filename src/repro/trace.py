@@ -54,6 +54,14 @@ VOLATILE_FIELDS = ("wall_ms",)
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "span.begin": ("name",),
     "span.end": ("name",),
+    # -- if-conversion (runs before unroll/SLP)
+    "if_convert": (
+        "block",
+        "decision",
+        "statements_in",
+        "statements_out",
+        "has_else",
+    ),
     # -- candidate generation / VP construction
     "candidates.search": ("units", "pairs_examined", "found"),
     "vp.build": ("candidates", "nodes", "edges"),

@@ -1,5 +1,11 @@
 """Pre-processing transformations (Figure 3's pre-processing module)."""
 
+from .if_convert import (
+    convert_region,
+    has_regions,
+    if_convert_block,
+    if_convert_program,
+)
 from .peel import choose_peel_count, peel_loop, peel_program
 from .unroll import UnrollResult, choose_unroll_factor, unroll_loop, unroll_program
 
@@ -7,6 +13,10 @@ __all__ = [
     "UnrollResult",
     "choose_peel_count",
     "choose_unroll_factor",
+    "convert_region",
+    "has_regions",
+    "if_convert_block",
+    "if_convert_program",
     "peel_loop",
     "peel_program",
     "unroll_loop",

@@ -1,0 +1,136 @@
+"""If-conversion: flatten conditional regions into predicated selects.
+
+The SLP layers (grouping, scheduling, layout) and the vector ISA all
+operate on straight-line basic blocks — the paper's Section 3 input
+form. This pass converts each single-level :class:`IfRegion` into a
+sequence of plain statements whose semantics are carried by ``select``
+expressions, so branchy kernels (clamping stencils, piecewise
+functions, masked updates) become packable.
+
+Two lowering shapes:
+
+* **Select-merge** — when both branches assign to pairwise structurally
+  equal targets (the classic diamond ``if (c) x = a; else x = b;``),
+  each pair fuses into one *unpredicated* statement
+  ``x = select(c, a, b)``. These statements carry no predicate and pack
+  freely with each other and with the surrounding code — the
+  mixed-predicate pair becomes packable precisely by merging.
+
+* **Masked update** — otherwise, every branch statement becomes a
+  guarded read-modify-write of its own target:
+  ``x = select(c, rhs, x)`` for the then-branch and
+  ``x = select(c, x, rhs)`` for the else-branch, tagged with a
+  :class:`Predicate` recording the branch. Then-statements are emitted
+  first (in branch order), preserving intra-branch def-use chains; the
+  two branches never observe each other's writes because at runtime
+  exactly one branch's selects pick their ``rhs`` arm while the other
+  branch's selects reduce to identity copies.
+
+Every operator in the IR is total (division is IEEE-style, see
+``repro.vm.simulator._ieee_div``), so eagerly evaluating both arms of a
+select — the SIMD execution model — can not introduce traps that the
+branchy original would have skipped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.block import BasicBlock, IfRegion, Loop, Program
+from ..ir.stmt import Predicate, Statement
+from ..ir.expr import Select
+from ..trace import TRACE
+
+
+def convert_region(region: IfRegion) -> List[Statement]:
+    """Lower one region to predicated straight-line statements.
+
+    The returned statements carry the sids of the originals (the block
+    is renumbered afterwards by :func:`if_convert_block`).
+    """
+    cond = region.cond
+    if region.mergeable:
+        return [
+            Statement(t.sid, t.target, Select(cond, t.expr, e.expr))
+            for t, e in zip(region.then_body, region.else_body)
+        ]
+    converted: List[Statement] = []
+    for stmt in region.then_body:
+        converted.append(
+            Statement(
+                stmt.sid,
+                stmt.target,
+                Select(cond, stmt.expr, stmt.target),
+                Predicate(cond, True),
+            )
+        )
+    for stmt in region.else_body:
+        converted.append(
+            Statement(
+                stmt.sid,
+                stmt.target,
+                Select(cond, stmt.target, stmt.expr),
+                Predicate(cond, False),
+            )
+        )
+    return converted
+
+
+def if_convert_block(block: BasicBlock, label: str = "b?") -> BasicBlock:
+    """Flatten every region of a block; returns the block itself when
+    there is nothing to convert."""
+    if not block.has_regions:
+        return block
+    items: List[Statement] = []
+    for item in block.statements:
+        if isinstance(item, IfRegion):
+            lowered = convert_region(item)
+            TRACE.event(
+                "if_convert",
+                block=label,
+                decision=(
+                    "select-merge"
+                    if item.mergeable
+                    else "masked-update"
+                ),
+                statements_in=len(item.then_body) + len(item.else_body),
+                statements_out=len(lowered),
+                has_else=bool(item.else_body),
+            )
+            items.extend(lowered)
+        else:
+            items.append(item)
+    return BasicBlock(items).renumbered()
+
+
+def _convert_loop(loop: Loop, label_base: int) -> Loop:
+    body = if_convert_block(loop.body, f"b{label_base}")
+    inner: Optional[Loop] = loop.inner
+    if inner is not None:
+        inner = _convert_loop(inner, label_base + 1)
+    if body is loop.body and inner is loop.inner:
+        return loop
+    return Loop(loop.index, loop.start, loop.stop, loop.step, body, inner)
+
+
+def has_regions(program: Program) -> bool:
+    """Does any block of the program contain an :class:`IfRegion`?"""
+    return any(block.has_regions for block in program.blocks())
+
+
+def if_convert_program(program: Program) -> Program:
+    """If-convert every block of a program.
+
+    Returns the *same* object when the program has no regions, so
+    callers can keep cheap ``is``-identity checks for "nothing
+    happened".
+    """
+    if not has_regions(program):
+        return program
+    converted = program.clone_shell()
+    for position, item in enumerate(program.body):
+        if isinstance(item, Loop):
+            converted.add(_convert_loop(item, position))
+        else:
+            converted.add(if_convert_block(item, f"b{position}"))
+    return converted

@@ -24,6 +24,7 @@ from ..ir import (
     BasicBlock,
     Expr,
     Loop,
+    Predicate,
     Program,
     Statement,
     Var,
@@ -35,7 +36,7 @@ def choose_unroll_factor(loop: Loop, datapath_bits: int) -> int:
     the factor that can fill the datapath with the narrowest elements."""
     innermost = loop.innermost()
     lane_counts = [1]
-    for stmt in innermost.body:
+    for stmt in innermost.body.flat_statements():
         for leaf in list(stmt.expr.leaves()) + [stmt.target]:
             if datapath_bits % leaf.type.bits == 0:
                 lane_counts.append(datapath_bits // leaf.type.bits)
@@ -117,10 +118,17 @@ def unroll_loop(
         for stmt in loop.body:
             shifted = stmt.substitute_indices(shift)
             expr = _rename_expr(shifted.expr, renamer)
+            # The predicate condition reads values defined *before* this
+            # statement, so rename it before noting the target's def.
+            pred = shifted.pred
+            if pred is not None:
+                pred = Predicate(
+                    _rename_expr(pred.cond, renamer), pred.when
+                )
             target = shifted.target
             if isinstance(target, Var):
                 target = Var(renamer.note_def(target.name, copy), target.type)
-            unrolled.append(Statement(sid, target, expr))
+            unrolled.append(Statement(sid, target, expr, pred))
             sid += 1
 
     main = Loop(

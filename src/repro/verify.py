@@ -40,6 +40,7 @@ from .ir import (
     ArrayRef,
     BasicBlock,
     Const,
+    IfRegion,
     Loop,
     Program,
     Statement,
@@ -170,6 +171,29 @@ def _verify_ref(
             )
 
 
+def _verify_leaf(
+    leaf,
+    program: Program,
+    ranges: LoopRanges,
+    block: Optional[str],
+) -> None:
+    if isinstance(leaf, Var):
+        decl = program.scalars.get(leaf.name)
+        if decl is None:
+            _fail("ir", "ir.undeclared-scalar",
+                  f"reference to undeclared scalar {leaf.name!r}", block)
+        if leaf.type != decl.type:
+            _fail(
+                "ir", "ir.type",
+                f"{leaf.name} used as {leaf.type}, declared {decl.type}",
+                block,
+            )
+    elif isinstance(leaf, ArrayRef):
+        _verify_ref(leaf, program, ranges, block)
+    elif not isinstance(leaf, Const):
+        _fail("ir", "ir.leaf", f"unexpected leaf {leaf!r}", block)
+
+
 def _verify_statement(
     stmt: Statement,
     program: Program,
@@ -177,21 +201,36 @@ def _verify_statement(
     block: Optional[str],
 ) -> None:
     for leaf in stmt.operand_positions():
-        if isinstance(leaf, Var):
-            decl = program.scalars.get(leaf.name)
-            if decl is None:
-                _fail("ir", "ir.undeclared-scalar",
-                      f"reference to undeclared scalar {leaf.name!r}", block)
-            if leaf.type != decl.type:
-                _fail(
-                    "ir", "ir.type",
-                    f"{leaf.name} used as {leaf.type}, declared {decl.type}",
-                    block,
-                )
-        elif isinstance(leaf, ArrayRef):
-            _verify_ref(leaf, program, ranges, block)
-        elif not isinstance(leaf, Const):
-            _fail("ir", "ir.leaf", f"unexpected leaf {leaf!r}", block)
+        _verify_leaf(leaf, program, ranges, block)
+    if stmt.pred is not None:
+        for leaf in stmt.pred.cond.leaves():
+            _verify_leaf(leaf, program, ranges, block)
+
+
+def _verify_region(
+    region: IfRegion,
+    program: Program,
+    ranges: LoopRanges,
+    seen: Set[int],
+    block: Optional[str],
+) -> None:
+    if not region.then_body:
+        _fail("ir", "ir.region-empty",
+              "if region has an empty then-branch", block)
+    for leaf in region.cond.leaves():
+        _verify_leaf(leaf, program, ranges, block)
+    for stmt in region.statements():
+        if not isinstance(stmt, Statement):
+            _fail(
+                "ir", "ir.region-nested",
+                f"if branches must hold plain statements, found "
+                f"{type(stmt).__name__} (regions are single-level)", block,
+            )
+        if stmt.sid in seen:
+            _fail("ir", "ir.duplicate-sid",
+                  f"duplicate sid {stmt.sid}", block)
+        seen.add(stmt.sid)
+        _verify_statement(stmt, program, ranges, block)
 
 
 def _verify_block(
@@ -202,6 +241,9 @@ def _verify_block(
 ) -> None:
     seen: Set[int] = set()
     for stmt in blk:
+        if isinstance(stmt, IfRegion):
+            _verify_region(stmt, program, ranges, seen, block)
+            continue
         if stmt.sid in seen:
             _fail("ir", "ir.duplicate-sid",
                   f"duplicate sid {stmt.sid}", block)

@@ -84,6 +84,18 @@ _VEC_FUNCS = {
     "neg": operator.neg,
     "abs": np.abs,
     "sqrt": np.sqrt,
+    # Comparisons produce 1.0/0.0 float masks, matching the
+    # interpreter's scalar ``1.0 if a < b else 0.0`` exactly (all state
+    # is float64; the relations themselves are IEEE-exact).
+    "<": lambda a, b: np.where(np.less(a, b), 1.0, 0.0),
+    "<=": lambda a, b: np.where(np.less_equal(a, b), 1.0, 0.0),
+    ">": lambda a, b: np.where(np.greater(a, b), 1.0, 0.0),
+    ">=": lambda a, b: np.where(np.greater_equal(a, b), 1.0, 0.0),
+    "==": lambda a, b: np.where(np.equal(a, b), 1.0, 0.0),
+    "!=": lambda a, b: np.where(np.not_equal(a, b), 1.0, 0.0),
+    # The blend: lanes with a non-zero mask take ``a``, others ``b`` —
+    # identical to the interpreter's eager two-arm select.
+    "select": lambda c, a, b: np.where(np.not_equal(c, 0.0), a, b),
 }
 
 

@@ -68,7 +68,8 @@ from .peephole import PeepholeEvent, VCopy, peephole_optimize
 
 #: Bumped whenever emitted source semantics change; part of the kernel
 #: artifact key, so a version bump invalidates every cached kernel.
-CODEGEN_VERSION = 1
+#: v2: comparison + select (predication) templates.
+CODEGEN_VERSION = 2
 
 #: In-process LRU memo of loaded kernel sets, keyed by fingerprint.
 _MEMO: "OrderedDict[str, LoadedPlanKernels]" = OrderedDict()
@@ -235,6 +236,13 @@ _OP_TEMPLATES = {
     "neg": "(-{a})",
     "abs": "np.abs({a})",
     "sqrt": "np.sqrt({a})",
+    "<": "np.where(np.less({a}, {b}), 1.0, 0.0)",
+    "<=": "np.where(np.less_equal({a}, {b}), 1.0, 0.0)",
+    ">": "np.where(np.greater({a}, {b}), 1.0, 0.0)",
+    ">=": "np.where(np.greater_equal({a}, {b}), 1.0, 0.0)",
+    "==": "np.where(np.equal({a}, {b}), 1.0, 0.0)",
+    "!=": "np.where(np.not_equal({a}, {b}), 1.0, 0.0)",
+    "select": "np.where(np.not_equal({a}, 0.0), {b}, {c})",
 }
 
 
@@ -242,6 +250,8 @@ def _op_source(op: str, args: List[str]) -> str:
     template = _OP_TEMPLATES[op]
     if len(args) == 1:
         return template.format(a=args[0])
+    if len(args) == 3:
+        return template.format(a=args[0], b=args[1], c=args[2])
     return template.format(a=args[0], b=args[1])
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict
 
-from ..ir.expr import OP_WEIGHTS
+from ..ir.expr import COMPARE_OPS, OP_WEIGHTS
 from .cache import CacheConfig
 
 #: Relative ALU cost per operator (same table for scalar and vector —
@@ -53,7 +53,17 @@ class MachineModel:
     sync_overhead_cycles: float = 5.0     # barrier cost per extra core
     bus_contention_per_op: float = 0.04   # extra cycles/mem-op/extra core
 
+    # predication costs (if-converted control flow): the vselect/blend
+    # that merges two value streams under a mask, and the vector compare
+    # producing the mask. Machine-specific, like the packing costs.
+    blend: float = 1.0
+    compare: float = 1.0
+
     def op_cost(self, op: str) -> float:
+        if op == "select":
+            return self.blend
+        if op in COMPARE_OPS:
+            return self.compare
         return OP_COSTS[op]
 
     def lanes_for(self, element_bits: int) -> int:
@@ -98,6 +108,8 @@ def amd_phenom_ii() -> MachineModel:
         shuffle=1.5,
         broadcast=1.2,
         unaligned_extra=1.6,
+        blend=1.4,
+        compare=1.2,
     )
 
 

@@ -68,6 +68,19 @@ _OP_FUNCS: Dict[str, Callable] = {
     "neg": lambda a: -a,
     "abs": abs,
     "sqrt": math.sqrt,
+    # Comparisons produce float masks (1.0 / 0.0) — the scalar mirror of
+    # a SIMD compare writing all-ones/all-zero lanes. All memory state
+    # is float64 (see Memory), so these are bit-identical across the
+    # reference/batched/compiled engines by construction.
+    "<": lambda a, b: 1.0 if a < b else 0.0,
+    "<=": lambda a, b: 1.0 if a <= b else 0.0,
+    ">": lambda a, b: 1.0 if a > b else 0.0,
+    ">=": lambda a, b: 1.0 if a >= b else 0.0,
+    "==": lambda a, b: 1.0 if a == b else 0.0,
+    "!=": lambda a, b: 1.0 if a != b else 0.0,
+    # Both arms are eagerly evaluated (the SIMD blend model); every
+    # operator is total, so this cannot trap where a branch would not.
+    "select": lambda c, a, b: a if c != 0.0 else b,
 }
 
 
@@ -195,6 +208,69 @@ def evaluate_expr(expr: Expr, env: Dict[str, int], memory: Memory) -> float:
     kids = expr.children()
     values = [evaluate_expr(k, env, memory) for k in kids]
     return _OP_FUNCS[getattr(expr, "op")](*values)
+
+
+# ---------------------------------------------------------------------------
+# Branch-semantics interpreter (the if-conversion oracle)
+# ---------------------------------------------------------------------------
+
+
+def _interpret_statement(stmt, env: Dict[str, int], memory: Memory) -> None:
+    value = evaluate_expr(stmt.expr, env, memory)
+    target = stmt.target
+    if isinstance(target, ArrayRef):
+        decl = memory.program.arrays[target.array]
+        flat = 0
+        for subscript, dim in zip(target.subscripts, decl.shape):
+            flat = flat * dim + subscript.evaluate(env)
+        memory.write(target.array, flat, value)
+    else:
+        memory.scalars[target.name] = value
+
+
+def _interpret_block(block, env: Dict[str, int], memory: Memory) -> None:
+    from ..ir.block import IfRegion
+
+    for item in block.statements:
+        if isinstance(item, IfRegion):
+            taken = (
+                item.then_body
+                if evaluate_expr(item.cond, env, memory) != 0.0
+                else item.else_body
+            )
+            for stmt in taken:
+                _interpret_statement(stmt, env, memory)
+        else:
+            _interpret_statement(item, env, memory)
+
+
+def _interpret_loop(loop, env: Dict[str, int], memory: Memory) -> None:
+    for value in loop.iter_values():
+        env[loop.index] = value
+        _interpret_block(loop.body, env, memory)
+        if loop.inner is not None:
+            _interpret_loop(loop.inner, env, memory)
+    env.pop(loop.index, None)
+
+
+def interpret_program(program, memory: Optional[Memory] = None, seed: int = 0) -> Memory:
+    """Execute a program directly with *real branch* semantics.
+
+    Conditional regions run only the taken branch — no if-conversion, no
+    selects, no vectorization. This is the ground-truth oracle the
+    if-conversion differential tests (and the fuzzer, for region-bearing
+    programs) compare every engine's converted execution against.
+    """
+    from ..ir.block import Loop as _Loop
+
+    memory = memory or Memory(program, seed=seed)
+    env: Dict[str, int] = {}
+    for item in program.body:
+        if isinstance(item, _Loop):
+            _interpret_loop(item, env, memory)
+        else:
+            _interpret_block(item, env, memory)
+    return memory
 
 
 #: Recognized execution engines, from the :mod:`repro.engines`

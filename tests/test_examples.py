@@ -47,6 +47,17 @@ def test_stencil_sweep():
     assert "superword statements" in out
 
 
+def test_clamp_stencil():
+    out = run_example("clamp_stencil.py")
+    assert "select((s > U[i]), U[i], s)" in out
+    assert "branch-semantics oracle matched: True" in out
+    # The global variant must actually emit a blend, not fall back.
+    global_row = next(
+        line for line in out.splitlines() if line.strip().startswith("global")
+    )
+    assert global_row.split()[-1] == "1"
+
+
 def test_inspect_pipeline():
     out = run_example("inspect_pipeline.py")
     assert "weight" in out

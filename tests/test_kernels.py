@@ -5,6 +5,7 @@ import pytest
 from repro import Variant, compile_program, intel_dunnington, simulate
 from repro.bench import (
     ALL_KERNELS,
+    BRANCHY_KERNELS,
     KERNELS,
     NAS_KERNELS,
     SPEC_KERNELS,
@@ -16,18 +17,26 @@ from repro.ir import Program
 
 
 class TestRegistry:
-    def test_sixteen_kernels(self):
-        assert len(ALL_KERNELS) == 16
+    def test_kernel_counts(self):
         assert len(SPEC_KERNELS) == 10
         assert len(NAS_KERNELS) == 6
+        assert len(BRANCHY_KERNELS) == 4
+        assert len(ALL_KERNELS) == 20
 
     def test_paper_benchmark_names(self):
         expected = {
             "cactusADM", "soplex", "lbm", "milc", "povray", "gromacs",
             "calculix", "dealII", "wrf", "namd",
             "ua", "ft", "bt", "sp", "mg", "cg",
+            "clamp_stencil", "piecewise_poly", "masked_sum", "absdiff",
         }
         assert set(KERNELS) == expected
+
+    def test_branchy_kernels_carry_regions(self):
+        from repro.transform import has_regions
+
+        for kernel in BRANCHY_KERNELS:
+            assert has_regions(kernel.build(16)), kernel.name
 
     def test_descriptions_nonempty(self):
         assert all(k.description for k in ALL_KERNELS)

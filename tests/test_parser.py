@@ -149,6 +149,154 @@ class TestLoops:
             )
 
 
+class TestConditionals:
+    def test_if_else_region_parses(self):
+        program = parse_program(
+            """
+            float A[8]; float B[8]; float c;
+            if (A[0] > c) {
+                B[0] = A[0];
+            } else {
+                B[0] = c;
+            }
+            """
+        )
+        block = program.body[0]
+        assert block.has_regions
+        region = block.statements[0]
+        assert len(region.then_body) == 1
+        assert len(region.else_body) == 1
+
+    def test_select_call_parses(self):
+        program = parse_program(
+            "float A[8]; float c;\nA[0] = select(A[1] > c, c, A[1]);"
+        )
+        stmt = program.body[0].statements[0]
+        assert stmt.expr.op == "select"
+
+    def test_all_literal_select_folds(self):
+        program = parse_program("float a;\na = select(1.0, 2.0, 3.0);")
+        stmt = program.body[0].statements[0]
+        assert isinstance(stmt.expr, Const)
+        assert stmt.expr.value == 2.0
+
+    def test_region_in_loop_parses(self):
+        program = parse_program(
+            """
+            float A[16]; float c;
+            for (i = 0; i < 8; i += 1) {
+                if (A[i] > c) {
+                    A[i] = c;
+                }
+            }
+            """
+        )
+        loop = next(iter(program.loops()))
+        assert loop.body.has_regions
+
+    def test_nested_if_rejected_with_position(self):
+        src = (
+            "float A[8]; float c;\n"
+            "if (A[0] > c) {\n"
+            "  if (c > A[1]) {\n"
+            "    A[0] = c;\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError) as exc:
+            parse_program(src)
+        assert exc.value.line == 3
+        assert exc.value.column == 3
+        assert "single-level" in str(exc.value)
+        assert "line 3:3" in str(exc.value)
+
+    def test_loop_in_branch_rejected_with_position(self):
+        src = (
+            "float A[8]; float c;\n"
+            "if (A[0] > c) {\n"
+            "  for (i = 0; i < 4; i += 1) {\n"
+            "    A[i] = c;\n"
+            "  }\n"
+            "}"
+        )
+        with pytest.raises(ParseError) as exc:
+            parse_program(src)
+        assert (exc.value.line, exc.value.column) == (3, 3)
+
+    def test_empty_then_branch_rejected_with_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("float A[8]; float c;\nif (c > A[0]) {\n}")
+        assert exc.value.line == 2
+        assert exc.value.column == 1
+
+    def test_condition_operand_write_rejected_with_position(self):
+        src = (
+            "float A[8]; float B[8]; float c;\n"
+            "if (A[0] > c) {\n"
+            "  A[1] = c;\n"
+            "  B[0] = A[1];\n"
+            "}"
+        )
+        with pytest.raises(ParseError) as exc:
+            parse_program(src)
+        assert (exc.value.line, exc.value.column) == (2, 1)
+        assert "'A'" in str(exc.value)
+        assert "condition" in str(exc.value)
+
+    def test_final_statement_may_write_condition_operand(self):
+        # The in-place clamp idiom: the last lowered statement never
+        # poisons a later condition re-evaluation, so it stays legal.
+        program = parse_program(
+            """
+            float A[16]; float c;
+            for (i = 0; i < 8; i += 1) {
+                if (A[i] > c) {
+                    A[i] = c;
+                }
+            }
+            """
+        )
+        assert next(iter(program.loops())).body.has_regions
+
+    def test_all_literal_condition_rejected(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("float A[8];\nif (1.0 > 2.0) {\n  A[0] = 1.0;\n}")
+        assert "typed operand" in str(exc.value)
+        assert exc.value.line == 2
+
+    def test_unclosed_region_rejected_with_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program(
+                "float A[8]; float c;\nif (c > A[0]) {\n  A[0] = c;\n"
+            )
+        assert exc.value.line == 4
+        assert "expected '}'" in str(exc.value)
+
+    def test_chained_comparison_rejected_with_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("float A[8]; float c;\nA[0] = (c < A[1] < A[2]);")
+        assert (exc.value.line, exc.value.column) == (2, 18)
+        assert "parenthesize" in str(exc.value)
+
+    def test_region_round_trips(self):
+        src = """
+        double U[64]; double C[64];
+        double s;
+        for (i = 1; i < 15; i += 1) {
+            s = (U[i - 1] + U[i + 1]) * 0.5;
+            if (s > U[i]) {
+                C[i] = U[i];
+            } else {
+                C[i] = s;
+            }
+        }
+        """
+        printed = format_program(parse_program(src))
+        assert format_program(parse_program(printed)) == printed
+        assert "if ((s > U[i])) {" in printed
+        assert "} else {" in printed
+
+
 class TestRoundTrip:
     def test_print_then_reparse(self):
         src = """

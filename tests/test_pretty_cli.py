@@ -115,6 +115,27 @@ class TestCli:
         assert "decisions:" in out
         assert "superword statements" in out
 
+    def test_explain_if_converts_regions_first(self, tmp_path, capsys):
+        # Regression: explain used to feed raw IfRegions to the
+        # unroller and crash; it must flatten them like compile does.
+        src = tmp_path / "branchy.slp"
+        src.write_text(
+            """
+            double A[72]; double B[72]; double c;
+            for (i = 0; i < 64; i += 1) {
+                if (A[i] > c) {
+                    B[i] = c;
+                } else {
+                    B[i] = A[i];
+                }
+            }
+            """
+        )
+        assert main(["explain", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "select" in out
+        assert "superword statements" in out
+
     def test_machine_and_datapath_flags(self, tmp_path, capsys):
         assert (
             main(

@@ -188,6 +188,92 @@ class TestDifferentialExecution:
         assert report.cycles <= s_report.cycles * 1.05 + 50
 
 
+class TestConditionalRoundTrip:
+    """The conditional/select surface syntax: parse -> print -> parse is
+    a fixed point, and if-converted execution matches true branch
+    semantics on randomly shaped single-level regions."""
+
+    RELOPS = ["<", "<=", ">", ">=", "==", "!="]
+    # Condition leaves and branch targets are disjoint: the parser
+    # rejects regions whose non-final statements write condition
+    # operands (the select form would re-evaluate the mutated cond).
+    LEAVES = ["X[i]", "X[i + 1]", "s1"]
+    TARGETS = ["Y[i]", "s0"]
+    RHS = ["X[i] * 2.0", "s0 + Y[i]", "X[i + 1] - s1", "0.5"]
+
+    @st.composite
+    def conditional_sources(draw, self=None):
+        cls = TestConditionalRoundTrip
+        rng = draw
+        left = rng(st.sampled_from(cls.LEAVES))
+        right = rng(st.sampled_from(cls.LEAVES))
+        relop = rng(st.sampled_from(cls.RELOPS))
+        cond = f"{left} {relop} {right}"
+        merge = rng(st.booleans())
+        lines = []
+        if rng(st.booleans()):
+            lines.append(f"s1 = {rng(st.sampled_from(cls.RHS))};")
+        if merge:
+            target = rng(st.sampled_from(cls.TARGETS))
+            lines.append(f"if ({cond}) {{")
+            lines.append(f"    {target} = {rng(st.sampled_from(cls.RHS))};")
+            lines.append("} else {")
+            lines.append(f"    {target} = {rng(st.sampled_from(cls.RHS))};")
+            lines.append("}")
+        else:
+            then_targets = rng(
+                st.lists(
+                    st.sampled_from(cls.TARGETS),
+                    min_size=1,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+            lines.append(f"if ({cond}) {{")
+            for target in then_targets:
+                lines.append(
+                    f"    {target} = {rng(st.sampled_from(cls.RHS))};"
+                )
+            lines.append("}")
+        body = "\n        ".join(lines)
+        return f"""
+        double X[64]; double Y[64];
+        double s0, s1;
+        for (i = 0; i < 8; i += 1) {{
+        {body}
+        }}
+        """
+
+    @given(src=conditional_sources())
+    @settings(**COMMON)
+    def test_parse_print_parse_is_fixed_point(self, src):
+        from repro.ir import format_program, parse_program
+
+        printed = format_program(parse_program(src))
+        assert format_program(parse_program(printed)) == printed
+        assert "if (" in printed
+
+    @given(
+        src=conditional_sources(),
+        seed=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_if_converted_execution_matches_branch_semantics(
+        self, src, seed
+    ):
+        from repro.ir import parse_program
+        from repro.vm.simulator import interpret_program
+
+        program = parse_program(src)
+        oracle = interpret_program(program, seed=seed)
+        optimized = compile_program(
+            program, Variant.GLOBAL, intel_dunnington()
+        )
+        _, memory = simulate(optimized, seed=seed)
+        assert memory.state_equal(oracle)
+
+
 class TestAffineProperties:
     @given(
         coeffs=st.dictionaries(
